@@ -1,0 +1,198 @@
+// karousos-audit is the end-to-end command-line workflow of the system:
+//
+//	karousos-audit serve -app wiki -n 600 -conc 30 -out rundir
+//	    serves a generated workload, writing the trusted trace and the
+//	    untrusted advice to rundir/trace.json and rundir/advice.bin;
+//
+//	karousos-audit verify -app wiki -dir rundir
+//	    audits the stored (trace, advice) pair and reports the verdict —
+//	    this is what the paper's principal runs periodically on a machine
+//	    they control;
+//
+//	karousos-audit tamper -dir rundir
+//	    flips one response in the stored trace, so a subsequent verify
+//	    demonstrates rejection.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"karousos.dev/karousos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "serve":
+		serveCmd(os.Args[2:])
+	case "verify":
+		verifyCmd(os.Args[2:])
+	case "tamper":
+		tamperCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: karousos-audit serve|verify|tamper [flags]")
+	os.Exit(2)
+}
+
+func appSpec(name string) karousos.AppSpec {
+	switch name {
+	case "motd":
+		return karousos.MOTDApp()
+	case "stacks":
+		return karousos.StacksApp()
+	case "wiki":
+		return karousos.WikiApp()
+	}
+	fmt.Fprintf(os.Stderr, "unknown app %q (motd, stacks, wiki)\n", name)
+	os.Exit(2)
+	return karousos.AppSpec{}
+}
+
+func workloadFor(name string, n int, seed int64) []karousos.Request {
+	switch name {
+	case "motd":
+		return karousos.MOTDWorkload(n, karousos.Mixed, seed)
+	case "stacks":
+		return karousos.StacksWorkload(n, karousos.Mixed, seed)
+	default:
+		return karousos.WikiWorkload(n, seed)
+	}
+}
+
+func serveCmd(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
+	n := fs.Int("n", 600, "number of requests")
+	conc := fs.Int("conc", 30, "concurrent requests")
+	seed := fs.Int64("seed", 42, "workload and scheduler seed")
+	out := fs.String("out", "karousos-run", "output directory")
+	fs.Parse(args)
+
+	spec := appSpec(*app)
+	run, err := karousos.Serve(spec, workloadFor(*app, *n, *seed), *conc, *seed, karousos.CollectKarousos)
+	check(err)
+
+	check(os.MkdirAll(*out, 0o755))
+	traceJSON, err := json.MarshalIndent(run.Trace, "", " ")
+	check(err)
+	check(os.WriteFile(filepath.Join(*out, "trace.json"), traceJSON, 0o644))
+	check(os.WriteFile(filepath.Join(*out, "advice.bin"), run.Karousos.MarshalBinary(), 0o644))
+	meta, err := json.Marshal(map[string]any{"app": *app})
+	check(err)
+	check(os.WriteFile(filepath.Join(*out, "meta.json"), meta, 0o644))
+
+	fmt.Printf("served %d requests (%s, conc %d) in %v; %d conflicts\n",
+		*n, *app, *conc, run.Elapsed, run.Conflicts)
+	fmt.Printf("wrote %s/trace.json (%d events) and %s/advice.bin (%.1f KiB)\n",
+		*out, len(run.Trace.Events), *out, float64(run.Karousos.Size())/1024)
+}
+
+func loadRun(dir string) (karousos.AppSpec, *karousos.Trace, []byte) {
+	metaJSON, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	check(err)
+	var meta struct{ App string }
+	check(json.Unmarshal(metaJSON, &meta))
+	traceJSON, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	check(err)
+	var tr karousos.Trace
+	check(json.Unmarshal(traceJSON, &tr))
+	normalizeTrace(&tr)
+	adv, err := os.ReadFile(filepath.Join(dir, "advice.bin"))
+	check(err)
+	return appSpec(meta.App), &tr, adv
+}
+
+// normalizeTrace re-canonicalizes values after the JSON round trip (JSON
+// decodes map values as map[string]interface{}, which is already the
+// canonical representation, but numbers inside may need no coercion — this
+// is belt and braces for hand-edited traces).
+func normalizeTrace(tr *karousos.Trace) {
+	for i := range tr.Events {
+		tr.Events[i].Data = canon(tr.Events[i].Data)
+	}
+}
+
+func canon(v karousos.V) karousos.V {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			x[k] = canon(e)
+		}
+		return x
+	case []any:
+		for i, e := range x {
+			x[i] = canon(e)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+func verifyCmd(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("dir", "karousos-run", "run directory from `serve`")
+	graph := fs.String("graph", "", "write the execution graph G as Graphviz DOT to this file (cycles highlighted)")
+	fs.Parse(args)
+
+	spec, tr, advBytes := loadRun(*dir)
+	adv, err := karousos.UnmarshalAdvice(advBytes)
+	check(err)
+	var verdict *karousos.VerifyResult
+	if *graph != "" {
+		f, err := os.Create(*graph)
+		check(err)
+		defer f.Close()
+		verdict = karousos.VerifyKarousosWithGraph(spec, tr, adv, f)
+		fmt.Printf("wrote execution graph to %s\n", *graph)
+	} else {
+		verdict = karousos.VerifyKarousos(spec, tr, adv)
+	}
+	if verdict.Err != nil {
+		fmt.Printf("AUDIT REJECTED after %v: %v\n", verdict.Elapsed, verdict.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("AUDIT ACCEPTED in %v: %d requests, %d groups, %d handlers re-run, graph %d nodes / %d edges\n",
+		verdict.Elapsed, verdict.Stats.Requests, verdict.Stats.Groups,
+		verdict.Stats.HandlersRerun, verdict.Stats.GraphNodes, verdict.Stats.GraphEdges)
+}
+
+func tamperCmd(args []string) {
+	fs := flag.NewFlagSet("tamper", flag.ExitOnError)
+	dir := fs.String("dir", "karousos-run", "run directory from `serve`")
+	fs.Parse(args)
+
+	path := filepath.Join(*dir, "trace.json")
+	traceJSON, err := os.ReadFile(path)
+	check(err)
+	var tr karousos.Trace
+	check(json.Unmarshal(traceJSON, &tr))
+	for i := range tr.Events {
+		if tr.Events[i].Kind == karousos.TraceResp {
+			tr.Events[i].Data = karousos.Map("status", "tampered")
+			fmt.Printf("tampered response of %s\n", tr.Events[i].RID)
+			break
+		}
+	}
+	out, err := json.MarshalIndent(&tr, "", " ")
+	check(err)
+	check(os.WriteFile(path, out, 0o644))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "karousos-audit:", err)
+		os.Exit(1)
+	}
+}

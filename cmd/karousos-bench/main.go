@@ -1,0 +1,97 @@
+// karousos-bench regenerates the tables behind every figure of the paper's
+// evaluation (Figures 6–12). Without flags it reproduces the paper's setup:
+// 600-request workloads (server-overhead panels warm up on the first 120),
+// concurrency swept over 1–60, medians of 3 trials.
+//
+// Usage:
+//
+//	karousos-bench                  # all figures
+//	karousos-bench -fig 7           # one figure
+//	karousos-bench -requests 300 -trials 1 -conc 1,30   # a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"karousos.dev/karousos/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 6..12 or all")
+		requests = flag.Int("requests", 600, "requests per workload")
+		warmup   = flag.Int("warmup", 120, "warm-up requests for server-overhead panels")
+		trials   = flag.Int("trials", 3, "trials per data point (median reported)")
+		conc     = flag.String("conc", "1,15,30,45,60", "comma-separated concurrency levels")
+		seed     = flag.Int64("seed", 42, "base seed for workloads and schedulers")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Requests: *requests,
+		Warmup:   *warmup,
+		Trials:   *trials,
+		Seed:     *seed,
+	}
+	for _, part := range strings.Split(*conc, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			fmt.Fprintf(os.Stderr, "bad concurrency level %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Conc = append(cfg.Conc, c)
+	}
+	if cfg.Warmup >= cfg.Requests {
+		fmt.Fprintln(os.Stderr, "warmup must be smaller than requests")
+		os.Exit(2)
+	}
+
+	var figs []int
+	if *fig == "all" {
+		figs = experiments.Figures()
+	} else {
+		n, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad figure %q\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{n}
+	}
+
+	for _, n := range figs {
+		fmt.Printf("==== Figure %d ====\n", n)
+		for _, panel := range experiments.Figure(n, cfg) {
+			printPanel(panel)
+		}
+	}
+}
+
+func printPanel(p experiments.Panel) {
+	fmt.Printf("\n-- %s --\n", p.Title)
+	widths := make([]int, len(p.Header))
+	for i, h := range p.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range p.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+	}
+	printRow(p.Header)
+	for _, row := range p.Rows {
+		printRow(row)
+	}
+	fmt.Println()
+}

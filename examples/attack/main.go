@@ -1,0 +1,110 @@
+// Attack: a misbehaving server tries to get bogus executions past the audit.
+//
+// Three attacks, all of which the verifier must reject (Soundness, §2.1):
+//
+//  1. Response tampering — the server answers something the program never
+//     produced.
+//  2. Advice forgery — the server forges a logged write's value to
+//     rationalize a different response (caught by simulate-and-check).
+//  3. The Figure 5 attack — the server executes each request against a
+//     private copy of the state and merges the runs, yielding responses
+//     that no real interleaving can produce. Every local check passes;
+//     the rejection comes from a cycle in the execution graph G (§4.3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"karousos.dev/karousos"
+)
+
+func main() {
+	spec := karousos.MOTDApp()
+	reqs := karousos.MOTDWorkload(100, karousos.Mixed, 5)
+
+	honest, err := karousos.Serve(spec, reqs, 10, 42, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v := karousos.VerifyKarousos(spec, honest.Trace, honest.Karousos); v.Err != nil {
+		log.Fatalf("honest run rejected: %v", v.Err)
+	}
+	fmt.Println("baseline: honest run ACCEPTED")
+
+	// Attack 1: tamper with one response in flight (the collector saw the
+	// real one, so this models the server lying to the client — equivalently,
+	// the trace holds the tampered response the clients actually got).
+	tampered := *honest.Trace
+	tampered.Events = append([]karousos.TraceEvent(nil), honest.Trace.Events...)
+	for i := range tampered.Events {
+		if tampered.Events[i].Kind == karousos.TraceResp {
+			tampered.Events[i].Data = karousos.Map("msg", "you have been hacked", "scope", "always")
+			break
+		}
+	}
+	report("response tampering", karousos.VerifyKarousos(spec, &tampered, honest.Karousos).Err)
+
+	// Attack 2: forge a logged write's value in the advice.
+	forged := honest.Karousos.Clone()
+	for id, entries := range forged.VarLogs {
+		for i := range entries {
+			if entries[i].Type == karousos.AccessWrite {
+				forged.VarLogs[id][i].Value = karousos.Map("always", "0wned", "daily", map[string]karousos.V{}, "history", []karousos.V{})
+				goto mutated
+			}
+		}
+	}
+mutated:
+	report("variable-log forgery", karousos.VerifyKarousos(spec, honest.Trace, forged).Err)
+
+	// Attack 3: Figure 5 — serve requests on private copies of the state
+	// ("split brain") and merge the runs. The subtlety is the Soundness
+	// definition: the verifier accepts exactly when SOME legal schedule
+	// explains the observations.
+	//
+	// 3a. Splitting a get from a set is explainable — the get could simply
+	// have run first — so the audit must ACCEPT the merge.
+	getRun, err := karousos.Serve(spec, []karousos.Request{
+		{RID: "g", Input: karousos.Map("op", "get", "day", "mon")},
+	}, 1, 1, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setRun, err := karousos.Serve(spec, []karousos.Request{
+		{RID: "s", Input: karousos.Map("op", "set", "scope", "always", "msg", "split brain")},
+	}, 1, 1, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	explainable := karousos.MergeRuns(setRun, getRun)
+	if v := karousos.VerifyKarousos(spec, explainable.Trace, explainable.Karousos); v.Err != nil {
+		log.Fatalf("explainable merge rejected (completeness bug): %v", v.Err)
+	}
+	fmt.Println("split-brain get∥set merge    ACCEPTED (a legal schedule explains it: the get ran first)")
+
+	// 3b. Splitting two sets is NOT explainable: each claims to have
+	// overwritten the initial state, but only one write can be the first —
+	// the merged advice alleges an impossible variable history.
+	setA, err := karousos.Serve(spec, []karousos.Request{
+		{RID: "s1", Input: karousos.Map("op", "set", "scope", "always", "msg", "brain A")},
+	}, 1, 1, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setB, err := karousos.Serve(spec, []karousos.Request{
+		{RID: "s2", Input: karousos.Map("op", "set", "scope", "always", "msg", "brain B")},
+	}, 1, 1, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	impossible := karousos.MergeRuns(setA, setB)
+	report("split-brain set∥set merge", karousos.VerifyKarousos(spec, impossible.Trace, impossible.Karousos).Err)
+}
+
+func report(attack string, err error) {
+	if err == nil {
+		log.Fatalf("%s: audit ACCEPTED a forged execution — soundness violated", attack)
+	}
+	fmt.Printf("%-28s REJECTED: %v\n", attack, err)
+}

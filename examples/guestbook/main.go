@@ -1,0 +1,121 @@
+// Guestbook: writing a custom auditable application against the public API.
+//
+// The application is a small guestbook: visitors sign it (their entry goes
+// into the transactional store and a shared in-memory index), and anyone can
+// read the latest entries. The point of the example is the programming
+// model: all shared state flows through loggable Variables or the store, all
+// control flow that depends on data goes through Branch, and per-request
+// computation runs inside Apply closures — which is exactly what lets the
+// same code execute under the recording server and the batched verifier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"karousos.dev/karousos"
+)
+
+// Handler function ids and event names.
+const (
+	fnRequest karousos.FunctionID = "guestbook.request"
+	fnSign    karousos.FunctionID = "guestbook.sign"
+	evSign    karousos.EventName  = "guestbook.do-sign"
+)
+
+// newGuestbook builds a fresh application instance. Each runtime (server,
+// verifier) gets its own instance from this factory.
+func newGuestbook() (*karousos.App, *karousos.Store) {
+	var index *karousos.Variable // list of entry keys, newest last
+	app := &karousos.App{
+		Name:         "guestbook",
+		RequestEvent: "request",
+	}
+	app.Init = func(ctx *karousos.Context) {
+		index = ctx.VarNew("guestbook.index", ctx.Scalar([]karousos.V{}))
+		ctx.Register("request", fnRequest)
+		ctx.Register(evSign, fnSign)
+	}
+	app.Funcs = map[karousos.FunctionID]karousos.HandlerFunc{
+		fnRequest: func(ctx *karousos.Context, req *karousos.MV) {
+			isSign := ctx.Branch("op-sign", ctx.Apply(func(a []karousos.V) karousos.V {
+				return karousos.Str(karousos.Field(a[0], "op")) == "sign"
+			}, req))
+			if isSign {
+				ctx.Emit(evSign, req)
+				return
+			}
+			// Read: respond with the newest entry keys from the shared index.
+			idx := ctx.Read(index)
+			ctx.Respond(ctx.Apply(func(a []karousos.V) karousos.V {
+				l, _ := a[0].([]karousos.V)
+				n := len(l)
+				if n > 3 {
+					l = l[n-3:]
+				}
+				return karousos.Map("status", "ok", "latest", l)
+			}, idx))
+		},
+		fnSign: func(ctx *karousos.Context, req *karousos.MV) {
+			key := ctx.Apply(func(a []karousos.V) karousos.V {
+				return "entry:" + karousos.Str(karousos.Field(a[0], "name"))
+			}, req)
+			tx := ctx.TxStart()
+			entry := ctx.Apply(func(a []karousos.V) karousos.V {
+				return karousos.Map("name", karousos.Field(a[0], "name"), "msg", karousos.Field(a[0], "msg"))
+			}, req)
+			if !ctx.BranchBool("put-ok", ctx.Put(tx, key, entry)) {
+				ctx.Respond(ctx.Scalar(karousos.Map("status", "retry")))
+				return
+			}
+			if !ctx.BranchBool("commit-ok", ctx.Commit(tx)) {
+				ctx.Respond(ctx.Scalar(karousos.Map("status", "retry")))
+				return
+			}
+			idx := ctx.Read(index)
+			ctx.Write(index, ctx.Apply(func(a []karousos.V) karousos.V {
+				l, _ := karousos.CloneValue(a[0]).([]karousos.V)
+				return append(l, a[1])
+			}, idx, key))
+			ctx.Respond(ctx.Scalar(karousos.Map("status", "signed")))
+		},
+	}
+	return app, karousos.NewStore(karousos.StoreSerializable)
+}
+
+func main() {
+	spec := karousos.AppSpec{
+		Name:      "guestbook",
+		UsesStore: true,
+		Isolation: karousos.Serializable,
+		New:       newGuestbook,
+	}
+
+	var reqs []karousos.Request
+	names := []string{"ada", "grace", "edsger", "barbara", "tony"}
+	for i, name := range names {
+		reqs = append(reqs, karousos.Request{
+			RID:   karousos.RID(fmt.Sprintf("sign-%d", i)),
+			Input: karousos.Map("op", "sign", "name", name, "msg", "hello from "+name),
+		})
+		reqs = append(reqs, karousos.Request{
+			RID:   karousos.RID(fmt.Sprintf("read-%d", i)),
+			Input: karousos.Map("op", "read"),
+		})
+	}
+
+	run, err := karousos.Serve(spec, reqs, 4, 7, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	for _, rid := range run.Trace.RIDs() {
+		fmt.Printf("%-8s → %s\n", rid, karousos.FormatValue(run.Trace.Outputs()[rid]))
+	}
+
+	verdict := karousos.VerifyKarousos(spec, run.Trace, run.Karousos)
+	if verdict.Err != nil {
+		log.Fatalf("audit rejected an honest run: %v", verdict.Err)
+	}
+	fmt.Printf("\naudit accepted: %d requests in %d control-flow groups, advice %.1f KiB\n",
+		verdict.Stats.Requests, verdict.Stats.Groups, float64(run.Karousos.Size())/1024)
+}

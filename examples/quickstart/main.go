@@ -1,0 +1,39 @@
+// Quickstart: serve a workload against the wiki application with Karousos
+// advice collection, then audit the run. This is the end-to-end loop a
+// deployer (the paper's "Cam") runs: the trace is trusted ground truth from
+// the collector, the advice is untrusted output from the server, and the
+// verifier decides whether the responses are explainable by the program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"karousos.dev/karousos"
+)
+
+func main() {
+	spec := karousos.WikiApp()
+
+	// 600 requests with the paper's 25% create / 15% comment / 60% render
+	// mix, served with up to 30 requests in flight.
+	reqs := karousos.WikiWorkload(600, 1)
+	run, err := karousos.Serve(spec, reqs, 30, 42, karousos.CollectKarousos)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	fmt.Printf("served %d requests in %v (%d store conflicts)\n",
+		len(run.Trace.RIDs()), run.Elapsed, run.Conflicts)
+	fmt.Printf("advice size: %.1f KiB\n", float64(run.Karousos.Size())/1024)
+
+	verdict := karousos.VerifyKarousos(spec, run.Trace, run.Karousos)
+	if verdict.Err != nil {
+		fmt.Printf("AUDIT REJECTED: %v\n", verdict.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("AUDIT ACCEPTED in %v: %d requests re-executed as %d groups, %d handlers re-run\n",
+		verdict.Elapsed, verdict.Stats.Requests, verdict.Stats.Groups, verdict.Stats.HandlersRerun)
+	fmt.Printf("execution graph: %d nodes, %d edges, acyclic\n",
+		verdict.Stats.GraphNodes, verdict.Stats.GraphEdges)
+}

@@ -1,0 +1,41 @@
+// Wikiaudit: a miniature of the paper's evaluation on the wiki application —
+// server overhead (Figure 6 style), verification time against both baselines
+// (Figure 7 style), and advice size (Figure 8 style), swept over the number
+// of concurrent requests.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"karousos.dev/karousos"
+)
+
+func main() {
+	spec := karousos.WikiApp()
+	reqs := karousos.WikiWorkload(600, 1)
+
+	fmt.Printf("%-6s %10s %10s %9s | %10s %10s %10s | %9s %9s\n",
+		"conc", "unmod", "karousos", "overhead", "verify-kar", "verify-oro", "verify-seq", "adv-kar", "adv-oro")
+	for _, conc := range []int{1, 15, 30, 60} {
+		unmod, err := karousos.Serve(spec, reqs, conc, 42, karousos.CollectNone)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := karousos.Serve(spec, reqs, conc, 42, karousos.CollectBoth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vk := karousos.VerifyKarousos(spec, run.Trace, run.Karousos)
+		vo := karousos.VerifyOrochi(spec, run.Trace, run.Orochi)
+		sq := karousos.VerifySequential(spec, run.Trace)
+		if vk.Err != nil || vo.Err != nil {
+			log.Fatalf("audit rejected honest run: %v / %v", vk.Err, vo.Err)
+		}
+		fmt.Printf("%-6d %10v %10v %8.2fx | %10v %10v %10v | %7.0fKB %7.0fKB\n",
+			conc, unmod.Elapsed.Round(100_000), run.Elapsed.Round(100_000),
+			float64(run.Elapsed)/float64(unmod.Elapsed),
+			vk.Elapsed.Round(100_000), vo.Elapsed.Round(100_000), sq.Elapsed.Round(100_000),
+			float64(run.Karousos.Size())/1024, float64(run.Orochi.Size())/1024)
+	}
+}

@@ -1,0 +1,3 @@
+module karousos.dev/karousos
+
+go 1.22

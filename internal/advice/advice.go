@@ -1,0 +1,229 @@
+// Package advice defines the untrusted advice a Karousos server ships to the
+// verifier (paper §4, Appendix C.1.3): control-flow tags, per-request handler
+// logs, per-variable variable logs, per-transaction logs, the global write
+// order, opcounts, responseEmittedBy, and recorded non-determinism.
+//
+// The structures here are a wire format — slices and string-keyed maps, all
+// JSON-serializable — because advice size is itself an evaluated quantity
+// (Figure 8). The verifier builds whatever lookup indexes it needs during
+// Preprocess; nothing in this package is trusted.
+package advice
+
+import (
+	"encoding/json"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/value"
+)
+
+// Mode records which algorithm produced the advice; it only gates sanity
+// checks in the harness (a Karousos verifier fed Orochi advice is a usage
+// bug, not an attack).
+type Mode string
+
+const (
+	ModeKarousos Mode = "karousos"
+	ModeOrochiJS Mode = "orochi-js"
+)
+
+// OpAt locates an operation within a known request: the OpNum-th operation
+// of handler HID.
+type OpAt struct {
+	HID   core.HID `json:"hid"`
+	OpNum int      `json:"opnum"`
+}
+
+// HandlerOpKind enumerates handler-log entries (C.1.3).
+type HandlerOpKind uint8
+
+const (
+	OpRegister HandlerOpKind = iota
+	OpEmit
+	OpUnregister
+)
+
+func (k HandlerOpKind) String() string {
+	switch k {
+	case OpRegister:
+		return "register"
+	case OpEmit:
+		return "emit"
+	case OpUnregister:
+		return "unregister"
+	}
+	return "handlerop?"
+}
+
+// HandlerOp is one entry of a request's handler log: a register, emit, or
+// unregister issued by handler HID as its OpNum-th operation.
+type HandlerOp struct {
+	HID   core.HID       `json:"hid"`
+	OpNum int            `json:"opnum"`
+	Kind  HandlerOpKind  `json:"kind"`
+	Event core.EventName `json:"event,omitempty"` // emit and unregister
+	// Events is the set of event names for register operations.
+	Events []core.EventName `json:"events,omitempty"`
+	Fn     core.FunctionID  `json:"fn,omitempty"` // register and unregister
+}
+
+// AccessType distinguishes variable-log entries.
+type AccessType uint8
+
+const (
+	AccessRead AccessType = iota
+	AccessWrite
+)
+
+func (a AccessType) String() string {
+	if a == AccessRead {
+		return "read"
+	}
+	return "write"
+}
+
+// VarLogEntry is one entry of a variable log (Figure 13): READ entries
+// reference the write they observe; WRITE entries carry the value written and
+// reference the write they overwrite (absent for lazily-logged writes).
+type VarLogEntry struct {
+	Op      core.Op    `json:"op"`
+	Type    AccessType `json:"type"`
+	Value   value.V    `json:"value,omitempty"` // writes only
+	HasPrec bool       `json:"hasPrec,omitempty"`
+	Prec    core.Op    `json:"prec,omitempty"`
+}
+
+// TxPos locates an operation inside the transaction logs: the Index-th
+// (1-based) operation of transaction TID of request RID.
+type TxPos struct {
+	RID   core.RID  `json:"rid"`
+	TID   core.TxID `json:"tid"`
+	Index int       `json:"index"`
+}
+
+// ScanRead is one row of a range read's alleged result set: the key and the
+// position of its dictating write.
+type ScanRead struct {
+	Key      string `json:"key"`
+	ReadFrom TxPos  `json:"readFrom"`
+}
+
+// TxOp is one entry of a transaction log (C.1.3): the operation's issuing
+// handler position, its type, the key (PUT/GET; the prefix for SCAN), the
+// written contents (PUT), the position of the dictating write (GET; nil when
+// the row was absent), and the alleged result set (SCAN).
+type TxOp struct {
+	HID      core.HID      `json:"hid"`
+	OpNum    int           `json:"opnum"`
+	Type     core.TxOpType `json:"type"`
+	Key      string        `json:"key,omitempty"`
+	Contents value.V       `json:"contents,omitempty"`
+	ReadFrom *TxPos        `json:"readFrom,omitempty"`
+	ReadSet  []ScanRead    `json:"readSet,omitempty"`
+}
+
+// TxLog is the ordered operation log of one transaction.
+type TxLog struct {
+	RID core.RID  `json:"rid"`
+	TID core.TxID `json:"tid"`
+	Ops []TxOp    `json:"ops"`
+}
+
+// TxOrderEvent is one entry of the alleged begin/commit order (snapshot
+// isolation only): Kind 0 is begin, 1 is commit.
+type TxOrderEvent struct {
+	Kind uint8     `json:"kind"`
+	RID  core.RID  `json:"rid"`
+	TID  core.TxID `json:"tid"`
+}
+
+// NondetEntry records the result of one non-deterministic operation (§5).
+type NondetEntry struct {
+	Op    core.Op `json:"op"`
+	Value value.V `json:"value"`
+}
+
+// Advice is everything the untrusted server reports for one audit period.
+type Advice struct {
+	Mode Mode `json:"mode"`
+
+	// Tags maps each request to its control-flow group tag (§4.1):
+	// requests with equal tags allegedly replay together.
+	Tags map[core.RID]string `json:"tags"`
+
+	// OpCounts maps each executed handler activation to the number of
+	// operations it issued (C.1.3's opcounts).
+	OpCounts map[core.RID]map[core.HID]int `json:"opcounts"`
+
+	// ResponseEmittedBy names, per request, the handler that delivered the
+	// response and how many operations it had issued beforehand.
+	ResponseEmittedBy map[core.RID]OpAt `json:"responseEmittedBy"`
+
+	// HandlerLogs holds each request's ordered handler-operation log (§4.1).
+	HandlerLogs map[core.RID][]HandlerOp `json:"handlerLogs"`
+
+	// VarLogs holds each loggable variable's log (§4.2, Figure 13).
+	VarLogs map[core.VarID][]VarLogEntry `json:"varLogs"`
+
+	// TxLogs holds the per-transaction operation logs (§4.4).
+	TxLogs []TxLog `json:"txLogs"`
+
+	// WriteOrder is the alleged global order of installed writes (§4.4),
+	// derived from the store's binlog at an honest server.
+	WriteOrder []TxPos `json:"writeOrder"`
+
+	// TxOrder is the alleged global begin/commit order, present only when
+	// the store runs snapshot isolation (Adya's G-SI phenomena are defined
+	// over it).
+	TxOrder []TxOrderEvent `json:"txOrder,omitempty"`
+
+	// Nondet holds recorded non-deterministic results (§5).
+	Nondet []NondetEntry `json:"nondet"`
+}
+
+// New returns an empty advice in the given mode with all maps allocated.
+func New(mode Mode) *Advice {
+	return &Advice{
+		Mode:              mode,
+		Tags:              make(map[core.RID]string),
+		OpCounts:          make(map[core.RID]map[core.HID]int),
+		ResponseEmittedBy: make(map[core.RID]OpAt),
+		HandlerLogs:       make(map[core.RID][]HandlerOp),
+		VarLogs:           make(map[core.VarID][]VarLogEntry),
+	}
+}
+
+// Marshal serializes the advice; the result's length is the advice size the
+// Figure 8 experiments report.
+func (a *Advice) Marshal() ([]byte, error) {
+	return json.Marshal(a)
+}
+
+// Unmarshal parses serialized advice.
+func Unmarshal(data []byte) (*Advice, error) {
+	var a Advice
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Size returns the size of the advice in the binary wire format — the bytes
+// a server would ship to the verifier, which is what the Figure 8
+// experiments report.
+func (a *Advice) Size() int {
+	return len(a.MarshalBinary())
+}
+
+// Clone deep-copies the advice via serialization; attack tests mutate clones
+// so one honest run can feed many adversarial audits.
+func (a *Advice) Clone() *Advice {
+	b, err := a.Marshal()
+	if err != nil {
+		panic("advice: marshal failed: " + err.Error())
+	}
+	out, err := Unmarshal(b)
+	if err != nil {
+		panic("advice: unmarshal failed: " + err.Error())
+	}
+	return out
+}

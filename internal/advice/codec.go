@@ -1,0 +1,756 @@
+package advice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/value"
+)
+
+// This file implements the compact binary wire format for advice. Advice is
+// measured (Figure 8) and shipped from server to verifier on every audit, and
+// the verifier's turnaround time includes decoding it, so the codec matters
+// to the evaluation. JSON remains available (Marshal/Unmarshal) for
+// debugging and for the attack tests' structured mutation, but the harness
+// moves advice in this format.
+//
+// The format is deliberately simple — tag bytes, unsigned varints, explicit
+// lengths — and the decoder treats its input as untrusted: every length is
+// bounds-checked and any malformation yields an error rather than a panic.
+
+const codecMagic = "KADV2\x00"
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(x uint64) { e.buf = binary.AppendUvarint(e.buf, x) }
+func (e *encoder) intv(x int)       { e.uvarint(uint64(x)) }
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) boolb(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Value tags.
+const (
+	tNil   byte = 0
+	tFalse byte = 1
+	tTrue  byte = 2
+	tNum   byte = 3
+	tStr   byte = 4
+	tList  byte = 5
+	tMap   byte = 6
+)
+
+func (e *encoder) value(v value.V) {
+	switch x := v.(type) {
+	case nil:
+		e.buf = append(e.buf, tNil)
+	case bool:
+		if x {
+			e.buf = append(e.buf, tTrue)
+		} else {
+			e.buf = append(e.buf, tFalse)
+		}
+	case float64:
+		e.buf = append(e.buf, tNum)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(x))
+	case string:
+		e.buf = append(e.buf, tStr)
+		e.str(x)
+	case []value.V:
+		e.buf = append(e.buf, tList)
+		e.uvarint(uint64(len(x)))
+		for _, el := range x {
+			e.value(el)
+		}
+	case map[string]value.V:
+		e.buf = append(e.buf, tMap)
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.str(k)
+			e.value(x[k])
+		}
+	default:
+		panic(fmt.Sprintf("advice: unencodable value kind %T", v))
+	}
+}
+
+func (e *encoder) op(o core.Op) {
+	e.str(string(o.RID))
+	e.str(string(o.HID))
+	e.intv(o.Num)
+}
+
+func (e *encoder) txPos(p TxPos) {
+	e.str(string(p.RID))
+	e.str(string(p.TID))
+	e.intv(p.Index)
+}
+
+// MarshalBinary encodes the advice in the compact wire format. Map-valued
+// sections are emitted in sorted key order, so equal advice encodes to equal
+// bytes.
+func (a *Advice) MarshalBinary() []byte {
+	e := &encoder{buf: make([]byte, 0, 1<<16)}
+	e.buf = append(e.buf, codecMagic...)
+	e.str(string(a.Mode))
+
+	rids := make([]string, 0, len(a.Tags))
+	for rid := range a.Tags {
+		rids = append(rids, string(rid))
+	}
+	sort.Strings(rids)
+	e.uvarint(uint64(len(rids)))
+	for _, rid := range rids {
+		e.str(rid)
+		e.str(a.Tags[core.RID(rid)])
+	}
+
+	crids := make([]string, 0, len(a.OpCounts))
+	for rid := range a.OpCounts {
+		crids = append(crids, string(rid))
+	}
+	sort.Strings(crids)
+	e.uvarint(uint64(len(crids)))
+	for _, rid := range crids {
+		counts := a.OpCounts[core.RID(rid)]
+		hids := make([]string, 0, len(counts))
+		for hid := range counts {
+			hids = append(hids, string(hid))
+		}
+		sort.Strings(hids)
+		e.str(rid)
+		e.uvarint(uint64(len(hids)))
+		for _, hid := range hids {
+			e.str(hid)
+			e.intv(counts[core.HID(hid)])
+		}
+	}
+
+	rrids := make([]string, 0, len(a.ResponseEmittedBy))
+	for rid := range a.ResponseEmittedBy {
+		rrids = append(rrids, string(rid))
+	}
+	sort.Strings(rrids)
+	e.uvarint(uint64(len(rrids)))
+	for _, rid := range rrids {
+		at := a.ResponseEmittedBy[core.RID(rid)]
+		e.str(rid)
+		e.str(string(at.HID))
+		e.intv(at.OpNum)
+	}
+
+	hrids := make([]string, 0, len(a.HandlerLogs))
+	for rid := range a.HandlerLogs {
+		hrids = append(hrids, string(rid))
+	}
+	sort.Strings(hrids)
+	e.uvarint(uint64(len(hrids)))
+	for _, rid := range hrids {
+		log := a.HandlerLogs[core.RID(rid)]
+		e.str(rid)
+		e.uvarint(uint64(len(log)))
+		for _, op := range log {
+			e.str(string(op.HID))
+			e.intv(op.OpNum)
+			e.buf = append(e.buf, byte(op.Kind))
+			e.str(string(op.Event))
+			e.uvarint(uint64(len(op.Events)))
+			for _, ev := range op.Events {
+				e.str(string(ev))
+			}
+			e.str(string(op.Fn))
+		}
+	}
+
+	vids := make([]string, 0, len(a.VarLogs))
+	for id := range a.VarLogs {
+		vids = append(vids, string(id))
+	}
+	sort.Strings(vids)
+	e.uvarint(uint64(len(vids)))
+	for _, id := range vids {
+		entries := a.VarLogs[core.VarID(id)]
+		e.str(id)
+		e.uvarint(uint64(len(entries)))
+		for _, en := range entries {
+			e.op(en.Op)
+			e.buf = append(e.buf, byte(en.Type))
+			e.value(en.Value)
+			e.boolb(en.HasPrec)
+			if en.HasPrec {
+				e.op(en.Prec)
+			}
+		}
+	}
+
+	e.uvarint(uint64(len(a.TxLogs)))
+	for _, tl := range a.TxLogs {
+		e.str(string(tl.RID))
+		e.str(string(tl.TID))
+		e.uvarint(uint64(len(tl.Ops)))
+		for _, op := range tl.Ops {
+			e.txOpBody(&op)
+		}
+	}
+
+	e.uvarint(uint64(len(a.WriteOrder)))
+	for _, p := range a.WriteOrder {
+		e.txPos(p)
+	}
+
+	e.uvarint(uint64(len(a.TxOrder)))
+	for _, ev := range a.TxOrder {
+		e.buf = append(e.buf, ev.Kind)
+		e.str(string(ev.RID))
+		e.str(string(ev.TID))
+	}
+
+	e.uvarint(uint64(len(a.Nondet)))
+	for _, n := range a.Nondet {
+		e.op(n.Op)
+		e.value(n.Value)
+	}
+	return e.buf
+}
+
+// errTruncated is returned whenever the decoder runs out of input.
+var errTruncated = errors.New("advice: truncated input")
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return x, nil
+}
+
+// length reads a collection length and sanity-bounds it against the
+// remaining input so hostile advice cannot force huge allocations.
+func (d *decoder) length() (int, error) {
+	x, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(len(d.buf)-d.off) {
+		return 0, fmt.Errorf("advice: length %d exceeds remaining input", x)
+	}
+	return int(x), nil
+}
+
+func (d *decoder) intv() (int, error) {
+	x, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > math.MaxInt32 {
+		return 0, fmt.Errorf("advice: integer %d out of range", x)
+	}
+	return int(x), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.length()
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *decoder) bytev() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, errTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) boolv() (bool, error) {
+	b, err := d.bytev()
+	return b != 0, err
+}
+
+func (d *decoder) value() (value.V, error) {
+	tag, err := d.bytev()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tNil:
+		return nil, nil
+	case tFalse:
+		return false, nil
+	case tTrue:
+		return true, nil
+	case tNum:
+		if len(d.buf)-d.off < 8 {
+			return nil, errTruncated
+		}
+		bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return math.Float64frombits(bits), nil
+	case tStr:
+		return d.str()
+	case tList:
+		n, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]value.V, n)
+		for i := range out {
+			if out[i], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case tMap:
+		n, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]value.V, n)
+		for i := 0; i < n; i++ {
+			k, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			if out[k], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("advice: unknown value tag %d", tag)
+	}
+}
+
+func (d *decoder) op() (core.Op, error) {
+	rid, err := d.str()
+	if err != nil {
+		return core.Op{}, err
+	}
+	hid, err := d.str()
+	if err != nil {
+		return core.Op{}, err
+	}
+	num, err := d.intv()
+	if err != nil {
+		return core.Op{}, err
+	}
+	return core.Op{RID: core.RID(rid), HID: core.HID(hid), Num: num}, nil
+}
+
+func (d *decoder) txPos() (TxPos, error) {
+	rid, err := d.str()
+	if err != nil {
+		return TxPos{}, err
+	}
+	tid, err := d.str()
+	if err != nil {
+		return TxPos{}, err
+	}
+	idx, err := d.intv()
+	if err != nil {
+		return TxPos{}, err
+	}
+	return TxPos{RID: core.RID(rid), TID: core.TxID(tid), Index: idx}, nil
+}
+
+// UnmarshalBinary decodes advice from the compact wire format, validating
+// structure (not semantics — that is the audit's job).
+func UnmarshalBinary(data []byte) (a *Advice, err error) {
+	d := &decoder{buf: data}
+	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, errors.New("advice: bad magic")
+	}
+	d.off = len(codecMagic)
+
+	mode, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	a = New(Mode(mode))
+
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		rid, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		tag, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		a.Tags[core.RID(rid)] = tag
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		rid, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		counts := make(map[core.HID]int, m)
+		for j := 0; j < m; j++ {
+			hid, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			c, err := d.intv()
+			if err != nil {
+				return nil, err
+			}
+			counts[core.HID(hid)] = c
+		}
+		a.OpCounts[core.RID(rid)] = counts
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		rid, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		hid, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		opnum, err := d.intv()
+		if err != nil {
+			return nil, err
+		}
+		a.ResponseEmittedBy[core.RID(rid)] = OpAt{HID: core.HID(hid), OpNum: opnum}
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		rid, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		log := make([]HandlerOp, m)
+		for j := range log {
+			if log[j], err = d.handlerOp(); err != nil {
+				return nil, err
+			}
+		}
+		a.HandlerLogs[core.RID(rid)] = log
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		id, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		m, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		entries := make([]VarLogEntry, m)
+		for j := range entries {
+			if entries[j], err = d.varEntry(); err != nil {
+				return nil, err
+			}
+		}
+		a.VarLogs[core.VarID(id)] = entries
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	a.TxLogs = make([]TxLog, n)
+	for i := range a.TxLogs {
+		if a.TxLogs[i], err = d.txLog(); err != nil {
+			return nil, err
+		}
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	a.WriteOrder = make([]TxPos, n)
+	for i := range a.WriteOrder {
+		if a.WriteOrder[i], err = d.txPos(); err != nil {
+			return nil, err
+		}
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		a.TxOrder = make([]TxOrderEvent, n)
+		for i := range a.TxOrder {
+			if a.TxOrder[i].Kind, err = d.bytev(); err != nil {
+				return nil, err
+			}
+			rid, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			tid, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			a.TxOrder[i].RID, a.TxOrder[i].TID = core.RID(rid), core.TxID(tid)
+		}
+	}
+
+	if n, err = d.length(); err != nil {
+		return nil, err
+	}
+	a.Nondet = make([]NondetEntry, n)
+	for i := range a.Nondet {
+		if a.Nondet[i].Op, err = d.op(); err != nil {
+			return nil, err
+		}
+		if a.Nondet[i].Value, err = d.value(); err != nil {
+			return nil, err
+		}
+	}
+
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("advice: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return a, nil
+}
+
+func (d *decoder) handlerOp() (HandlerOp, error) {
+	var op HandlerOp
+	hid, err := d.str()
+	if err != nil {
+		return op, err
+	}
+	op.HID = core.HID(hid)
+	if op.OpNum, err = d.intv(); err != nil {
+		return op, err
+	}
+	kind, err := d.bytev()
+	if err != nil {
+		return op, err
+	}
+	op.Kind = HandlerOpKind(kind)
+	ev, err := d.str()
+	if err != nil {
+		return op, err
+	}
+	op.Event = core.EventName(ev)
+	m, err := d.length()
+	if err != nil {
+		return op, err
+	}
+	if m > 0 {
+		op.Events = make([]core.EventName, m)
+		for i := range op.Events {
+			s, err := d.str()
+			if err != nil {
+				return op, err
+			}
+			op.Events[i] = core.EventName(s)
+		}
+	}
+	fn, err := d.str()
+	if err != nil {
+		return op, err
+	}
+	op.Fn = core.FunctionID(fn)
+	return op, nil
+}
+
+func (d *decoder) varEntry() (VarLogEntry, error) {
+	var en VarLogEntry
+	var err error
+	if en.Op, err = d.op(); err != nil {
+		return en, err
+	}
+	typ, err := d.bytev()
+	if err != nil {
+		return en, err
+	}
+	en.Type = AccessType(typ)
+	if en.Value, err = d.value(); err != nil {
+		return en, err
+	}
+	if en.HasPrec, err = d.boolv(); err != nil {
+		return en, err
+	}
+	if en.HasPrec {
+		if en.Prec, err = d.op(); err != nil {
+			return en, err
+		}
+	}
+	return en, nil
+}
+
+func (d *decoder) txLog() (TxLog, error) {
+	var tl TxLog
+	rid, err := d.str()
+	if err != nil {
+		return tl, err
+	}
+	tid, err := d.str()
+	if err != nil {
+		return tl, err
+	}
+	tl.RID, tl.TID = core.RID(rid), core.TxID(tid)
+	n, err := d.length()
+	if err != nil {
+		return tl, err
+	}
+	tl.Ops = make([]TxOp, n)
+	for i := range tl.Ops {
+		var op TxOp
+		hid, err := d.str()
+		if err != nil {
+			return tl, err
+		}
+		op.HID = core.HID(hid)
+		if op.OpNum, err = d.intv(); err != nil {
+			return tl, err
+		}
+		typ, err := d.bytev()
+		if err != nil {
+			return tl, err
+		}
+		op.Type = core.TxOpType(typ)
+		if op.Key, err = d.str(); err != nil {
+			return tl, err
+		}
+		if op.Contents, err = d.value(); err != nil {
+			return tl, err
+		}
+		has, err := d.boolv()
+		if err != nil {
+			return tl, err
+		}
+		if has {
+			p, err := d.txPos()
+			if err != nil {
+				return tl, err
+			}
+			op.ReadFrom = &p
+		}
+		nrs, err := d.length()
+		if err != nil {
+			return tl, err
+		}
+		if nrs > 0 {
+			op.ReadSet = make([]ScanRead, nrs)
+			for j := range op.ReadSet {
+				if op.ReadSet[j].Key, err = d.str(); err != nil {
+					return tl, err
+				}
+				if op.ReadSet[j].ReadFrom, err = d.txPos(); err != nil {
+					return tl, err
+				}
+			}
+		}
+		tl.Ops[i] = op
+	}
+	return tl, nil
+}
+
+// Streaming entry encoders. The online server writes advice continuously
+// while serving (the paper's artifact streams advice files during
+// execution); these helpers let it encode each entry at logging time, which
+// is where Karousos's server-side overhead genuinely lives — encoding a
+// logged write costs O(value size), so write-heavy workloads pay more
+// (Figure 6).
+
+// AppendVarEntry appends the wire encoding of one variable-log entry.
+func AppendVarEntry(dst []byte, en *VarLogEntry) []byte {
+	e := &encoder{buf: dst}
+	e.op(en.Op)
+	e.buf = append(e.buf, byte(en.Type))
+	e.value(en.Value)
+	e.boolb(en.HasPrec)
+	if en.HasPrec {
+		e.op(en.Prec)
+	}
+	return e.buf
+}
+
+// AppendHandlerOp appends the wire encoding of one handler-log entry.
+func AppendHandlerOp(dst []byte, op *HandlerOp) []byte {
+	e := &encoder{buf: dst}
+	e.str(string(op.HID))
+	e.intv(op.OpNum)
+	e.buf = append(e.buf, byte(op.Kind))
+	e.str(string(op.Event))
+	e.uvarint(uint64(len(op.Events)))
+	for _, ev := range op.Events {
+		e.str(string(ev))
+	}
+	e.str(string(op.Fn))
+	return e.buf
+}
+
+// AppendTxOp appends the wire encoding of one transaction-log entry.
+func AppendTxOp(dst []byte, op *TxOp) []byte {
+	e := &encoder{buf: dst}
+	e.txOpBody(op)
+	return e.buf
+}
+
+func (e *encoder) txOpBody(op *TxOp) {
+	e.str(string(op.HID))
+	e.intv(op.OpNum)
+	e.buf = append(e.buf, byte(op.Type))
+	e.str(op.Key)
+	e.value(op.Contents)
+	e.boolb(op.ReadFrom != nil)
+	if op.ReadFrom != nil {
+		e.txPos(*op.ReadFrom)
+	}
+	e.uvarint(uint64(len(op.ReadSet)))
+	for _, sr := range op.ReadSet {
+		e.str(sr.Key)
+		e.txPos(sr.ReadFrom)
+	}
+}

@@ -1,0 +1,230 @@
+package adya
+
+import (
+	"errors"
+	"testing"
+)
+
+func tx(name string) TxKey { return TxKey{RID: "r", TID: name} }
+
+func w(name string, pos int) Write { return Write{Tx: tx(name), Pos: pos} }
+
+// serialHistory builds T1 then T2 executing serially: T1 writes x,y; T2 reads
+// both and overwrites x.
+func serialHistory() *History {
+	return &History{
+		Committed: []TxKey{tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 4)},
+			"y": {w("T1", 2)},
+		},
+		Reads: []Read{
+			{From: w("T1", 1), By: tx("T2"), ByPos: 2},
+			{From: w("T1", 2), By: tx("T2"), ByPos: 3},
+		},
+	}
+}
+
+func TestSerialHistoryPassesAllLevels(t *testing.T) {
+	h := serialHistory()
+	for _, lvl := range []Level{ReadUncommitted, ReadCommitted, Serializable} {
+		if err := Check(h, lvl); err != nil {
+			t.Errorf("%v: serial history rejected: %v", lvl, err)
+		}
+	}
+}
+
+func TestEmptyHistoryPasses(t *testing.T) {
+	h := &History{WriteOrderPerKey: map[string][]Write{}}
+	for _, lvl := range []Level{ReadUncommitted, ReadCommitted, Serializable} {
+		if err := Check(h, lvl); err != nil {
+			t.Errorf("%v: empty history rejected: %v", lvl, err)
+		}
+	}
+}
+
+// TestG0DirtyWriteCycle: T1 and T2 interleave their writes to x and y in
+// opposite orders — a ww cycle (phenomenon G0) that even read uncommitted
+// must reject.
+func TestG0DirtyWriteCycle(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 2)},
+			"y": {w("T2", 1), w("T1", 2)},
+		},
+	}
+	for _, lvl := range []Level{ReadUncommitted, ReadCommitted, Serializable} {
+		err := Check(h, lvl)
+		if err == nil {
+			t.Errorf("%v: G0 history accepted", lvl)
+			continue
+		}
+		var viol *ViolationError
+		if !errors.As(err, &viol) {
+			t.Errorf("%v: error is not a ViolationError: %v", lvl, err)
+		}
+	}
+}
+
+// TestG1cCycle: T1 reads from T2 while T2's write to another key is ordered
+// after T1's — a wr+ww cycle (G1c) invisible to read uncommitted but fatal
+// at read committed and above.
+func TestG1cCycle(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 2)}, // ww: T1 → T2
+			"y": {w("T2", 1)},
+		},
+		Reads: []Read{
+			{From: w("T2", 1), By: tx("T1"), ByPos: 2}, // wr: T2 → T1
+		},
+	}
+	if err := Check(h, ReadUncommitted); err != nil {
+		t.Errorf("read uncommitted should tolerate G1c: %v", err)
+	}
+	if err := Check(h, ReadCommitted); err == nil {
+		t.Error("read committed accepted G1c")
+	}
+	if err := Check(h, Serializable); err == nil {
+		t.Error("serializable accepted G1c")
+	}
+}
+
+// TestWriteSkewG2: the classic write-skew anomaly — T1 reads x writes y, T2
+// reads y writes x, both from the initial versions. Only rw (anti-dependency)
+// edges close the cycle, so only serializability rejects it.
+func TestWriteSkewG2(t *testing.T) {
+	init := tx("T0")
+	h := &History{
+		Committed: []TxKey{init, tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T0", 1), w("T2", 2)},
+			"y": {w("T0", 2), w("T1", 2)},
+		},
+		Reads: []Read{
+			{From: w("T0", 1), By: tx("T1"), ByPos: 1}, // T1 reads x@T0; T2 installs next x ⇒ rw T1→T2
+			{From: w("T0", 2), By: tx("T2"), ByPos: 1}, // T2 reads y@T0; T1 installs next y ⇒ rw T2→T1
+		},
+	}
+	if err := Check(h, ReadUncommitted); err != nil {
+		t.Errorf("read uncommitted should accept write skew: %v", err)
+	}
+	if err := Check(h, ReadCommitted); err != nil {
+		t.Errorf("read committed should accept write skew: %v", err)
+	}
+	if err := Check(h, Serializable); err == nil {
+		t.Error("serializable accepted write skew (G2)")
+	}
+}
+
+// TestUncommittedTransactionsExcluded: edges to or from uncommitted
+// transactions must not appear in the DSG.
+func TestUncommittedTransactionsExcluded(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T1")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 2)}, // T2 never committed
+			"y": {w("T2", 1), w("T1", 2)},
+		},
+	}
+	if err := Check(h, Serializable); err != nil {
+		t.Errorf("cycle through uncommitted transaction should not count: %v", err)
+	}
+	dg := DSG(h, Serializable)
+	if dg.NumNodes() != 1 {
+		t.Errorf("DSG nodes = %d, want 1 (committed only)", dg.NumNodes())
+	}
+}
+
+// TestSelfEdgesSkipped: a transaction overwriting its own version or reading
+// its own write contributes no edge.
+func TestSelfEdgesSkipped(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T1")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T1", 3)},
+		},
+		Reads: []Read{
+			{From: w("T1", 1), By: tx("T1"), ByPos: 2},
+		},
+	}
+	dg := DSG(h, Serializable)
+	if dg.NumEdges() != 0 {
+		t.Errorf("self edges present: %d", dg.NumEdges())
+	}
+}
+
+// TestRWEdgeOnlyForCommittedReaders: an uncommitted reader must not induce
+// anti-dependency edges.
+func TestRWEdgeOnlyForCommittedReaders(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T0"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T0", 1), w("T2", 1)},
+		},
+		Reads: []Read{
+			{From: w("T0", 1), By: tx("T1"), ByPos: 1}, // T1 uncommitted
+		},
+	}
+	dg := DSG(h, Serializable)
+	// Only the ww edge T0→T2 should exist.
+	if dg.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", dg.NumEdges())
+	}
+}
+
+func TestThreeTxSerializableChain(t *testing.T) {
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2"), tx("T3")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 1), w("T3", 1)},
+		},
+		Reads: []Read{
+			{From: w("T1", 1), By: tx("T2"), ByPos: 2},
+			{From: w("T2", 1), By: tx("T3"), ByPos: 2},
+		},
+	}
+	if err := Check(h, Serializable); err != nil {
+		t.Errorf("serial chain rejected: %v", err)
+	}
+}
+
+func TestThreeTxCycle(t *testing.T) {
+	// T1 → T2 (ww on x), T2 → T3 (wr on y), T3 → T1 (rw on z).
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2"), tx("T3")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 2)},
+			"y": {w("T2", 1)},
+			"z": {w("T0", 1), w("T1", 2)},
+		},
+		Reads: []Read{
+			{From: w("T2", 1), By: tx("T3"), ByPos: 1}, // wr T2→T3
+			{From: w("T0", 1), By: tx("T3"), ByPos: 2}, // T3 reads z@T0, T1 installs next ⇒ rw T3→T1
+		},
+	}
+	if err := Check(h, Serializable); err == nil {
+		t.Error("three-transaction G2 cycle accepted")
+	}
+	if err := Check(h, ReadCommitted); err != nil {
+		t.Errorf("read committed should accept (cycle needs rw): %v", err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if ReadUncommitted.String() == "" || ReadCommitted.String() == "" || Serializable.String() == "" {
+		t.Error("empty level strings")
+	}
+	if Level(99).String() == "" {
+		t.Error("unknown level should still render")
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	err := &ViolationError{Level: Serializable, Cycle: []TxKey{tx("T1"), tx("T2"), tx("T1")}}
+	if err.Error() == "" {
+		t.Error("empty violation message")
+	}
+}

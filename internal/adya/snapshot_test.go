@@ -1,0 +1,137 @@
+package adya
+
+import (
+	"strings"
+	"testing"
+)
+
+// times builds a TxTimes map from alternating name, begin, commit triples.
+func times(items ...any) map[TxKey]TxTimes {
+	m := map[TxKey]TxTimes{}
+	for i := 0; i < len(items); i += 3 {
+		m[tx(items[i].(string))] = TxTimes{Begin: items[i+1].(int), Commit: items[i+2].(int)}
+	}
+	return m
+}
+
+func TestSISerialHistoryPasses(t *testing.T) {
+	h := serialHistory() // T1 then T2, T2 reads T1's writes
+	tt := times("T1", 0, 1, "T2", 2, 3)
+	if err := CheckSI(h, tt); err != nil {
+		t.Errorf("serial history rejected under SI: %v", err)
+	}
+}
+
+func TestSIWriteSkewAllowed(t *testing.T) {
+	// The write-skew history from TestWriteSkewG2: two rw edges close the
+	// cycle, which SI permits.
+	h := &History{
+		Committed: []TxKey{tx("T0"), tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T0", 1), w("T2", 2)},
+			"y": {w("T0", 2), w("T1", 2)},
+		},
+		Reads: []Read{
+			{From: w("T0", 1), By: tx("T1"), ByPos: 1},
+			{From: w("T0", 2), By: tx("T2"), ByPos: 1},
+		},
+	}
+	// T0 commits, then T1 and T2 run concurrently.
+	tt := times("T0", 0, 1, "T1", 2, 4, "T2", 3, 5)
+	if err := CheckSI(h, tt); err != nil {
+		t.Errorf("write skew must be SI-legal: %v", err)
+	}
+	if err := Check(h, Serializable); err == nil {
+		t.Error("write skew accepted as serializable")
+	}
+}
+
+func TestSIGSIaViolation(t *testing.T) {
+	// T2 reads T1's write, but T2 began before T1 committed — the snapshot
+	// could not have contained it.
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1)},
+		},
+		Reads: []Read{
+			{From: w("T1", 1), By: tx("T2"), ByPos: 1},
+		},
+	}
+	tt := times("T1", 0, 3, "T2", 1, 4) // T2 begins at 1 < T1's commit at 3
+	err := CheckSI(h, tt)
+	if err == nil || !strings.Contains(err.Error(), "G-SIa") {
+		t.Errorf("G-SIa violation not caught: %v", err)
+	}
+	// With T2 beginning after T1's commit the same history is fine.
+	if err := CheckSI(h, times("T1", 0, 1, "T2", 2, 3)); err != nil {
+		t.Errorf("legal read-after-commit rejected: %v", err)
+	}
+}
+
+func TestSIGSIbViolation(t *testing.T) {
+	// rw edge T1→T2 (T1 read the version T2 overwrote) plus a wr edge T2→T1
+	// (T1 also read one of T2's writes): a cycle with exactly one
+	// anti-dependency, forbidden by G-SIb.
+	h := &History{
+		Committed: []TxKey{tx("T0"), tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T0", 1), w("T2", 2)}, // T1 reads x@T0, T2 installs next → rw T1→T2
+			"y": {w("T2", 3)},
+		},
+		Reads: []Read{
+			{From: w("T0", 1), By: tx("T1"), ByPos: 1},
+			{From: w("T2", 3), By: tx("T1"), ByPos: 2}, // wr T2→T1
+		},
+	}
+	tt := times("T0", 0, 1, "T2", 2, 3, "T1", 4, 5)
+	err := CheckSI(h, tt)
+	if err == nil || !strings.Contains(err.Error(), "G-SIb") {
+		t.Errorf("G-SIb violation not caught: %v", err)
+	}
+}
+
+func TestSIRequiresTimes(t *testing.T) {
+	h := serialHistory()
+	if err := CheckSI(h, times("T1", 0, 1)); err == nil {
+		t.Error("missing times for a committed transaction accepted")
+	}
+	if err := CheckSI(h, times("T1", 2, 1, "T2", 3, 4)); err == nil {
+		t.Error("commit-before-begin accepted")
+	}
+}
+
+func TestSIInheritsG1(t *testing.T) {
+	// A G1c (wr+ww) cycle must also fail under SI.
+	h := &History{
+		Committed: []TxKey{tx("T1"), tx("T2")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T2", 2)},
+			"y": {w("T2", 1)},
+		},
+		Reads: []Read{
+			{From: w("T2", 1), By: tx("T1"), ByPos: 2},
+		},
+	}
+	tt := times("T1", 0, 1, "T2", 2, 3)
+	if err := CheckSI(h, tt); err == nil {
+		t.Error("G1c cycle accepted under SI")
+	}
+}
+
+func TestSIUncommittedIgnored(t *testing.T) {
+	// Edges through uncommitted transactions contribute nothing; times for
+	// them are not required.
+	h := &History{
+		Committed: []TxKey{tx("T1")},
+		WriteOrderPerKey: map[string][]Write{
+			"x": {w("T1", 1), w("T9", 2)}, // T9 uncommitted
+		},
+		Reads: []Read{
+			{From: w("T9", 2), By: tx("T9"), ByPos: 3},
+		},
+	}
+	if err := CheckSI(h, times("T1", 0, 1)); err != nil {
+		t.Errorf("uncommitted edges should be ignored: %v", err)
+	}
+}

@@ -1,0 +1,103 @@
+package appkit
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/value"
+)
+
+func TestField(t *testing.T) {
+	m := value.Map("a", 1, "b", "x")
+	if Field(m, "a") != float64(1) || Field(m, "b") != "x" {
+		t.Error("Field lookup wrong")
+	}
+	if Field(m, "missing") != nil {
+		t.Error("missing key should be nil")
+	}
+	if Field("not-a-map", "k") != nil {
+		t.Error("non-map should be nil")
+	}
+	if Field(nil, "k") != nil {
+		t.Error("nil should be nil")
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	if Str("x") != "x" || Str(nil) != "" || Str(1.0) != "" {
+		t.Error("Str wrong")
+	}
+	if Num(2.5) != 2.5 || Num("x") != 0 || Num(nil) != 0 {
+		t.Error("Num wrong")
+	}
+	if !Bool(true) || Bool(nil) || Bool("true") {
+		t.Error("Bool wrong")
+	}
+}
+
+func TestAsMapAsList(t *testing.T) {
+	if len(AsMap(value.Map("k", 1))) != 1 {
+		t.Error("AsMap wrong")
+	}
+	if AsMap(nil) == nil || len(AsMap("x")) != 0 {
+		t.Error("AsMap of non-map should be empty, non-nil")
+	}
+	if len(AsList(value.List(1, 2))) != 2 {
+		t.Error("AsList wrong")
+	}
+	if AsList("x") != nil {
+		t.Error("AsList of non-list should be nil")
+	}
+}
+
+func TestWithDoesNotMutate(t *testing.T) {
+	orig := value.Map("a", 1, "nested", value.Map("x", "y"))
+	derived := With(orig, "a", 2)
+	if orig["a"] != float64(1) {
+		t.Error("With mutated the original")
+	}
+	if derived["a"] != float64(2) {
+		t.Error("With did not set the key")
+	}
+	derived["nested"].(map[string]value.V)["x"] = "mutated"
+	if orig["nested"].(map[string]value.V)["x"] != "y" {
+		t.Error("With shares nested values with the original")
+	}
+}
+
+func TestWithNormalizes(t *testing.T) {
+	d := With(value.Map(), "n", 7)
+	if d["n"] != float64(7) {
+		t.Errorf("With stored %T", d["n"])
+	}
+}
+
+func TestWithout(t *testing.T) {
+	orig := value.Map("a", 1, "b", 2)
+	d := Without(orig, "a")
+	if len(d) != 1 || d["b"] != float64(2) {
+		t.Errorf("Without = %v", d)
+	}
+	if len(orig) != 2 {
+		t.Error("Without mutated the original")
+	}
+	if len(Without(orig, "missing")) != 2 {
+		t.Error("Without of missing key should keep everything")
+	}
+}
+
+func TestWorkDeterministic(t *testing.T) {
+	a := Work(value.Map("k", "v"), 1000)
+	b := Work(value.Map("k", "v"), 1000)
+	if a != b {
+		t.Error("Work not deterministic")
+	}
+	if Work("x", 1000) == Work("y", 1000) {
+		t.Error("Work should depend on the seed")
+	}
+	if Work("x", 1000) == Work("x", 1001) {
+		t.Error("Work should depend on the iteration count")
+	}
+	if len(a) != 16 {
+		t.Errorf("Work digest length = %d", len(a))
+	}
+}

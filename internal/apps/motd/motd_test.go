@@ -1,0 +1,107 @@
+package motd_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/apps/motd"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+)
+
+func serve(t *testing.T, inputs []value.V) map[string]value.V {
+	t.Helper()
+	srv := server.New(server.Config{App: motd.New(), Seed: 1})
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(rid(i)), Input: in})
+	}
+	res, err := srv.Run(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Outputs()
+}
+
+func rid(i int) string { return string(rune('a' + i)) }
+
+func get(day string) value.V { return value.Map("op", "get", "day", day) }
+
+func setAlways(msg string) value.V {
+	return value.Map("op", "set", "scope", "always", "msg", msg)
+}
+
+func setDay(day, msg string) value.V {
+	return value.Map("op", "set", "scope", "day", "day", day, "msg", msg)
+}
+
+func TestDefaultMessage(t *testing.T) {
+	outs := serve(t, []value.V{get("mon")})
+	want := value.Map("msg", "welcome", "scope", "always")
+	if !value.Equal(outs["a"], want) {
+		t.Errorf("got %v", value.String(outs["a"]))
+	}
+}
+
+func TestSetAlways(t *testing.T) {
+	outs := serve(t, []value.V{setAlways("hello"), get("tue")})
+	if !value.Equal(outs["b"], value.Map("msg", "hello", "scope", "always")) {
+		t.Errorf("got %v", value.String(outs["b"]))
+	}
+}
+
+func TestDayOverridesAlways(t *testing.T) {
+	outs := serve(t, []value.V{
+		setAlways("base"),
+		setDay("wed", "wednesday special"),
+		get("wed"),
+		get("thu"),
+	})
+	if !value.Equal(outs["c"], value.Map("msg", "wednesday special", "scope", "day")) {
+		t.Errorf("wed: %v", value.String(outs["c"]))
+	}
+	if !value.Equal(outs["d"], value.Map("msg", "base", "scope", "always")) {
+		t.Errorf("thu: %v", value.String(outs["d"]))
+	}
+}
+
+func TestLaterDaySetWins(t *testing.T) {
+	outs := serve(t, []value.V{
+		setDay("fri", "first"),
+		setDay("fri", "second"),
+		get("fri"),
+	})
+	if !value.Equal(outs["c"], value.Map("msg", "second", "scope", "day")) {
+		t.Errorf("got %v", value.String(outs["c"]))
+	}
+}
+
+func TestSetResponds(t *testing.T) {
+	outs := serve(t, []value.V{setAlways("x")})
+	if !value.Equal(outs["a"], value.Map("status", "ok")) {
+		t.Errorf("set response = %v", value.String(outs["a"]))
+	}
+}
+
+func TestManySetsBoundedHistory(t *testing.T) {
+	// The bounded history must not change semantics: after many sets the
+	// last one still wins and the server still answers gets.
+	var inputs []value.V
+	for i := 0; i < 300; i++ {
+		inputs = append(inputs, setAlways("msg"))
+	}
+	inputs = append(inputs, setAlways("final"), get("sat"))
+	srv := server.New(server.Config{App: motd.New(), Seed: 1})
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(value.DigestString(value.List(i))), Input: in})
+	}
+	res, err := srv.Run(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Trace.Events[len(res.Trace.Events)-1]
+	if !value.Equal(last.Data, value.Map("msg", "final", "scope", "always")) {
+		t.Errorf("final get = %v", value.String(last.Data))
+	}
+}

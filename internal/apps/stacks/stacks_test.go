@@ -1,0 +1,144 @@
+package stacks_test
+
+import (
+	"fmt"
+	"testing"
+
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/apps/stacks"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+)
+
+func serve(t *testing.T, conc int, seed int64, inputs []value.V) (map[string]value.V, *server.Result) {
+	t.Helper()
+	srv := server.New(server.Config{
+		App:   stacks.New(),
+		Store: kvstore.New(kvstore.Serializable),
+		Seed:  seed,
+	})
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(fmt.Sprintf("r%03d", i)), Input: in})
+	}
+	res, err := srv.Run(reqs, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Outputs(), res
+}
+
+func report(i int, dump string) value.V {
+	return value.Map("op", "report", "reqid", fmt.Sprintf("r%03d", i), "dump", dump)
+}
+func count(i int, dump string) value.V {
+	return value.Map("op", "count", "reqid", fmt.Sprintf("r%03d", i), "dump", dump)
+}
+func list(i int) value.V {
+	return value.Map("op", "list", "reqid", fmt.Sprintf("r%03d", i))
+}
+
+func TestReportNewAndRepeat(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{
+		report(0, "panic: A"),
+		report(1, "panic: A"),
+		report(2, "panic: B"),
+	})
+	if !value.Equal(outs["r000"], value.Map("status", "new")) {
+		t.Errorf("first report = %v", value.String(outs["r000"]))
+	}
+	if !value.Equal(outs["r001"], value.Map("status", "reported", "count", 2)) {
+		t.Errorf("repeat report = %v", value.String(outs["r001"]))
+	}
+	if !value.Equal(outs["r002"], value.Map("status", "new")) {
+		t.Errorf("second dump = %v", value.String(outs["r002"]))
+	}
+}
+
+func TestCount(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{
+		report(0, "panic: A"),
+		report(1, "panic: A"),
+		count(2, "panic: A"),
+		count(3, "panic: never-seen"),
+	})
+	if !value.Equal(outs["r002"], value.Map("status", "ok", "count", 2)) {
+		t.Errorf("count = %v", value.String(outs["r002"]))
+	}
+	if !value.Equal(outs["r003"], value.Map("status", "ok", "count", 0)) {
+		t.Errorf("unknown count = %v", value.String(outs["r003"]))
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{list(0)})
+	if !value.Equal(outs["r000"], value.Map("status", "ok", "dumps", []value.V{})) {
+		t.Errorf("empty list = %v", value.String(outs["r000"]))
+	}
+}
+
+func TestListReflectsCacheAfterRefresh(t *testing.T) {
+	// The first list responds from a cold cache (counts 0) and refreshes it;
+	// the second list sees the refreshed counts.
+	outs, _ := serve(t, 1, 1, []value.V{
+		report(0, "panic: A"),
+		report(1, "panic: A"),
+		list(2),
+		list(3),
+	})
+	first := appkit.AsList(appkit.Field(outs["r002"], "dumps"))
+	if len(first) != 1 || appkit.Num(appkit.Field(first[0], "count")) != 0 {
+		t.Errorf("cold list = %v", value.String(outs["r002"]))
+	}
+	second := appkit.AsList(appkit.Field(outs["r003"], "dumps"))
+	if len(second) != 1 || appkit.Num(appkit.Field(second[0], "count")) != 2 {
+		t.Errorf("warm list = %v", value.String(outs["r003"]))
+	}
+}
+
+func TestConcurrentReportsConflict(t *testing.T) {
+	// With concurrency, two reports of the same dump can conflict; the paper's
+	// application answers a retry error. Search seeds for an interleaving
+	// that trips it.
+	sawRetry := false
+	for seed := int64(0); seed < 60 && !sawRetry; seed++ {
+		outs, res := serve(t, 4, seed, []value.V{
+			report(0, "panic: X"),
+			report(1, "panic: X"),
+			report(2, "panic: X"),
+			report(3, "panic: X"),
+		})
+		if res.Conflicts > 0 {
+			for _, out := range outs {
+				if value.Equal(out, value.Map("status", "retry")) {
+					sawRetry = true
+				}
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("no interleaving produced a retry error; conflict path untested")
+	}
+}
+
+func TestStoreStateMatchesReports(t *testing.T) {
+	srv := server.New(server.Config{
+		App:   stacks.New(),
+		Store: kvstore.New(kvstore.Serializable),
+		Seed:  1,
+	})
+	store := kvstore.New(kvstore.Serializable)
+	_ = store
+	inputs := []value.V{
+		report(0, "panic: A"), report(1, "panic: A"), report(2, "panic: B"),
+	}
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(fmt.Sprintf("r%03d", i)), Input: in})
+	}
+	if _, err := srv.Run(reqs, 1); err != nil {
+		t.Fatal(err)
+	}
+}

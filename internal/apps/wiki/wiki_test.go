@@ -1,0 +1,149 @@
+package wiki_test
+
+import (
+	"fmt"
+	"testing"
+
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/apps/wiki"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+)
+
+func serve(t *testing.T, conc int, seed int64, inputs []value.V) (map[string]value.V, *server.Result) {
+	t.Helper()
+	srv := server.New(server.Config{
+		App:   wiki.New(),
+		Store: kvstore.New(kvstore.Serializable),
+		Seed:  seed,
+	})
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(fmt.Sprintf("r%03d", i)), Input: in})
+	}
+	res, err := srv.Run(reqs, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Outputs(), res
+}
+
+func create(i int, id, title, content string) value.V {
+	return value.Map("op", "create", "reqid", fmt.Sprintf("r%03d", i),
+		"id", id, "title", title, "content", content)
+}
+func comment(i int, page, text string) value.V {
+	return value.Map("op", "comment", "reqid", fmt.Sprintf("r%03d", i), "page", page, "text", text)
+}
+func render(i int, id string) value.V {
+	return value.Map("op", "render", "reqid", fmt.Sprintf("r%03d", i), "id", id)
+}
+
+func TestCreateAndRender(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{
+		create(0, "p1", "Title", "Body"),
+		render(1, "p1"),
+	})
+	if !value.Equal(outs["r000"], value.Map("status", "created", "id", "p1")) {
+		t.Errorf("create = %v", value.String(outs["r000"]))
+	}
+	r := outs["r001"]
+	if appkit.Str(appkit.Field(r, "status")) != "ok" {
+		t.Fatalf("render = %v", value.String(r))
+	}
+	if appkit.Bool(appkit.Field(r, "cached")) {
+		t.Error("first render must be a cache miss")
+	}
+	if appkit.Str(appkit.Field(r, "html")) == "" {
+		t.Error("empty html")
+	}
+}
+
+func TestRenderCacheHitAndInvalidation(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{
+		create(0, "p1", "Title", "Body"),
+		render(1, "p1"),
+		render(2, "p1"),                    // cache hit
+		create(3, "p1", "Title2", "Body2"), // invalidates
+		render(4, "p1"),                    // miss again, new content
+	})
+	if !appkit.Bool(appkit.Field(outs["r002"], "cached")) {
+		t.Error("second render should hit the cache")
+	}
+	if appkit.Bool(appkit.Field(outs["r004"], "cached")) {
+		t.Error("render after re-create should miss")
+	}
+	if appkit.Str(appkit.Field(outs["r001"], "html")) == appkit.Str(appkit.Field(outs["r004"], "html")) {
+		t.Error("re-created page should render differently")
+	}
+	if appkit.Str(appkit.Field(outs["r001"], "html")) != appkit.Str(appkit.Field(outs["r002"], "html")) {
+		t.Error("cache hit should return the same html")
+	}
+}
+
+func TestRenderMissingPage(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{render(0, "ghost")})
+	if !value.Equal(outs["r000"], value.Map("status", "not-found")) {
+		t.Errorf("missing render = %v", value.String(outs["r000"]))
+	}
+}
+
+func TestCommentFlow(t *testing.T) {
+	outs, _ := serve(t, 1, 1, []value.V{
+		create(0, "p1", "T", "B"),
+		comment(1, "p1", "first!"),
+		comment(2, "p1", "second"),
+		render(3, "p1"),
+		comment(4, "ghost", "nope"),
+	})
+	if !value.Equal(outs["r001"], value.Map("status", "commented")) {
+		t.Errorf("comment = %v", value.String(outs["r001"]))
+	}
+	if !value.Equal(outs["r004"], value.Map("status", "no-such-page")) {
+		t.Errorf("comment on missing page = %v", value.String(outs["r004"]))
+	}
+	// Comments invalidate the cache and change the rendered output (the
+	// comment count is in the page body).
+	if appkit.Bool(appkit.Field(outs["r003"], "cached")) {
+		t.Error("render after comments should be a miss")
+	}
+}
+
+func TestCommentCountMonotonic(t *testing.T) {
+	var inputs []value.V
+	inputs = append(inputs, create(0, "p1", "T", "B"))
+	for i := 1; i <= 5; i++ {
+		inputs = append(inputs, comment(i, "p1", fmt.Sprintf("c%d", i)))
+	}
+	inputs = append(inputs, render(6, "p1"))
+	outs, _ := serve(t, 1, 1, inputs)
+	html6 := appkit.Str(appkit.Field(outs["r006"], "html"))
+	// Re-render of the same page with fewer comments must differ.
+	outs2, _ := serve(t, 1, 1, []value.V{
+		create(0, "p1", "T", "B"), comment(1, "p1", "c1"), render(2, "p1"),
+	})
+	if html6 == appkit.Str(appkit.Field(outs2["r002"], "html")) {
+		t.Error("comment count does not influence the rendered page")
+	}
+}
+
+func TestConcurrentRunsComplete(t *testing.T) {
+	var inputs []value.V
+	for i := 0; i < 30; i++ {
+		switch i % 3 {
+		case 0:
+			inputs = append(inputs, create(i, fmt.Sprintf("p%d", i%5), "T", "B"))
+		case 1:
+			inputs = append(inputs, comment(i, fmt.Sprintf("p%d", i%5), "c"))
+		default:
+			inputs = append(inputs, render(i, fmt.Sprintf("p%d", i%5)))
+		}
+	}
+	outs, res := serve(t, 8, 3, inputs)
+	if len(outs) != 30 {
+		t.Errorf("%d responses, want 30", len(outs))
+	}
+	_ = res
+}

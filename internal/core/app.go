@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/value"
+)
+
+// HandlerFunc is the code of an event handler. It receives a Context bound to
+// one handler activation (at the server) or to one group of corresponding
+// activations (at the verifier), plus the payload of the activating event as
+// a multivalue of the group's width.
+type HandlerFunc func(ctx *Context, payload *mv.MV)
+
+// App is a KEM program: a set of named handler functions, an initialization
+// function (§3's designated, deterministic init), and the event name the
+// runtime emits for each arriving request. Handlers registered for
+// RequestEvent during Init are the request handlers.
+//
+// An App value must be stateless: all shared mutable state must flow through
+// Variables or the transactional store so that the runtimes can record and
+// replay it. Construct a fresh App per runtime via a factory so that
+// Variable handles captured by closures are private to that runtime.
+type App struct {
+	Name         string
+	RequestEvent EventName
+	Funcs        map[FunctionID]HandlerFunc
+	Init         func(ctx *Context)
+}
+
+// Func looks up handler code and panics if absent — a missing function is a
+// malformed program, not adversarial input.
+func (a *App) Func(fn FunctionID) HandlerFunc {
+	f, ok := a.Funcs[fn]
+	if !ok {
+		panic(fmt.Sprintf("core: app %q has no function %q", a.Name, fn))
+	}
+	return f
+}
+
+// Variable is the identity of a loggable program variable (§4.2, §5). The
+// paper's developer annotation ("OnInitialize") corresponds to creating the
+// variable with Context.VarNew. Runtime state (current value, logs, version
+// dictionary) lives inside the runtime, keyed by ID; the Variable itself is
+// an immutable handle that application closures may capture freely.
+type Variable struct {
+	// ID must be unique within the application and stable across executions;
+	// it doubles as the variable log key in the advice.
+	ID VarID
+}
+
+// TxOpType enumerates the operations of the transactional KV store interface
+// (§4.4): tx_start, PUT, GET, tx_commit, tx_abort.
+type TxOpType uint8
+
+const (
+	TxStart TxOpType = iota
+	TxPut
+	TxGet
+	TxCommit
+	TxAbort
+	// TxScan is a prefix range read — an extension past the paper's
+	// implementation (its §1 lists range queries as future work). The scan's
+	// result set is verified as a set of point reads (each returned row must
+	// read from a legal dictating PUT, with all of §4.4's checks);
+	// completeness of the result set (phantom freedom) is enforced by the
+	// store's predicate locks at run time but, as in the paper, is not yet
+	// re-verified by the audit.
+	TxScan
+)
+
+func (t TxOpType) String() string {
+	switch t {
+	case TxStart:
+		return "tx_start"
+	case TxPut:
+		return "PUT"
+	case TxGet:
+		return "GET"
+	case TxCommit:
+		return "tx_commit"
+	case TxAbort:
+		return "tx_abort"
+	case TxScan:
+		return "SCAN"
+	}
+	return fmt.Sprintf("TxOpType(%d)", uint8(t))
+}
+
+// Tx is a handle on an open transaction. A transaction may span several
+// handler activations of the same request (§4.4 requires such handlers not
+// be concurrent; our apps thread the handle through event payloads is not
+// possible — they capture it in per-request continuation state — so the
+// runtime enforces single-request ownership instead).
+type Tx struct {
+	ID TxID
+	// Dead reports that the transaction was aborted (by the store on
+	// conflict, or explicitly); further operations are programming errors.
+	Dead bool
+	// rid set at creation; the runtime rejects use from another request.
+	rids []RID
+}
+
+// Ops is the runtime behind a Context: the Karousos server, the verifier's
+// grouped re-executor, the Orochi-JS variants, or the plain baselines. Every
+// method receives the acting Context (whose HID/Label identify the
+// activation) and the already-assigned op number.
+//
+// Methods that replay untrusted advice abort the audit by panicking with
+// Reject; the re-executor recovers it. Server-side implementations never
+// reject.
+type Ops interface {
+	// VarInit runs the OnInitialize annotation (Figure 13 / Figure 20).
+	VarInit(ctx *Context, v *Variable, opnum int, val *mv.MV)
+	// VarRead runs the OnRead annotation and returns the observed value.
+	VarRead(ctx *Context, v *Variable, opnum int) *mv.MV
+	// VarWrite runs the write plus the OnWrite annotation.
+	VarWrite(ctx *Context, v *Variable, opnum int, val *mv.MV)
+
+	// Emit adds an event to the pending set (server) or enqueues the
+	// activated handlers (verifier), per Figure 18/19.
+	Emit(ctx *Context, opnum int, event EventName, payload *mv.MV)
+	// Register and Unregister maintain the per-request listener table.
+	Register(ctx *Context, opnum int, event EventName, fn FunctionID)
+	Unregister(ctx *Context, opnum int, event EventName, fn FunctionID)
+
+	// TxOp performs one transactional operation. For TxGet the returned
+	// multivalue holds the read values (nil entries for absent keys); ok
+	// is false when the store aborted the transaction (conflict) or, at the
+	// verifier, when the advice records tx_abort at this op (Figure 19's
+	// CheckStateOp tolerance).
+	TxOp(ctx *Context, opnum int, tx *Tx, op TxOpType, key *mv.MV, val *mv.MV) (res *mv.MV, ok bool)
+
+	// Respond delivers the response. opsIssued is the number of operations
+	// the handler issued before responding (the responseEmittedBy opnum).
+	Respond(ctx *Context, opsIssued int, payload *mv.MV)
+
+	// Branch records (server) or checks (verifier) one control-flow
+	// decision and returns the taken direction.
+	Branch(ctx *Context, site string, cond *mv.MV) bool
+
+	// Nondet records (server) or replays (verifier) a non-deterministic
+	// operation (§5). gen produces the live value per request.
+	Nondet(ctx *Context, opnum int, site string, gen func(rid RID) value.V) *mv.MV
+}
+
+// Context binds application code to one handler activation (server; width 1)
+// or one group of corresponding activations (verifier; width = group size).
+// It assigns op numbers, so the server and verifier count operations
+// identically by construction.
+type Context struct {
+	ops   Ops
+	rids  []RID
+	hid   HID
+	fn    FunctionID
+	event EventName
+	label Label // server-side only; InitLabel at the verifier
+	opnum int
+}
+
+// NewContext is used by runtimes to enter a handler activation. label may be
+// InitLabel for runtimes that do not track labels (the verifier climbs
+// parent pointers instead).
+func NewContext(ops Ops, rids []RID, hid HID, fn FunctionID, event EventName, label Label) *Context {
+	return &Context{ops: ops, rids: rids, hid: hid, fn: fn, event: event, label: label}
+}
+
+// RIDs returns the request ids this context spans (length 1 at the server).
+func (c *Context) RIDs() []RID { return c.rids }
+
+// Width returns the group width; multivalues passed to this context must
+// have this width.
+func (c *Context) Width() int { return len(c.rids) }
+
+// HID returns the handler activation id.
+func (c *Context) HID() HID { return c.hid }
+
+// FunctionID returns the id of the running handler function.
+func (c *Context) FunctionID() FunctionID { return c.fn }
+
+// Event returns the name of the event that activated this handler.
+func (c *Context) Event() EventName { return c.event }
+
+// ActivationLabel returns the server-assigned label (InitLabel at the
+// verifier).
+func (c *Context) ActivationLabel() Label { return c.label }
+
+// OpsIssued returns how many operations this activation has issued so far.
+func (c *Context) OpsIssued() int { return c.opnum }
+
+func (c *Context) next() int {
+	c.opnum++
+	return c.opnum
+}
+
+// Scalar builds a collapsed multivalue of this context's width, normalizing
+// the value into the canonical domain (ints become float64s, etc.).
+func (c *Context) Scalar(v value.V) *mv.MV { return mv.Scalar(value.Normalize(v), len(c.rids)) }
+
+// Apply is SIMD-on-demand computation over multivalues of this context's
+// width; see mv.Apply. For performance the result is NOT normalized: the
+// closure must return canonical values (use value.Map/List or plain float64,
+// bool, string, nil). A stray Go int fails loudly at the next logging or
+// comparison point.
+func (c *Context) Apply(f func(args []value.V) value.V, ms ...*mv.MV) *mv.MV {
+	return mv.Apply(f, ms...)
+}
+
+// VarNew creates a loggable variable and runs its OnInitialize annotation.
+// IDs must be unique per application.
+func (c *Context) VarNew(id string, initial *mv.MV) *Variable {
+	v := &Variable{ID: VarID(id)}
+	c.ops.VarInit(c, v, c.next(), initial)
+	return v
+}
+
+// Read reads a loggable variable (OnRead annotation).
+func (c *Context) Read(v *Variable) *mv.MV {
+	return c.ops.VarRead(c, v, c.next())
+}
+
+// Write writes a loggable variable (OnWrite annotation).
+func (c *Context) Write(v *Variable, val *mv.MV) {
+	c.ops.VarWrite(c, v, c.next(), val)
+}
+
+// Emit adds an event with the given name and payload to the pending set; all
+// functions currently registered for the name are activated with the payload
+// (§3).
+func (c *Context) Emit(event EventName, payload *mv.MV) {
+	c.ops.Emit(c, c.next(), event, payload)
+}
+
+// Register adds fn as a listener for event within the current request.
+func (c *Context) Register(event EventName, fn FunctionID) {
+	c.ops.Register(c, c.next(), event, fn)
+}
+
+// Unregister removes fn as a listener for event within the current request.
+func (c *Context) Unregister(event EventName, fn FunctionID) {
+	c.ops.Unregister(c, c.next(), event, fn)
+}
+
+// TxStart opens a transaction. Its id is derived from (hid, opnum), so it
+// corresponds across original execution and replay.
+func (c *Context) TxStart() *Tx {
+	opnum := c.next()
+	tx := &Tx{
+		ID:   TxID(value.DigestString(value.List(string(c.hid), int64(opnum)))),
+		rids: c.rids,
+	}
+	c.ops.TxOp(c, opnum, tx, TxStart, nil, nil)
+	return tx
+}
+
+func checkAlive(tx *Tx, op string) {
+	if tx.Dead {
+		panic(fmt.Sprintf("core: %s on dead transaction %s; after a failed operation the application must not touch the transaction again", op, tx.ID))
+	}
+}
+
+// Get reads one row by primary key within tx. ok=false means the transaction
+// was aborted by the store (conflict); the caller must take its abort path
+// and must not touch the transaction again. Absent keys read as nil values,
+// not as failures.
+func (c *Context) Get(tx *Tx, key *mv.MV) (*mv.MV, bool) {
+	checkAlive(tx, "Get")
+	res, ok := c.ops.TxOp(c, c.next(), tx, TxGet, key, nil)
+	if !ok {
+		tx.Dead = true
+	}
+	return res, ok
+}
+
+// Put writes one row by primary key within tx. ok=false means the
+// transaction was aborted by the store (conflict).
+func (c *Context) Put(tx *Tx, key, val *mv.MV) bool {
+	checkAlive(tx, "Put")
+	_, ok := c.ops.TxOp(c, c.next(), tx, TxPut, key, val)
+	if !ok {
+		tx.Dead = true
+	}
+	return ok
+}
+
+// Scan reads every row whose key starts with the given prefix, in key
+// order. The result is a list of {"key": k, "value": v} maps per group
+// member; ok=false means the transaction was aborted by the store
+// (conflict with a concurrent writer under predicate locking).
+func (c *Context) Scan(tx *Tx, prefix *mv.MV) (*mv.MV, bool) {
+	checkAlive(tx, "Scan")
+	res, ok := c.ops.TxOp(c, c.next(), tx, TxScan, prefix, nil)
+	if !ok {
+		tx.Dead = true
+	}
+	return res, ok
+}
+
+// Commit attempts to commit tx; ok=false means it aborted instead.
+func (c *Context) Commit(tx *Tx) bool {
+	checkAlive(tx, "Commit")
+	_, ok := c.ops.TxOp(c, c.next(), tx, TxCommit, nil, nil)
+	tx.Dead = true
+	return ok
+}
+
+// Abort rolls tx back. The transaction must still be alive: after a failed
+// operation the store has already aborted it and recorded tx_abort, so a
+// second abort would desynchronize replay from the logs.
+func (c *Context) Abort(tx *Tx) {
+	checkAlive(tx, "Abort")
+	c.ops.TxOp(c, c.next(), tx, TxAbort, nil, nil)
+	tx.Dead = true
+}
+
+// Respond delivers the response for every request this context spans. It
+// does not consume an op number: responseEmittedBy records the count of
+// operations issued before the response (C.1.3).
+func (c *Context) Respond(payload *mv.MV) {
+	c.ops.Respond(c, c.opnum, payload)
+}
+
+// Branch records one two-way control-flow decision; site names the branch
+// site in the program text. The condition must collapse across the group —
+// requests in one control-flow group take the same branches by construction,
+// so a non-collapsed condition is divergence and the verifier rejects.
+func (c *Context) Branch(site string, cond *mv.MV) bool {
+	return c.ops.Branch(c, site, cond)
+}
+
+// BranchBool is Branch over an already-scalar Go condition; it exists so
+// server-side code records branches even when the condition never passed
+// through a multivalue.
+func (c *Context) BranchBool(site string, cond bool) bool {
+	return c.ops.Branch(c, site, c.Scalar(cond))
+}
+
+// Nondet evaluates a non-deterministic operation: at the server gen runs per
+// request and the results are recorded in the advice; at the verifier the
+// recorded results are replayed (§5).
+func (c *Context) Nondet(site string, gen func(rid RID) value.V) *mv.MV {
+	return c.ops.Nondet(c, c.next(), site, gen)
+}
+
+// Reject aborts an audit: verifier-side Ops implementations panic with it
+// when untrusted advice fails a check, and the re-executor recovers it into
+// the audit verdict. It is exported so every layer (annotated-op replay,
+// state-op checks, group execution) rejects uniformly.
+type Reject struct{ Reason string }
+
+// Error implements error.
+func (r Reject) Error() string { return "audit reject: " + r.Reason }
+
+// Rejectf panics with a Reject carrying the formatted reason.
+func Rejectf(format string, args ...any) {
+	panic(Reject{Reason: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/value"
+)
+
+// recordingOps captures the op numbers the Context assigns, to pin down the
+// numbering contract shared by server and verifier.
+type recordingOps struct {
+	calls []string
+	nums  []int
+}
+
+func (r *recordingOps) note(kind string, n int) {
+	r.calls = append(r.calls, kind)
+	r.nums = append(r.nums, n)
+}
+
+func (r *recordingOps) VarInit(ctx *Context, v *Variable, opnum int, val *mv.MV) {
+	r.note("varinit", opnum)
+}
+func (r *recordingOps) VarRead(ctx *Context, v *Variable, opnum int) *mv.MV {
+	r.note("read", opnum)
+	return ctx.Scalar(nil)
+}
+func (r *recordingOps) VarWrite(ctx *Context, v *Variable, opnum int, val *mv.MV) {
+	r.note("write", opnum)
+}
+func (r *recordingOps) Emit(ctx *Context, opnum int, event EventName, payload *mv.MV) {
+	r.note("emit", opnum)
+}
+func (r *recordingOps) Register(ctx *Context, opnum int, event EventName, fn FunctionID) {
+	r.note("register", opnum)
+}
+func (r *recordingOps) Unregister(ctx *Context, opnum int, event EventName, fn FunctionID) {
+	r.note("unregister", opnum)
+}
+func (r *recordingOps) TxOp(ctx *Context, opnum int, tx *Tx, op TxOpType, key *mv.MV, val *mv.MV) (*mv.MV, bool) {
+	r.note("tx:"+op.String(), opnum)
+	return ctx.Scalar(nil), true
+}
+func (r *recordingOps) Respond(ctx *Context, opsIssued int, payload *mv.MV) {
+	r.note("respond", opsIssued)
+}
+func (r *recordingOps) Branch(ctx *Context, site string, cond *mv.MV) bool {
+	b, _ := cond.Bool()
+	return b
+}
+func (r *recordingOps) Nondet(ctx *Context, opnum int, site string, gen func(rid RID) value.V) *mv.MV {
+	r.note("nondet", opnum)
+	return ctx.Scalar(nil)
+}
+
+func TestOpNumbering(t *testing.T) {
+	rec := &recordingOps{}
+	ctx := NewContext(rec, []RID{"r1"}, "h1", "fn", "ev", "/0")
+	v := ctx.VarNew("x", ctx.Scalar(0))                       // op 1
+	_ = ctx.Read(v)                                           // op 2
+	ctx.Write(v, ctx.Scalar(1))                               // op 3
+	ctx.Emit("e", ctx.Scalar(nil))                            // op 4
+	ctx.Register("e", "f")                                    // op 5
+	ctx.Unregister("e", "f")                                  // op 6
+	tx := ctx.TxStart()                                       // op 7
+	_, _ = ctx.Get(tx, ctx.Scalar("k"))                       // op 8
+	_ = ctx.Put(tx, ctx.Scalar("k"), ctx.Scalar(1))           // op 9
+	_ = ctx.Commit(tx)                                        // op 10
+	_ = ctx.Nondet("n", func(rid RID) value.V { return nil }) // op 11
+	// Branch consumes no op number.
+	_ = ctx.Branch("b", ctx.Scalar(true))
+	ctx.Respond(ctx.Scalar("out")) // reports 11 ops issued, no own number
+
+	wantNums := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 11}
+	if len(rec.nums) != len(wantNums) {
+		t.Fatalf("calls = %v nums = %v", rec.calls, rec.nums)
+	}
+	for i := range wantNums {
+		if rec.nums[i] != wantNums[i] {
+			t.Errorf("call %s got op %d, want %d", rec.calls[i], rec.nums[i], wantNums[i])
+		}
+	}
+	if ctx.OpsIssued() != 11 {
+		t.Errorf("OpsIssued = %d", ctx.OpsIssued())
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	rec := &recordingOps{}
+	ctx := NewContext(rec, []RID{"r1", "r2"}, "h", "fn", "ev", "/1")
+	if ctx.Width() != 2 || len(ctx.RIDs()) != 2 {
+		t.Error("width wrong")
+	}
+	if ctx.HID() != "h" || ctx.FunctionID() != "fn" || ctx.Event() != "ev" || ctx.ActivationLabel() != "/1" {
+		t.Error("accessors wrong")
+	}
+	if s := ctx.Scalar(5); s.Width() != 2 || s.At(0) != float64(5) {
+		t.Error("Scalar should normalize and span the group width")
+	}
+}
+
+func TestTxIDDeterministic(t *testing.T) {
+	mk := func() TxID {
+		ctx := NewContext(&recordingOps{}, []RID{"r1"}, "h1", "fn", "ev", "/0")
+		return ctx.TxStart().ID
+	}
+	if mk() != mk() {
+		t.Error("tx id must be deterministic in (hid, opnum)")
+	}
+	// A tx started at a different op number must get a different id.
+	ctx := NewContext(&recordingOps{}, []RID{"r1"}, "h1", "fn", "ev", "/0")
+	t1 := ctx.TxStart()
+	t2 := ctx.TxStart()
+	if t1.ID == t2.ID {
+		t.Error("distinct tx starts share an id")
+	}
+}
+
+func TestDeadTransactionPanics(t *testing.T) {
+	ctx := NewContext(&recordingOps{}, []RID{"r1"}, "h1", "fn", "ev", "/0")
+	tx := ctx.TxStart()
+	ctx.Abort(tx)
+	for name, f := range map[string]func(){
+		"get":    func() { ctx.Get(tx, ctx.Scalar("k")) },
+		"put":    func() { ctx.Put(tx, ctx.Scalar("k"), ctx.Scalar(1)) },
+		"commit": func() { ctx.Commit(tx) },
+		"abort":  func() { ctx.Abort(tx) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on dead transaction should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBranchBool(t *testing.T) {
+	ctx := NewContext(&recordingOps{}, []RID{"r1"}, "h1", "fn", "ev", "/0")
+	if !ctx.BranchBool("b", true) || ctx.BranchBool("b", false) {
+		t.Error("BranchBool wrong")
+	}
+}
+
+func TestAppFuncLookup(t *testing.T) {
+	app := &App{Name: "a", Funcs: map[FunctionID]HandlerFunc{
+		"f": func(ctx *Context, p *mv.MV) {},
+	}}
+	if app.Func("f") == nil {
+		t.Error("existing function not found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown function should panic")
+		}
+	}()
+	app.Func("missing")
+}
+
+func TestRejectf(t *testing.T) {
+	defer func() {
+		r := recover()
+		rej, ok := r.(Reject)
+		if !ok {
+			t.Fatalf("Rejectf panicked with %T", r)
+		}
+		if rej.Error() == "" || rej.Reason == "" {
+			t.Error("empty reject reason")
+		}
+	}()
+	Rejectf("bad %s", "advice")
+}

@@ -1,0 +1,147 @@
+// Package core defines KEM, the execution model of the paper (§3), as a Go
+// library: events, handler activations, handler identifiers, activation
+// labels, the activation partial order A, and the replay order R (§4.2,
+// Definitions 7–8). It also defines the application-facing API — App,
+// Context, Variable, Tx — through which the same program text executes under
+// the Karousos server (advice collection), the Karousos verifier (grouped
+// multivalue re-execution), and the baselines. The role-specific behavior
+// hides behind the Ops interface, mirroring how the paper's transpiler emits
+// an instrumented server and a verifier from one source program.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"karousos.dev/karousos/internal/value"
+)
+
+// RID identifies a request globally (C.1.2).
+type RID string
+
+// InitRID is the pseudo-request id of the initialization activation I (§3):
+// the initialization function is treated as a handler activation that is the
+// activator of every request handler.
+const InitRID RID = "@init"
+
+// HID identifies a handler activation. It is the digest of (functionID,
+// activating event, activator's HID, index of the activating emit within the
+// activator), so it is unique within a request and — crucially for batching —
+// equal across requests that induce the same tree of handlers (§5, C.1.2).
+type HID string
+
+// InitHID is the handler id of the initialization activation I.
+const InitHID HID = "@I"
+
+// FunctionID names a piece of handler code (a closure in the paper; a Go
+// function registered in App.Funcs here).
+type FunctionID string
+
+// EventName names an event type (§3).
+type EventName string
+
+// VarID identifies a loggable program variable globally.
+type VarID string
+
+// TxID identifies a transaction. Both the server and the verifier derive it
+// deterministically from the (hid, opnum) of the tx_start operation
+// (Appendix C, Sub-lemma 2.3), so it corresponds across executions.
+type TxID string
+
+// Label is a handler activation's position in the activation tree, encoded
+// so that h is an ancestor of h' under the activation partial order A iff
+// h's label is a proper prefix of h's label (§5). Mechanically a label is
+// parentLabel + "/" + childIndex; the initialization activation I has the
+// empty label, making it the ancestor of everything.
+type Label string
+
+// InitLabel is the label of the initialization activation I.
+const InitLabel Label = ""
+
+// Child returns the label of the n-th activated child of the labeled
+// handler.
+func (l Label) Child(n int) Label {
+	return Label(fmt.Sprintf("%s/%d", l, n))
+}
+
+// IsAncestor reports whether l strictly precedes other in the activation
+// partial order A, i.e. whether l labels an ancestor activation.
+func (l Label) IsAncestor(other Label) bool {
+	if l == other {
+		return false
+	}
+	return strings.HasPrefix(string(other), string(l)+"/")
+}
+
+// Op names one special operation of one handler activation: handler ops
+// (emit/register/unregister), external state ops, annotated variable ops, and
+// recorded non-deterministic ops all consume one op number each, numbered
+// from 1 (Figure 14 gives each handler nodes 0..opcounts plus ∞).
+type Op struct {
+	RID RID
+	HID HID
+	Num int
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("(%s,%s,%d)", o.RID, shortHID(o.HID), o.Num)
+}
+
+func shortHID(h HID) string {
+	if len(h) > 8 {
+		return string(h[:8])
+	}
+	return string(h)
+}
+
+// TaggedOp pairs an operation with its handler's activation label, which is
+// all the server needs to evaluate R-precedence at logging time (Figure 13's
+// Rconcurrent test).
+type TaggedOp struct {
+	Op
+	Label Label
+}
+
+// RPrecedes implements Definition 7: a R-precedes b iff they belong to the
+// same request and either they are in the same handler with a earlier in
+// program order, or a's handler is an ancestor of b's handler in the
+// activation tree. Operations of the initialization activation I additionally
+// R-precede every request operation, since I is the activator of all request
+// handlers (§3); this is what makes init-time writes replay-safe without
+// logging.
+func RPrecedes(a, b TaggedOp) bool {
+	if a.RID == InitRID && b.RID != InitRID {
+		return true
+	}
+	if a.RID != b.RID {
+		return false
+	}
+	if a.HID == b.HID {
+		return a.Num < b.Num
+	}
+	return a.Label.IsAncestor(b.Label)
+}
+
+// RConcurrent implements Definition 8: two distinct operations are
+// R-concurrent iff neither R-precedes the other. R-concurrent pairs are
+// exactly what the Karousos server must log (§4.2).
+func RConcurrent(a, b TaggedOp) bool {
+	if a.Op == b.Op {
+		return false
+	}
+	return !RPrecedes(a, b) && !RPrecedes(b, a)
+}
+
+// ComputeHID derives a handler id per §5 and C.1.2: a digest of the
+// functionID, the activating event's name, the activator's hid, and the
+// index (opnum) of the activating emit within the activator. Request
+// handlers use parent InitHID and emit index 0.
+func ComputeHID(fn FunctionID, event EventName, parent HID, emitOp int) HID {
+	return HID(value.DigestString(value.List(string(fn), string(event), string(parent), int64(emitOp))))
+}
+
+// RequestHID is the handler id of a request handler activation for the given
+// function: hid = (functionID, null, 0) per Figure 18 line 11.
+func RequestHID(fn FunctionID, event EventName) HID {
+	return ComputeHID(fn, event, InitHID, 0)
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelChild(t *testing.T) {
+	root := InitLabel
+	c0 := root.Child(0)
+	c1 := root.Child(1)
+	if c0 != "/0" || c1 != "/1" {
+		t.Errorf("children = %q, %q", c0, c1)
+	}
+	gc := c0.Child(3)
+	if gc != "/0/3" {
+		t.Errorf("grandchild = %q", gc)
+	}
+}
+
+func TestIsAncestorSegmentAware(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want bool
+	}{
+		{InitLabel, "/0", true},
+		{InitLabel, "/0/1/2", true},
+		{"/0", "/0/1", true},
+		{"/0", "/0/1/5", true},
+		{"/0", "/0", false},        // not strict ancestor of itself
+		{"/0", "/1", false},        // sibling
+		{"/1", "/10", false},       // string prefix but not a segment prefix
+		{"/1", "/1x", false},       // malformed sibling-ish label
+		{"/0/1", "/0", false},      // descendant is not ancestor
+		{"/0/1", "/0/10", false},   // segment-aware at depth 2
+		{"/0/1", "/0/1/0", true},   // direct child
+		{"/2/3", "/2/3/4/5", true}, // deep descendant
+	}
+	for _, c := range cases {
+		if got := c.a.IsAncestor(c.b); got != c.want {
+			t.Errorf("IsAncestor(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func op(rid RID, hid HID, num int, label Label) TaggedOp {
+	return TaggedOp{Op: Op{RID: rid, HID: hid, Num: num}, Label: label}
+}
+
+func TestRPrecedesProgramOrder(t *testing.T) {
+	a := op("r1", "h1", 1, "/0")
+	b := op("r1", "h1", 2, "/0")
+	if !RPrecedes(a, b) {
+		t.Error("earlier op in same handler must R-precede")
+	}
+	if RPrecedes(b, a) {
+		t.Error("later op must not R-precede earlier")
+	}
+	if RConcurrent(a, b) {
+		t.Error("program-ordered ops are not R-concurrent")
+	}
+}
+
+func TestRPrecedesAncestor(t *testing.T) {
+	parent := op("r1", "hp", 5, "/0")
+	child := op("r1", "hc", 1, "/0/0")
+	// All parent ops R-precede all child ops, even when the parent op comes
+	// after the activating emit (Definition 7 is handler-level).
+	if !RPrecedes(parent, child) {
+		t.Error("ancestor handler op must R-precede descendant op")
+	}
+	if RPrecedes(child, parent) {
+		t.Error("descendant must not R-precede ancestor")
+	}
+}
+
+func TestRConcurrentSiblings(t *testing.T) {
+	s1 := op("r1", "ha", 1, "/0/0")
+	s2 := op("r1", "hb", 1, "/0/1")
+	if !RConcurrent(s1, s2) {
+		t.Error("sibling handlers' ops are R-concurrent")
+	}
+}
+
+func TestRConcurrentAcrossRequests(t *testing.T) {
+	a := op("r1", "h", 1, "/0")
+	b := op("r2", "h", 2, "/0")
+	if !RConcurrent(a, b) {
+		t.Error("ops of different requests are always R-concurrent")
+	}
+	if RPrecedes(a, b) || RPrecedes(b, a) {
+		t.Error("no R-order across requests")
+	}
+}
+
+func TestInitRPrecedesEverything(t *testing.T) {
+	init := op(InitRID, InitHID, 3, InitLabel)
+	req := op("r1", "h", 1, "/0")
+	if !RPrecedes(init, req) {
+		t.Error("init ops must R-precede request ops")
+	}
+	if RPrecedes(req, init) {
+		t.Error("request ops must not R-precede init ops")
+	}
+	if RConcurrent(init, req) {
+		t.Error("init and request ops are never R-concurrent")
+	}
+}
+
+func TestInitOpsOrderedAmongThemselves(t *testing.T) {
+	a := op(InitRID, InitHID, 1, InitLabel)
+	b := op(InitRID, InitHID, 2, InitLabel)
+	if !RPrecedes(a, b) || RPrecedes(b, a) {
+		t.Error("init ops follow program order")
+	}
+}
+
+func TestRConcurrentSameOpIsFalse(t *testing.T) {
+	a := op("r1", "h", 1, "/0")
+	if RConcurrent(a, a) {
+		t.Error("an op is not R-concurrent with itself")
+	}
+}
+
+func TestComputeHIDStability(t *testing.T) {
+	h1 := ComputeHID("fn", "ev", "parent", 3)
+	h2 := ComputeHID("fn", "ev", "parent", 3)
+	if h1 != h2 {
+		t.Error("hid not deterministic")
+	}
+	distinct := []HID{
+		ComputeHID("fn2", "ev", "parent", 3),
+		ComputeHID("fn", "ev2", "parent", 3),
+		ComputeHID("fn", "ev", "parent2", 3),
+		ComputeHID("fn", "ev", "parent", 4),
+	}
+	for i, d := range distinct {
+		if d == h1 {
+			t.Errorf("variant %d collided with base hid", i)
+		}
+	}
+}
+
+func TestRequestHID(t *testing.T) {
+	if RequestHID("fn", "request") != ComputeHID("fn", "request", InitHID, 0) {
+		t.Error("RequestHID must be (fn, null, 0) with the init activator")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	s := Op{RID: "r1", HID: "0123456789abcdef", Num: 7}.String()
+	if s == "" {
+		t.Error("empty Op string")
+	}
+}
+
+// randomLabel builds a label by descending a random number of levels.
+func randomLabel(r *rand.Rand) Label {
+	l := InitLabel
+	depth := r.Intn(5)
+	for i := 0; i < depth; i++ {
+		l = l.Child(r.Intn(12))
+	}
+	return l
+}
+
+// TestQuickRPrecedesIsStrictPartialOrder checks irreflexivity, asymmetry and
+// transitivity on random tagged ops (within one request, plus init).
+func TestQuickRPrecedesIsStrictPartialOrder(t *testing.T) {
+	gen := func(r *rand.Rand) TaggedOp {
+		if r.Intn(8) == 0 {
+			return op(InitRID, InitHID, 1+r.Intn(4), InitLabel)
+		}
+		l := randomLabel(r)
+		return op("r1", HID("h"+string(l)), 1+r.Intn(4), l)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		// Irreflexive.
+		if RPrecedes(a, a) && a.Op != (Op{}) && a.RID != InitRID {
+			return false
+		}
+		// Asymmetric (for distinct ops).
+		if a.Op != b.Op && RPrecedes(a, b) && RPrecedes(b, a) {
+			return false
+		}
+		// Transitive.
+		if RPrecedes(a, b) && RPrecedes(b, c) && a.Op != c.Op && !RPrecedes(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAncestorMatchesPathPrefix cross-checks label ancestry against an
+// explicit path representation.
+func TestQuickAncestorMatchesPathPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pa := make([]int, r.Intn(4))
+		pb := make([]int, r.Intn(4))
+		for i := range pa {
+			pa[i] = r.Intn(11)
+		}
+		for i := range pb {
+			pb[i] = r.Intn(11)
+		}
+		la, lb := InitLabel, InitLabel
+		for _, x := range pa {
+			la = la.Child(x)
+		}
+		for _, x := range pb {
+			lb = lb.Child(x)
+		}
+		isPrefix := len(pa) < len(pb)
+		if isPrefix {
+			for i := range pa {
+				if pa[i] != pb[i] {
+					isPrefix = false
+					break
+				}
+			}
+		}
+		return la.IsAncestor(lb) == isPrefix
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

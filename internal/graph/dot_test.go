@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersNodesAndEdges(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddNode(9)
+	var b strings.Builder
+	if err := g.DOT(&b, "test", func(n int) string { return "n" + strconv.Itoa(n) }, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`digraph "test"`, `"n1"`, `"n9"`, `"n1" -> "n2"`, `"n2" -> "n3"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "salmon") {
+		t.Error("no highlight requested but highlight attributes present")
+	}
+}
+
+func TestDOTHighlightsCycle(t *testing.T) {
+	g := New[string]()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("a", "c")
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatal("cycle not found")
+	}
+	var b strings.Builder
+	if err := g.DOT(&b, "cyc", func(n string) string { return n }, cycle); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "salmon") {
+		t.Error("cycle nodes not highlighted")
+	}
+	if !strings.Contains(out, "color=red") {
+		t.Error("cycle edges not highlighted")
+	}
+	// The edge to c is outside the cycle and must not be red.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `"a" -> "c"`) && strings.Contains(line, "red") {
+			t.Error("non-cycle edge highlighted")
+		}
+	}
+}
+
+// failingWriter errors after a few bytes so DOT's error paths are exercised.
+type failingWriter struct{ left int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestDOTPropagatesWriteErrors(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	if err := g.DOT(&failingWriter{left: 5}, "x", func(n int) string { return strconv.Itoa(n) }, nil); err == nil {
+		t.Error("write error not propagated")
+	}
+}

@@ -1,0 +1,241 @@
+// Package graph provides the directed graphs the Karousos verifier builds:
+// the execution graph G over operations (paper §4.3, Figures 14–16, 21) and
+// the Adya dependency graph DG over transactions (Figure 17). Both audits
+// reduce to "insist the graph is acyclic", so the central export is an
+// iterative cycle detector that does not recurse (execution graphs over
+// 600-request audits reach tens of thousands of nodes).
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Graph is a directed graph over comparable node keys. The zero value is not
+// usable; construct with New. Adding an edge implicitly adds its endpoints.
+//
+// Parallel edges are stored as-is rather than deduplicated: the verifier adds
+// the same ordering fact from several advice sources, cycle detection and
+// topological sorting are indifferent to duplicates, and skipping the
+// dedup-map lookup keeps AddEdge — the hottest graph operation in an audit —
+// to a single map access.
+type Graph[N comparable] struct {
+	adj map[N][]N
+	n   int // edge count, duplicates included
+}
+
+// New returns an empty graph.
+func New[N comparable]() *Graph[N] {
+	return &Graph[N]{adj: make(map[N][]N)}
+}
+
+// AddNode ensures n is present (possibly with no edges).
+func (g *Graph[N]) AddNode(n N) {
+	if _, ok := g.adj[n]; !ok {
+		g.adj[n] = nil
+	}
+}
+
+// HasNode reports whether n has been added.
+func (g *Graph[N]) HasNode(n N) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// AddEdge inserts the directed edge from→to, adding both endpoints if needed.
+func (g *Graph[N]) AddEdge(from, to N) {
+	g.AddNode(to)
+	g.adj[from] = append(g.adj[from], to)
+	g.n++
+}
+
+// HasEdge reports whether the directed edge from→to is present. It scans the
+// successor list; it exists for tests, not for hot paths.
+func (g *Graph[N]) HasEdge(from, to N) bool {
+	for _, t := range g.adj[from] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph[N]) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of edges, counting duplicates.
+func (g *Graph[N]) NumEdges() int { return g.n }
+
+// Succ returns the successor list of n. The returned slice is shared; callers
+// must not modify it.
+func (g *Graph[N]) Succ(n N) []N { return g.adj[n] }
+
+// Nodes returns all nodes in unspecified order.
+func (g *Graph[N]) Nodes() []N {
+	out := make([]N, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	return out
+}
+
+// FindCycle returns a cycle as a node sequence (first == last) if the graph
+// is cyclic, and nil otherwise. Detection is an iterative three-color DFS;
+// the explicit stack keeps worst-case audits from exhausting goroutine stack
+// space.
+func (g *Graph[N]) FindCycle() []N {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[N]int8, len(g.adj))
+	parent := make(map[N]N, len(g.adj))
+
+	type frame struct {
+		node N
+		next int
+	}
+	for start := range g.adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succ := g.adj[f.node]
+			if f.next < len(succ) {
+				child := succ[f.next]
+				f.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					parent[child] = f.node
+					stack = append(stack, frame{node: child})
+				case gray:
+					// Found a back edge f.node→child: reconstruct the cycle.
+					cycle := []N{child}
+					for n := f.node; ; n = parent[n] {
+						cycle = append(cycle, n)
+						if n == child {
+							break
+						}
+					}
+					reverse(cycle)
+					return cycle
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// HasCycle reports whether the graph contains a directed cycle.
+func (g *Graph[N]) HasCycle() bool { return g.FindCycle() != nil }
+
+// TopoSort returns the nodes in a topological order, or ok=false if the
+// graph is cyclic. The verifier's proofs work with topological sorts of G
+// (well-formed op schedules, Appendix C.2); tests use TopoSort to derive
+// schedules.
+func (g *Graph[N]) TopoSort() (order []N, ok bool) {
+	indeg := make(map[N]int, len(g.adj))
+	for n := range g.adj {
+		indeg[n] += 0
+	}
+	for _, succ := range g.adj {
+		for _, t := range succ {
+			indeg[t]++
+		}
+	}
+	queue := make([]N, 0, len(g.adj))
+	for n, d := range indeg {
+		if d == 0 {
+			queue = append(queue, n)
+		}
+	}
+	order = make([]N, 0, len(g.adj))
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, n)
+		for _, t := range g.adj[n] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != len(g.adj) {
+		return nil, false
+	}
+	return order, true
+}
+
+// Reachable reports whether to is reachable from from by a non-empty path.
+func (g *Graph[N]) Reachable(from, to N) bool {
+	seen := make(map[N]bool)
+	stack := append([]N(nil), g.adj[from]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, g.adj[n]...)
+	}
+	return false
+}
+
+func reverse[N any](s []N) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// DOT writes the graph in Graphviz DOT format, labeling nodes with label and
+// (when highlight is non-nil) coloring the nodes of one path — typically a
+// cycle the audit rejected on. The verifier exposes this for debugging; it
+// is not on any hot path.
+func (g *Graph[N]) DOT(w io.Writer, name string, label func(N) string, highlight []N) error {
+	lit := func(n N) string {
+		return strconv.Quote(label(n))
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	hl := make(map[N]bool, len(highlight))
+	for _, n := range highlight {
+		hl[n] = true
+	}
+	for _, n := range g.Nodes() {
+		attrs := ""
+		if hl[n] {
+			attrs = " [style=filled, fillcolor=salmon]"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s;\n", lit(n), attrs); err != nil {
+			return err
+		}
+	}
+	for _, from := range g.Nodes() {
+		for _, to := range g.Succ(from) {
+			attrs := ""
+			if hl[from] && hl[to] {
+				attrs = " [color=red, penwidth=2]"
+			}
+			if _, err := fmt.Fprintf(w, "  %s -> %s%s;\n", lit(from), lit(to), attrs); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := New[int]()
+	if g.HasCycle() {
+		t.Error("empty graph reported cyclic")
+	}
+	if order, ok := g.TopoSort(); !ok || len(order) != 0 {
+		t.Error("empty graph toposort failed")
+	}
+}
+
+func TestSingleNodeNoCycle(t *testing.T) {
+	g := New[string]()
+	g.AddNode("a")
+	if g.HasCycle() {
+		t.Error("single node reported cyclic")
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 1)
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatal("self loop not detected")
+	}
+	if cycle[0] != cycle[len(cycle)-1] {
+		t.Error("cycle should start and end at the same node")
+	}
+}
+
+func TestChainAcyclic(t *testing.T) {
+	g := New[int]()
+	for i := 0; i < 100; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if g.HasCycle() {
+		t.Error("chain reported cyclic")
+	}
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("chain toposort failed")
+	}
+	pos := make(map[int]int)
+	for i, n := range order {
+		pos[n] = i
+	}
+	for i := 0; i < 100; i++ {
+		if pos[i] > pos[i+1] {
+			t.Fatalf("toposort violates edge %d→%d", i, i+1)
+		}
+	}
+}
+
+func TestTwoNodeCycle(t *testing.T) {
+	g := New[string]()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	if !g.HasCycle() {
+		t.Error("2-cycle not detected")
+	}
+	if _, ok := g.TopoSort(); ok {
+		t.Error("toposort of cyclic graph should fail")
+	}
+}
+
+func TestLongCycleThroughDAGPortion(t *testing.T) {
+	g := New[int]()
+	// A diamond DAG plus a back edge deep in the graph.
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	if g.HasCycle() {
+		t.Fatal("diamond DAG reported cyclic")
+	}
+	g.AddEdge(5, 1)
+	cycle := g.FindCycle()
+	if cycle == nil {
+		t.Fatal("cycle via back edge not detected")
+	}
+	// Verify the returned cycle is a real cycle: consecutive edges exist.
+	for i := 0; i+1 < len(cycle); i++ {
+		if !g.HasEdge(cycle[i], cycle[i+1]) {
+			t.Errorf("reported cycle uses missing edge %v→%v", cycle[i], cycle[i+1])
+		}
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2 (parallel edges kept)", g.NumEdges())
+	}
+	if g.HasCycle() {
+		t.Error("parallel edges are not a cycle")
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	if !g.Reachable(1, 3) {
+		t.Error("1 should reach 3")
+	}
+	if g.Reachable(3, 1) {
+		t.Error("3 should not reach 1")
+	}
+	if g.Reachable(1, 5) {
+		t.Error("1 should not reach 5")
+	}
+	// Reachability requires a non-empty path: a node with no self loop does
+	// not reach itself.
+	if g.Reachable(1, 1) {
+		t.Error("1 should not trivially reach itself")
+	}
+	g.AddEdge(3, 1)
+	if !g.Reachable(1, 1) {
+		t.Error("1 should reach itself around the cycle")
+	}
+}
+
+func TestDeepGraphNoStackOverflow(t *testing.T) {
+	// A recursive DFS would blow the stack on a million-node chain; the
+	// iterative one must not.
+	g := New[int]()
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	if g.HasCycle() {
+		t.Error("long chain reported cyclic")
+	}
+	g.AddEdge(n, 0)
+	if !g.HasCycle() {
+		t.Error("long cycle not detected")
+	}
+}
+
+func TestSucc(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	if len(g.Succ(1)) != 2 {
+		t.Errorf("Succ(1) = %v", g.Succ(1))
+	}
+	if len(g.Succ(2)) != 0 {
+		t.Errorf("Succ(2) = %v", g.Succ(2))
+	}
+}
+
+func TestNodes(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddNode(7)
+	nodes := g.Nodes()
+	if len(nodes) != 3 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+// TestQuickRandomDAGIsAcyclic: edges only from lower to higher indices can
+// never form a cycle, and a topological order always exists.
+func TestQuickRandomDAGIsAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		g := New[int]()
+		for i := 0; i < n; i++ {
+			g.AddNode(i)
+		}
+		for e := 0; e < n*2; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			g.AddEdge(a, b)
+		}
+		if g.HasCycle() {
+			return false
+		}
+		order, ok := g.TopoSort()
+		if !ok || len(order) != n {
+			return false
+		}
+		pos := make(map[int]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, from := range g.Nodes() {
+			for _, to := range g.Succ(from) {
+				if pos[from] > pos[to] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPlantedCycleIsFound: planting a random directed cycle into a
+// random graph must always be detected, and the reported cycle must be real.
+func TestQuickPlantedCycleIsFound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		g := New[int]()
+		for e := 0; e < n; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		// Plant a cycle over a random subset.
+		k := 2 + r.Intn(n-2)
+		perm := r.Perm(n)[:k]
+		for i := 0; i < k; i++ {
+			g.AddEdge(perm[i], perm[(i+1)%k])
+		}
+		cycle := g.FindCycle()
+		if cycle == nil {
+			return false
+		}
+		if cycle[0] != cycle[len(cycle)-1] || len(cycle) < 2 {
+			return false
+		}
+		for i := 0; i+1 < len(cycle); i++ {
+			if !g.HasEdge(cycle[i], cycle[i+1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCycleDetectMatchesNaive compares against a naive O(n·m)
+// reachability-based cycle check on small random graphs.
+func TestQuickCycleDetectMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		g := New[int]()
+		for i := 0; i < n; i++ {
+			g.AddNode(i)
+		}
+		m := r.Intn(2 * n)
+		for e := 0; e < m; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		naiveCyclic := false
+		for i := 0; i < n; i++ {
+			if g.Reachable(i, i) {
+				naiveCyclic = true
+				break
+			}
+		}
+		return naiveCyclic == g.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package harness
+
+import "testing"
+
+// TestUnbatchedAuditAccepts: the batching ablation must stay complete — the
+// same honest advice verifies with singleton groups.
+func TestUnbatchedAuditAccepts(t *testing.T) {
+	for _, spec := range []AppSpec{MOTDApp(), StacksApp(), WikiApp()} {
+		reqs := requestsFor(spec, 80, 3)
+		run, err := Serve(spec, reqs, 8, 42, CollectKarousos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := VerifyKarousosUnbatched(spec, run.Trace, run.Karousos)
+		if v.Err != nil {
+			t.Errorf("%s: unbatched audit rejected honest run: %v", spec.Name, v.Err)
+		}
+		if v.Stats.Groups != 80 {
+			t.Errorf("%s: unbatched groups = %d, want 80 singletons", spec.Name, v.Stats.Groups)
+		}
+	}
+}
+
+// TestBatchingReducesHandlerRuns: batched re-execution must run each group's
+// handler tree once, so it re-runs strictly fewer handlers than the
+// singleton ablation whenever groups are larger than one.
+func TestBatchingReducesHandlerRuns(t *testing.T) {
+	spec := WikiApp()
+	reqs := requestsFor(spec, 120, 3)
+	run, err := Serve(spec, reqs, 8, 42, CollectKarousos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := VerifyKarousos(spec, run.Trace, run.Karousos)
+	solo := VerifyKarousosUnbatched(spec, run.Trace, run.Karousos)
+	if batched.Err != nil || solo.Err != nil {
+		t.Fatalf("audits failed: %v / %v", batched.Err, solo.Err)
+	}
+	if batched.Stats.HandlersRerun >= solo.Stats.HandlersRerun {
+		t.Errorf("batched re-ran %d handlers, singleton %d — batching gained nothing",
+			batched.Stats.HandlersRerun, solo.Stats.HandlersRerun)
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func TestServeWarmMeasuresTail(t *testing.T) {
+	spec := MOTDApp()
+	reqs := workload.MOTD(100, workload.Mixed, 1)
+	d, err := ServeWarm(spec, reqs, 20, 4, 42, CollectKarousos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Error("non-positive measured duration")
+	}
+	if _, err := ServeWarm(spec, reqs, 200, 1, 42, CollectNone); err == nil {
+		t.Error("warmup larger than workload accepted")
+	}
+}
+
+func TestServeWarmStateCarriesOver(t *testing.T) {
+	// The warm-up requests must execute against the same application state:
+	// a set during warm-up is visible to a get in the measured portion.
+	spec := MOTDApp()
+	reqs := []server.Request{
+		{RID: "w1", Input: value.Map("op", "set", "scope", "always", "msg", "warm")},
+		{RID: "m1", Input: value.Map("op", "get", "day", "mon")},
+	}
+	// ServeWarm discards outputs, so replicate its two-phase structure here
+	// via the underlying server and check the response.
+	app, store := spec.New()
+	srv := server.New(server.Config{App: app, Store: store, Seed: 42})
+	if _, err := srv.Run(reqs[:1], 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Run(reqs[1:], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(res.Trace.Outputs()["m1"], value.Map("msg", "warm", "scope", "always")) {
+		t.Errorf("measured request did not see warm-up state: %v", value.String(res.Trace.Outputs()["m1"]))
+	}
+}
+
+func TestMergeRunsStructure(t *testing.T) {
+	spec := MOTDApp()
+	a, err := Serve(spec, workload.MOTD(4, workload.Mixed, 1), 1, 1, CollectBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Serve(spec, []server.Request{
+		{RID: core.RID("zz1"), Input: value.Map("op", "get", "day", "mon")},
+	}, 1, 2, CollectBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MergeRuns(a, b)
+	if err := m.Trace.CheckBalanced(); err != nil {
+		t.Fatalf("merged trace unbalanced: %v", err)
+	}
+	if got := len(m.Trace.RIDs()); got != 5 {
+		t.Errorf("merged rids = %d, want 5", got)
+	}
+	if len(m.Karousos.Tags) != 5 || len(m.Orochi.Tags) != 5 {
+		t.Error("merged advice missing tags")
+	}
+	// All requests precede all responses in the merged trace (alleged full
+	// concurrency).
+	seenResp := false
+	for _, e := range m.Trace.Events {
+		if e.Kind == 1 { // trace.Resp
+			seenResp = true
+		} else if seenResp {
+			t.Fatal("request after response in merged trace")
+		}
+	}
+}
+
+func TestMergeRunsNilAdvice(t *testing.T) {
+	spec := MOTDApp()
+	a, _ := Serve(spec, workload.MOTD(2, workload.Mixed, 1), 1, 1, CollectNone)
+	b, _ := Serve(spec, []server.Request{
+		{RID: core.RID("zz1"), Input: value.Map("op", "get", "day", "mon")},
+	}, 1, 2, CollectNone)
+	m := MergeRuns(a, b)
+	if m.Karousos != nil || m.Orochi != nil {
+		t.Error("merge of advice-less runs should carry no advice")
+	}
+}
+
+func TestVerifyResultTimings(t *testing.T) {
+	spec := MOTDApp()
+	run, err := Serve(spec, workload.MOTD(30, workload.Mixed, 1), 4, 1, CollectKarousos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := VerifyKarousos(spec, run.Trace, run.Karousos)
+	if v.Err != nil {
+		t.Fatal(v.Err)
+	}
+	if v.Elapsed <= 0 || v.Elapsed > time.Minute {
+		t.Errorf("implausible verify time %v", v.Elapsed)
+	}
+	s := VerifySequential(spec, run.Trace)
+	if s.Err != nil || s.Matched+s.Mismatched != 30 {
+		t.Errorf("sequential replay accounting: %+v", s)
+	}
+}

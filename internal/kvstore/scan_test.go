@@ -1,0 +1,159 @@
+package kvstore
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/value"
+)
+
+func seedRows(t *testing.T, s *Store, kv map[string]string) {
+	t.Helper()
+	tx := s.Begin()
+	i := 0
+	for k, v := range kv {
+		i++
+		if err := tx.Put(k, v, ref("seed", "t0", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanReturnsPrefixInOrder(t *testing.T) {
+	s := New(Serializable)
+	seedRows(t, s, map[string]string{
+		"user:alice": "a", "user:bob": "b", "user:carol": "c", "item:1": "x",
+	})
+	tx := s.Begin()
+	keys, vals, refs, err := tx.Scan("user:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != "user:alice" || keys[1] != "user:bob" || keys[2] != "user:carol" {
+		t.Errorf("keys = %v", keys)
+	}
+	if vals[1] != "b" {
+		t.Errorf("vals = %v", vals)
+	}
+	for i, r := range refs {
+		if r.IsZero() {
+			t.Errorf("refs[%d] is zero; scans must report dictating writes", i)
+		}
+	}
+}
+
+func TestScanEmptyPrefix(t *testing.T) {
+	s := New(Serializable)
+	tx := s.Begin()
+	keys, _, _, err := tx.Scan("none:")
+	if err != nil || len(keys) != 0 {
+		t.Errorf("empty scan: %v %v", keys, err)
+	}
+}
+
+func TestScanSeesOwnPendingWrites(t *testing.T) {
+	s := New(Serializable)
+	seedRows(t, s, map[string]string{"k:1": "old"})
+	tx := s.Begin()
+	if err := tx.Put("k:2", "mine", ref("r", "t", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put("k:1", "updated", ref("r", "t", 3)); err != nil {
+		t.Fatal(err)
+	}
+	keys, vals, _, err := tx.Scan("k:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || vals[0] != "updated" || vals[1] != "mine" {
+		t.Errorf("scan = %v / %v", keys, vals)
+	}
+}
+
+func TestScanDoesNotSeeOthersPending(t *testing.T) {
+	s := New(ReadCommitted)
+	seedRows(t, s, map[string]string{"k:1": "old"})
+	writer := s.Begin()
+	if err := writer.Put("k:2", "pending", ref("r", "t", 2)); err != nil {
+		t.Fatal(err)
+	}
+	reader := s.Begin()
+	keys, _, _, err := reader.Scan("k:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 {
+		t.Errorf("read-committed scan saw pending rows: %v", keys)
+	}
+}
+
+// TestScanPredicateLockBlocksPhantoms: under Serializable, a write matching
+// an active scan's prefix by another transaction must conflict — the store
+// admits no phantoms.
+func TestScanPredicateLockBlocksPhantoms(t *testing.T) {
+	s := New(Serializable)
+	seedRows(t, s, map[string]string{"k:1": "v"})
+	scanner := s.Begin()
+	if _, _, _, err := scanner.Scan("k:"); err != nil {
+		t.Fatal(err)
+	}
+	writer := s.Begin()
+	if err := writer.Put("k:2", "phantom", ref("r", "t", 2)); err != ErrConflict {
+		t.Errorf("phantom insert got %v, want ErrConflict", err)
+	}
+	// Outside the prefix, writes proceed.
+	writer2 := s.Begin()
+	if err := writer2.Put("other:1", "fine", ref("r2", "t2", 2)); err != nil {
+		t.Errorf("unrelated write blocked: %v", err)
+	}
+	// After the scanner finishes, the prefix is writable again.
+	scanner.Commit()
+	writer3 := s.Begin()
+	if err := writer3.Put("k:2", "now-ok", ref("r3", "t3", 2)); err != nil {
+		t.Errorf("write after scanner committed blocked: %v", err)
+	}
+}
+
+// TestScanOverWriteLockedRowConflicts: scanning a prefix containing another
+// transaction's pending write is a read of a write-locked row.
+func TestScanOverWriteLockedRowConflicts(t *testing.T) {
+	s := New(Serializable)
+	seedRows(t, s, map[string]string{"k:1": "v"})
+	writer := s.Begin()
+	if err := writer.Put("k:1", "pending", ref("r", "t", 2)); err != nil {
+		t.Fatal(err)
+	}
+	scanner := s.Begin()
+	if _, _, _, err := scanner.Scan("k:"); err != ErrConflict {
+		t.Errorf("scan over locked row got %v, want ErrConflict", err)
+	}
+}
+
+func TestScanOnDoneTx(t *testing.T) {
+	s := New(Serializable)
+	tx := s.Begin()
+	tx.Commit()
+	if _, _, _, err := tx.Scan("k:"); err != ErrTxDone {
+		t.Errorf("scan on done tx: %v", err)
+	}
+}
+
+func TestScanValuesCloned(t *testing.T) {
+	s := New(Serializable)
+	tx0 := s.Begin()
+	tx0.Put("k:1", value.Map("n", 1), ref("r", "t", 2))
+	tx0.Commit()
+	tx := s.Begin()
+	_, vals, _, err := tx.Scan("k:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0].(map[string]value.V)["n"] = float64(99)
+	tx2 := s.Begin()
+	_, vals2, _, _ := tx2.Scan("k:")
+	if vals2[0].(map[string]value.V)["n"] != float64(1) {
+		t.Error("mutating a Scan result corrupted the store")
+	}
+}

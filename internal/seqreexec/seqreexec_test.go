@@ -1,0 +1,71 @@
+package seqreexec_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/apps/motd"
+	"karousos.dev/karousos/internal/apps/stacks"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/seqreexec"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func TestSequentialReplayMatchesSequentialOriginal(t *testing.T) {
+	// A trace produced at concurrency 1 replays exactly.
+	reqs := workload.MOTD(60, workload.Mixed, 4)
+	srv := server.New(server.Config{App: motd.New(), Seed: 9})
+	res, err := srv.Run(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := seqreexec.Run(motd.New(), nil, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mismatched != 0 || out.Matched != 60 {
+		t.Errorf("matched=%d mismatched=%d", out.Matched, out.Mismatched)
+	}
+}
+
+func TestSequentialReplayDivergesOnConcurrentTrace(t *testing.T) {
+	// A concurrent original can interleave writes between another request's
+	// read-modify-write; sequential replay cannot reproduce that schedule, so
+	// some responses may differ. The baseline must report this honestly
+	// rather than erroring out.
+	reqs := workload.Stacks(80, workload.Mixed, 4, workload.DefaultStacksOptions())
+	srv := server.New(server.Config{App: stacks.New(), Store: kvstore.New(kvstore.Serializable), Seed: 9})
+	res, err := srv.Run(reqs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := seqreexec.Run(stacks.New(), kvstore.New(kvstore.Serializable), res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Matched+out.Mismatched != 80 {
+		t.Errorf("accounted %d responses, want 80", out.Matched+out.Mismatched)
+	}
+	if out.Matched == 0 {
+		t.Error("sequential replay matched nothing; replay is broken, not just reordered")
+	}
+}
+
+func TestSequentialReplayStacksAtConcurrencyOne(t *testing.T) {
+	reqs := workload.Stacks(50, workload.Mixed, 4, workload.DefaultStacksOptions())
+	srv := server.New(server.Config{App: stacks.New(), Store: kvstore.New(kvstore.Serializable), Seed: 9})
+	res, err := srv.Run(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := seqreexec.Run(stacks.New(), kvstore.New(kvstore.Serializable), res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At concurrency 1 the only nondeterminism is sibling scheduling within
+	// one request; the stacks application's responses do not depend on it
+	// except through refresh ordering, which writes the same cache values.
+	if out.Mismatched != 0 {
+		t.Errorf("mismatched=%d at concurrency 1", out.Mismatched)
+	}
+}

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"fmt"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/value"
+)
+
+// The server implements core.Ops; all contexts it creates have width 1
+// (single request) except the init context.
+
+func (s *Server) op(ctx *core.Context, opnum int) core.TaggedOp {
+	return core.TaggedOp{
+		Op:    core.Op{RID: ctx.RIDs()[0], HID: ctx.HID(), Num: opnum},
+		Label: ctx.ActivationLabel(),
+	}
+}
+
+// VarInit implements Figure 13's OnInitialize: the variable starts life with
+// the initial value, and the initialization op is recorded as the most recent
+// write. Because I's operations R-precede everything, this write is never
+// logged.
+func (s *Server) VarInit(ctx *core.Context, v *core.Variable, opnum int, val *mv.MV) {
+	s.lock()
+	defer s.unlock()
+	if s.initDone {
+		panic(fmt.Sprintf("server: variable %s created outside Init; loggable variables must be initialized by the init function", v.ID))
+	}
+	if _, dup := s.vars[v.ID]; dup {
+		panic(fmt.Sprintf("server: duplicate variable id %s", v.ID))
+	}
+	s.vars[v.ID] = &varState{
+		val:       val.At(0),
+		last:      s.op(ctx, opnum),
+		karLogged: make(map[core.Op]bool),
+		oroLogged: make(map[core.Op]bool),
+	}
+}
+
+func (s *Server) varState(v *core.Variable) *varState {
+	vs, ok := s.vars[v.ID]
+	if !ok {
+		panic(fmt.Sprintf("server: unknown variable %s", v.ID))
+	}
+	return vs
+}
+
+// VarRead implements Figure 13's OnRead. Karousos logs the read only when it
+// is R-concurrent with the dictating write (lazily logging that write
+// first); Orochi-JS logs every read.
+func (s *Server) VarRead(ctx *core.Context, v *core.Variable, opnum int) *mv.MV {
+	s.lock()
+	defer s.unlock()
+	vs := s.varState(v)
+	cur := s.op(ctx, opnum)
+	if s.kar != nil && core.RConcurrent(cur, vs.last) {
+		s.karLazyLogWrite(v, vs)
+		e := advice.VarLogEntry{Op: cur.Op, Type: advice.AccessRead, HasPrec: true, Prec: vs.last.Op}
+		s.kar.VarLogs[v.ID] = append(s.kar.VarLogs[v.ID], e)
+		s.wireKar = advice.AppendVarEntry(s.wireKar, &e)
+		vs.karLogged[cur.Op] = true
+	}
+	if s.oro != nil && cur.RID != core.InitRID {
+		s.oroLazyLogWrite(v, vs)
+		e := advice.VarLogEntry{Op: cur.Op, Type: advice.AccessRead, HasPrec: true, Prec: vs.last.Op}
+		s.oro.VarLogs[v.ID] = append(s.oro.VarLogs[v.ID], e)
+		s.wireOro = advice.AppendVarEntry(s.wireOro, &e)
+		vs.oroLogged[cur.Op] = true
+	}
+	return mv.Scalar(vs.val, 1)
+}
+
+// VarWrite implements Figure 13's OnWrite. The write is logged when
+// R-concurrent with the write it overwrites (Karousos) or always (Orochi-JS),
+// and in both cases becomes the variable's most recent write.
+func (s *Server) VarWrite(ctx *core.Context, v *core.Variable, opnum int, val *mv.MV) {
+	s.lock()
+	defer s.unlock()
+	vs := s.varState(v)
+	cur := s.op(ctx, opnum)
+	contents := val.At(0)
+	if s.kar != nil && cur.RID != core.InitRID && core.RConcurrent(cur, vs.last) {
+		s.karLazyLogWrite(v, vs)
+		e := advice.VarLogEntry{
+			Op: cur.Op, Type: advice.AccessWrite, Value: contents,
+			HasPrec: true, Prec: vs.last.Op,
+		}
+		s.kar.VarLogs[v.ID] = append(s.kar.VarLogs[v.ID], e)
+		s.wireKar = advice.AppendVarEntry(s.wireKar, &e)
+		vs.karLogged[cur.Op] = true
+	}
+	if s.oro != nil && cur.RID != core.InitRID {
+		s.oroLazyLogWrite(v, vs)
+		e := advice.VarLogEntry{
+			Op: cur.Op, Type: advice.AccessWrite, Value: contents,
+			HasPrec: true, Prec: vs.last.Op,
+		}
+		s.oro.VarLogs[v.ID] = append(s.oro.VarLogs[v.ID], e)
+		s.wireOro = advice.AppendVarEntry(s.wireOro, &e)
+		vs.oroLogged[cur.Op] = true
+	}
+	vs.val = contents
+	vs.last = cur
+}
+
+// karLazyLogWrite logs the variable's current most-recent write if it was not
+// already logged (Figure 13 lines 14–15 and 21–22): the entry carries the
+// value and no predecessor reference.
+func (s *Server) karLazyLogWrite(v *core.Variable, vs *varState) {
+	if vs.karLogged[vs.last.Op] {
+		return
+	}
+	e := advice.VarLogEntry{Op: vs.last.Op, Type: advice.AccessWrite, Value: vs.val}
+	s.kar.VarLogs[v.ID] = append(s.kar.VarLogs[v.ID], e)
+	s.wireKar = advice.AppendVarEntry(s.wireKar, &e)
+	vs.karLogged[vs.last.Op] = true
+}
+
+func (s *Server) oroLazyLogWrite(v *core.Variable, vs *varState) {
+	if vs.oroLogged[vs.last.Op] {
+		return
+	}
+	e := advice.VarLogEntry{Op: vs.last.Op, Type: advice.AccessWrite, Value: vs.val}
+	s.oro.VarLogs[v.ID] = append(s.oro.VarLogs[v.ID], e)
+	s.wireOro = advice.AppendVarEntry(s.wireOro, &e)
+	vs.oroLogged[vs.last.Op] = true
+}
+
+// Emit adds the event to the pending set: every function currently registered
+// for the name in the request's listener table is activated with the payload,
+// with this handler as activator (§3).
+func (s *Server) Emit(ctx *core.Context, opnum int, event core.EventName, payload *mv.MV) {
+	s.lock()
+	defer s.unlock()
+	rid := ctx.RIDs()[0]
+	if rid == core.InitRID {
+		panic("server: emit from the init function is not supported")
+	}
+	rs := s.requests[rid]
+	if s.collecting() {
+		e := advice.HandlerOp{HID: ctx.HID(), OpNum: opnum, Kind: advice.OpEmit, Event: event}
+		rs.handlerLog = append(rs.handlerLog, e)
+		s.streamHandlerOp(&e)
+	}
+	pv := value.Clone(payload.At(0))
+	for _, fn := range rs.listeners[event] {
+		hid := core.ComputeHID(fn, event, ctx.HID(), opnum)
+		label := ctx.ActivationLabel().Child(rs.childCounters[ctx.HID()])
+		rs.childCounters[ctx.HID()]++
+		rs.outstanding++
+		s.pending = append(s.pending, &activation{
+			rid: rid, fn: fn, event: event, hid: hid, label: label, payload: pv,
+		})
+	}
+}
+
+// Register adds fn as a listener for event in the request-local table. The
+// init function's registrations instead populate the global handler table.
+func (s *Server) Register(ctx *core.Context, opnum int, event core.EventName, fn core.FunctionID) {
+	s.lock()
+	defer s.unlock()
+	rid := ctx.RIDs()[0]
+	if rid == core.InitRID {
+		for _, g := range s.globalListeners[event] {
+			if g == fn {
+				panic(fmt.Sprintf("server: %s already registered for %s", fn, event))
+			}
+		}
+		s.globalListeners[event] = append(s.globalListeners[event], fn)
+		return
+	}
+	rs := s.requests[rid]
+	for _, g := range rs.listeners[event] {
+		if g == fn {
+			panic(fmt.Sprintf("server: %s already registered for %s in request %s", fn, event, rid))
+		}
+	}
+	rs.listeners[event] = append(rs.listeners[event], fn)
+	if s.collecting() {
+		e := advice.HandlerOp{
+			HID: ctx.HID(), OpNum: opnum, Kind: advice.OpRegister,
+			Events: []core.EventName{event}, Fn: fn,
+		}
+		rs.handlerLog = append(rs.handlerLog, e)
+		s.streamHandlerOp(&e)
+	}
+}
+
+// Unregister removes fn as a listener for event in the request-local table.
+func (s *Server) Unregister(ctx *core.Context, opnum int, event core.EventName, fn core.FunctionID) {
+	s.lock()
+	defer s.unlock()
+	rid := ctx.RIDs()[0]
+	if rid == core.InitRID {
+		panic("server: unregister from the init function is not supported")
+	}
+	rs := s.requests[rid]
+	fns := rs.listeners[event]
+	for i, g := range fns {
+		if g == fn {
+			rs.listeners[event] = append(fns[:i:i], fns[i+1:]...)
+			break
+		}
+	}
+	if s.collecting() {
+		e := advice.HandlerOp{
+			HID: ctx.HID(), OpNum: opnum, Kind: advice.OpUnregister,
+			Event: event, Fn: fn,
+		}
+		rs.handlerLog = append(rs.handlerLog, e)
+		s.streamHandlerOp(&e)
+	}
+}
+
+func (s *Server) collecting() bool { return s.kar != nil || s.oro != nil }
+
+// streamHandlerOp appends a handler-log entry's wire encoding to the advice
+// streams being collected.
+func (s *Server) streamHandlerOp(e *advice.HandlerOp) {
+	if s.kar != nil {
+		s.wireKar = advice.AppendHandlerOp(s.wireKar, e)
+	}
+	if s.oro != nil {
+		s.wireOro = advice.AppendHandlerOp(s.wireOro, e)
+	}
+}
+
+// TxOp executes one transactional operation against the store and logs it in
+// the transaction log (§4.4). A store-level conflict aborts the transaction;
+// the server then logs tx_abort at this op number, which is what lets the
+// verifier's CheckStateOp replay the failure (Figure 19).
+func (s *Server) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOpType, key *mv.MV, val *mv.MV) (*mv.MV, bool) {
+	s.lock()
+	defer s.unlock()
+	if s.cfg.Store == nil {
+		panic("server: app issued a transactional op but no store is configured")
+	}
+	rid := ctx.RIDs()[0]
+	if rid == core.InitRID {
+		panic("server: transactions are not allowed in the init function")
+	}
+	k := txKey{rid: rid, tid: tx.ID}
+	ts := s.txs[k]
+	logOp := func(e advice.TxOp) int {
+		e.HID = ctx.HID()
+		e.OpNum = opnum
+		ts.log = append(ts.log, e)
+		if s.kar != nil {
+			s.wireKar = advice.AppendTxOp(s.wireKar, &e)
+		}
+		if s.oro != nil {
+			s.wireOro = advice.AppendTxOp(s.wireOro, &e)
+		}
+		return len(ts.log)
+	}
+	switch op {
+	case core.TxStart:
+		if ts != nil {
+			panic(fmt.Sprintf("server: duplicate transaction %s in request %s", tx.ID, rid))
+		}
+		ts = &txState{txn: s.cfg.Store.BeginTx(rid, tx.ID)}
+		s.txs[k] = ts
+		logOp(advice.TxOp{Type: core.TxStart})
+		return nil, true
+
+	case core.TxGet:
+		keyStr := keyString(key)
+		v, ref, _, err := ts.txn.Get(keyStr)
+		if err == kvstore.ErrConflict {
+			logOp(advice.TxOp{Type: core.TxAbort})
+			s.flushTxLog(k, ts)
+			return nil, false
+		}
+		if err != nil {
+			panic("server: " + err.Error())
+		}
+		e := advice.TxOp{Type: core.TxGet, Key: keyStr}
+		if !ref.IsZero() {
+			e.ReadFrom = &advice.TxPos{RID: ref.RID, TID: ref.TID, Index: ref.Index}
+		}
+		logOp(e)
+		return mv.Scalar(v, 1), true
+
+	case core.TxPut:
+		keyStr := keyString(key)
+		contents := val.At(0)
+		idx := len(ts.log) + 1
+		err := ts.txn.Put(keyStr, contents, kvstore.WriteRef{RID: rid, TID: tx.ID, Index: idx})
+		if err == kvstore.ErrConflict {
+			logOp(advice.TxOp{Type: core.TxAbort})
+			s.flushTxLog(k, ts)
+			return nil, false
+		}
+		if err != nil {
+			panic("server: " + err.Error())
+		}
+		logOp(advice.TxOp{Type: core.TxPut, Key: keyStr, Contents: contents})
+		return nil, true
+
+	case core.TxScan:
+		prefix := keyString(key)
+		keys, vals, refs, err := ts.txn.Scan(prefix)
+		if err == kvstore.ErrConflict {
+			logOp(advice.TxOp{Type: core.TxAbort})
+			s.flushTxLog(k, ts)
+			return nil, false
+		}
+		if err != nil {
+			panic("server: " + err.Error())
+		}
+		e := advice.TxOp{Type: core.TxScan, Key: prefix}
+		rows := make([]value.V, len(keys))
+		for i := range keys {
+			e.ReadSet = append(e.ReadSet, advice.ScanRead{
+				Key:      keys[i],
+				ReadFrom: advice.TxPos{RID: refs[i].RID, TID: refs[i].TID, Index: refs[i].Index},
+			})
+			rows[i] = value.Map("key", keys[i], "value", vals[i])
+		}
+		logOp(e)
+		return mv.Scalar(rows, 1), true
+
+	case core.TxCommit:
+		if err := ts.txn.Commit(); err != nil {
+			panic("server: " + err.Error())
+		}
+		logOp(advice.TxOp{Type: core.TxCommit})
+		s.flushTxLog(k, ts)
+		return nil, true
+
+	case core.TxAbort:
+		ts.txn.Abort()
+		logOp(advice.TxOp{Type: core.TxAbort})
+		s.flushTxLog(k, ts)
+		return nil, true
+	}
+	panic(fmt.Sprintf("server: unknown tx op %v", op))
+}
+
+func keyString(key *mv.MV) string {
+	k, ok := key.At(0).(string)
+	if !ok {
+		panic(fmt.Sprintf("server: transactional keys must be strings, got %T", key.At(0)))
+	}
+	return k
+}
+
+// flushTxLog moves a finished transaction's log into the advice.
+func (s *Server) flushTxLog(k txKey, ts *txState) {
+	if s.kar != nil {
+		s.kar.TxLogs = append(s.kar.TxLogs, advice.TxLog{RID: k.rid, TID: k.tid, Ops: append([]advice.TxOp(nil), ts.log...)})
+	}
+	if s.oro != nil {
+		s.oro.TxLogs = append(s.oro.TxLogs, advice.TxLog{RID: k.rid, TID: k.tid, Ops: append([]advice.TxOp(nil), ts.log...)})
+	}
+}
+
+// Respond delivers the response through the trusted collector and records
+// responseEmittedBy (C.1.3).
+func (s *Server) Respond(ctx *core.Context, opsIssued int, payload *mv.MV) {
+	s.lock()
+	defer s.unlock()
+	rid := ctx.RIDs()[0]
+	rs := s.requests[rid]
+	if rs.responded {
+		panic(fmt.Sprintf("server: request %s responded twice", rid))
+	}
+	rs.responded = true
+	rs.response = advice.OpAt{HID: ctx.HID(), OpNum: opsIssued}
+	s.collector.Response(string(rid), payload.At(0))
+}
+
+// Branch records the control-flow decision into the handler's running
+// control-flow digest (§5) and returns the direction taken.
+func (s *Server) Branch(ctx *core.Context, site string, cond *mv.MV) bool {
+	taken, ok := cond.Bool()
+	if !ok {
+		panic("server: branch condition must be a boolean")
+	}
+	if s.collecting() {
+		s.lock()
+		if st := s.states[ctx]; st != nil {
+			st.cfd = cfdUpdate(st.cfd, site, taken)
+		}
+		s.unlock()
+	}
+	return taken
+}
+
+// Nondet evaluates the generator for the request and records the result in
+// the advice so the verifier can replay it (§5).
+func (s *Server) Nondet(ctx *core.Context, opnum int, site string, gen func(rid core.RID) value.V) *mv.MV {
+	s.lock()
+	defer s.unlock()
+	rid := ctx.RIDs()[0]
+	v := value.Normalize(gen(rid))
+	e := advice.NondetEntry{Op: core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, Value: v}
+	if s.kar != nil {
+		s.kar.Nondet = append(s.kar.Nondet, e)
+	}
+	if s.oro != nil {
+		s.oro.Nondet = append(s.oro.Nondet, e)
+	}
+	return mv.Scalar(v, 1)
+}

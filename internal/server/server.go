@@ -1,0 +1,483 @@
+// Package server implements the online, untrusted-side runtime: a KEM
+// dispatch loop (paper §3) that serves requests against an application,
+// records the ground-truth trace through the trusted collector, and — when
+// advice collection is enabled — produces the advice of Appendix C.1.3:
+// control-flow tags (§4.1/§5), handler logs, R-concurrency-filtered variable
+// logs (Figure 13), transaction logs with dictating PUTs, the binlog-derived
+// write order, opcounts, responseEmittedBy, and recorded non-determinism.
+//
+// The same runtime serves three roles via configuration: the unmodified
+// baseline (no collection), the Karousos server, and the Orochi-JS server
+// (sequence-based tags, log-every-access variable logs). Karousos and
+// Orochi-JS advice can be collected in one run, which is how the paper's
+// artifact produces verification-time comparisons from a single trace.
+//
+// Like Node.js, the dispatch loop runs handlers to completion one at a time;
+// concurrency is the interleaving of many in-flight requests' pending
+// activations. A seeded scheduler picks the next activation, so experiments
+// are reproducible while still exercising R-concurrency and transaction
+// conflicts.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+)
+
+// Config configures a server run.
+type Config struct {
+	// App is the application factory's product for this runtime.
+	App *core.App
+	// Store is the transactional KV store; nil if the app uses none.
+	Store *kvstore.Store
+	// Seed drives the activation scheduler.
+	Seed int64
+	// Workers selects the dispatch mode: 0 or 1 is the Node.js-style
+	// single-threaded loop; higher values run that many OS threads executing
+	// handler activations in parallel. KEM explicitly permits concurrently
+	// executing handlers (§3: "KEM models a runtime that can have multiple
+	// concurrent threads"), and the audit algorithms make no assumption
+	// about the dispatch loop — the verifier is unchanged in this mode.
+	// Parallel runs are not deterministic in Seed.
+	Workers int
+	// CollectKarousos enables Karousos advice collection.
+	CollectKarousos bool
+	// CollectOrochi enables Orochi-JS advice collection.
+	CollectOrochi bool
+}
+
+// Request is one incoming request to serve.
+type Request struct {
+	RID   core.RID
+	Input value.V
+}
+
+// Result carries everything a run produced.
+type Result struct {
+	Trace    *trace.Trace
+	Karousos *advice.Advice // nil unless collected
+	Orochi   *advice.Advice // nil unless collected
+	// Conflicts counts store-level transaction aborts due to contention.
+	Conflicts int
+}
+
+// Server executes an application under the KEM dispatch loop.
+type Server struct {
+	cfg       Config
+	rng       *rand.Rand
+	collector *trace.Collector
+
+	kar *advice.Advice
+	oro *advice.Advice
+
+	// wireKar/wireOro accumulate the streamed wire encoding of log entries
+	// as they are produced. A deployed server ships advice continuously
+	// rather than materializing it at the end of an audit period, so the
+	// encoding cost — proportional to logged value sizes — is charged to the
+	// serving path, exactly where the paper measures it (§6.1).
+	wireKar []byte
+	wireOro []byte
+
+	// global listener table built by Init: registration order preserved.
+	globalListeners map[core.EventName][]core.FunctionID
+
+	vars map[core.VarID]*varState
+
+	pending  []*activation
+	requests map[core.RID]*reqState
+
+	txs map[txKey]*txState
+
+	// mu serializes every special operation (variable, handler, state, and
+	// trace-recording operations) when Workers > 1; pure handler computation
+	// runs outside it, which is where parallel dispatch gains. KEM assumes
+	// sequentially consistent variable accesses (§3), which the mutex
+	// provides. Single-threaded mode skips locking.
+	mu       sync.Mutex
+	parallel bool
+
+	// states tracks each running activation's control-flow digest, keyed by
+	// its context (one context per activation).
+	states map[*core.Context]*runState
+
+	initDone bool
+}
+
+type txKey struct {
+	rid core.RID
+	tid core.TxID
+}
+
+type txState struct {
+	txn *kvstore.Txn
+	log []advice.TxOp
+}
+
+type reqState struct {
+	outstanding int // pending or running activations
+	responded   bool
+	// handlerLog accumulates this request's handler operations in issue
+	// order.
+	handlerLog []advice.HandlerOp
+	// listeners is the request-local listener table (global handlers plus
+	// request-scoped registrations; Figure 16's per-request Registered set).
+	listeners map[core.EventName][]core.FunctionID
+	// opcounts per handler activation.
+	opcounts map[core.HID]int
+	// tag material: per handler (hid, control-flow digest), in activation
+	// order for Orochi and as a set for Karousos.
+	tagParts []tagPart
+	// childCounters assigns activation labels: children per parent hid.
+	childCounters map[core.HID]int
+	response      advice.OpAt
+}
+
+type tagPart struct {
+	hid core.HID
+	cfd uint64
+}
+
+type activation struct {
+	rid     core.RID
+	fn      core.FunctionID
+	event   core.EventName
+	hid     core.HID
+	label   core.Label
+	payload value.V
+}
+
+type varState struct {
+	val  value.V
+	last core.TaggedOp // most recent write (the Figure 13 v.rid/hid/opnum fields)
+
+	karLogged map[core.Op]bool
+	oroLogged map[core.Op]bool
+}
+
+// New builds a server and runs the application's initialization function
+// (the designated init of §3): global handler registrations and variable
+// initializations happen here, under the pseudo-activation I.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:             cfg,
+		rng:             rand.New(rand.NewSource(cfg.Seed)),
+		collector:       trace.NewCollector(),
+		globalListeners: make(map[core.EventName][]core.FunctionID),
+		vars:            make(map[core.VarID]*varState),
+		requests:        make(map[core.RID]*reqState),
+		txs:             make(map[txKey]*txState),
+		states:          make(map[*core.Context]*runState),
+		parallel:        cfg.Workers > 1,
+	}
+	if cfg.CollectKarousos {
+		s.kar = advice.New(advice.ModeKarousos)
+	}
+	if cfg.CollectOrochi {
+		s.oro = advice.New(advice.ModeOrochiJS)
+	}
+	if cfg.App.Init != nil {
+		ictx := core.NewContext(s, []core.RID{core.InitRID}, core.InitHID, "", "", core.InitLabel)
+		cfg.App.Init(ictx)
+	}
+	s.initDone = true
+	return s
+}
+
+// Run serves the requests with the given admission concurrency and returns
+// the trace plus collected advice. concurrency is the paper's "number of
+// concurrent requests": at most that many requests are in flight at once.
+func (s *Server) Run(reqs []Request, concurrency int) (*Result, error) {
+	if concurrency < 1 {
+		return nil, fmt.Errorf("server: concurrency must be ≥ 1, got %d", concurrency)
+	}
+	var runErr error
+	if s.parallel {
+		runErr = s.runParallel(reqs, concurrency)
+	} else {
+		runErr = s.runSingle(reqs, concurrency)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	res := &Result{Trace: s.collector.Trace(), Karousos: s.kar, Orochi: s.oro}
+	if s.cfg.Store != nil {
+		_, aborts := s.cfg.Store.Stats()
+		res.Conflicts = aborts
+		wo := make([]advice.TxPos, 0)
+		for _, ref := range s.cfg.Store.Binlog() {
+			wo = append(wo, advice.TxPos{RID: ref.RID, TID: ref.TID, Index: ref.Index})
+		}
+		var to []advice.TxOrderEvent
+		for _, ev := range s.cfg.Store.TxEvents() {
+			to = append(to, advice.TxOrderEvent{Kind: uint8(ev.Kind), RID: ev.RID, TID: ev.TID})
+		}
+		if s.kar != nil {
+			s.kar.WriteOrder = wo
+			s.kar.TxOrder = to
+		}
+		if s.oro != nil {
+			s.oro.WriteOrder = append([]advice.TxPos(nil), wo...)
+			s.oro.TxOrder = append([]advice.TxOrderEvent(nil), to...)
+		}
+	}
+	return res, nil
+}
+
+// runSingle is the Node.js-style dispatch loop: one activation at a time,
+// picked pseudo-randomly from the pending set.
+func (s *Server) runSingle(reqs []Request, concurrency int) error {
+	next := 0
+	inflight := 0
+	admit := func() {
+		for inflight < concurrency && next < len(reqs) {
+			r := reqs[next]
+			next++
+			inflight++
+			s.admit(r)
+		}
+	}
+	admit()
+	for len(s.pending) > 0 {
+		i := s.rng.Intn(len(s.pending))
+		act := s.pending[i]
+		s.pending[i] = s.pending[len(s.pending)-1]
+		s.pending = s.pending[:len(s.pending)-1]
+		s.runActivation(act)
+		rs := s.requests[act.rid]
+		rs.outstanding--
+		if rs.outstanding == 0 {
+			if !rs.responded {
+				return fmt.Errorf("server: request %s finished without responding", act.rid)
+			}
+			s.finishRequest(act.rid, rs)
+			inflight--
+			admit()
+		}
+	}
+	return nil
+}
+
+// runParallel dispatches pending activations to cfg.Workers goroutines.
+// Every special operation serializes on s.mu (sequential consistency for
+// variables, atomic advice appends, ordered trace events); the computation
+// between operations runs in parallel. The audit algorithms never assumed a
+// single-threaded server, so honest parallel executions verify unchanged.
+func (s *Server) runParallel(reqs []Request, concurrency int) error {
+	next := 0
+	inflight := 0
+	running := 0
+	var firstErr error
+	cond := sync.NewCond(&s.mu)
+
+	admit := func() { // caller holds s.mu
+		for inflight < concurrency && next < len(reqs) {
+			r := reqs[next]
+			next++
+			inflight++
+			s.admit(r)
+		}
+	}
+
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		for {
+			s.mu.Lock()
+			for len(s.pending) == 0 && running > 0 && firstErr == nil {
+				cond.Wait()
+			}
+			if firstErr != nil || (len(s.pending) == 0 && running == 0) {
+				s.mu.Unlock()
+				cond.Broadcast()
+				return
+			}
+			i := s.rng.Intn(len(s.pending))
+			act := s.pending[i]
+			s.pending[i] = s.pending[len(s.pending)-1]
+			s.pending = s.pending[:len(s.pending)-1]
+			running++
+			s.mu.Unlock()
+
+			s.runActivation(act)
+
+			s.mu.Lock()
+			running--
+			rs := s.requests[act.rid]
+			rs.outstanding--
+			if rs.outstanding == 0 {
+				if !rs.responded {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("server: request %s finished without responding", act.rid)
+					}
+				} else {
+					s.finishRequest(act.rid, rs)
+					inflight--
+					admit()
+				}
+			}
+			cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	admit()
+	s.mu.Unlock()
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func (s *Server) admit(r Request) {
+	rid := r.RID
+	if _, dup := s.requests[rid]; dup {
+		panic(fmt.Sprintf("server: duplicate rid %s", rid))
+	}
+	input := value.Normalize(r.Input)
+	s.collector.Request(string(rid), input)
+	rs := &reqState{
+		listeners:     make(map[core.EventName][]core.FunctionID, len(s.globalListeners)),
+		opcounts:      make(map[core.HID]int),
+		childCounters: make(map[core.HID]int),
+	}
+	for ev, fns := range s.globalListeners {
+		rs.listeners[ev] = append([]core.FunctionID(nil), fns...)
+	}
+	s.requests[rid] = rs
+	// Activate the request handlers: all functions registered for the
+	// request event, with activator I and emit index 0 (Figure 18 line 11).
+	for _, fn := range rs.listeners[s.cfg.App.RequestEvent] {
+		hid := core.RequestHID(fn, s.cfg.App.RequestEvent)
+		label := core.InitLabel.Child(rs.childCounters[core.InitHID])
+		rs.childCounters[core.InitHID]++
+		rs.outstanding++
+		s.pending = append(s.pending, &activation{
+			rid: rid, fn: fn, event: s.cfg.App.RequestEvent,
+			hid: hid, label: label, payload: input,
+		})
+	}
+	if rs.outstanding == 0 {
+		panic("server: app registered no request handlers")
+	}
+}
+
+// cfDigests tracks the running control-flow digest of the current handler
+// activation; the server is single-threaded so one slot suffices.
+type runState struct {
+	act *activation
+	cfd uint64
+}
+
+var fnvOffset = fnv.New64a().Sum64()
+
+func cfdUpdate(cfd uint64, site string, taken bool) uint64 {
+	h := fnv.New64a()
+	var b [1]byte
+	if taken {
+		b[0] = 1
+	}
+	h.Write([]byte(site))
+	h.Write(b[:])
+	return cfd*1099511628211 ^ h.Sum64()
+}
+
+func (s *Server) runActivation(act *activation) {
+	st := &runState{act: act, cfd: fnvOffset}
+	ctx := core.NewContext(s, []core.RID{act.rid}, act.hid, act.fn, act.event, act.label)
+	s.lock()
+	s.states[ctx] = st
+	s.unlock()
+	s.cfg.App.Func(act.fn)(ctx, mv.Scalar(act.payload, 1))
+	s.lock()
+	rs := s.requests[act.rid]
+	rs.opcounts[act.hid] = ctx.OpsIssued()
+	rs.tagParts = append(rs.tagParts, tagPart{hid: act.hid, cfd: st.cfd})
+	delete(s.states, ctx)
+	s.unlock()
+}
+
+// lock/unlock guard shared server state in parallel mode and are no-ops in
+// the single-threaded loop (which owns all state by construction).
+func (s *Server) lock() {
+	if s.parallel {
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) unlock() {
+	if s.parallel {
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) finishRequest(rid core.RID, rs *reqState) {
+	if s.kar != nil {
+		s.kar.Tags[rid] = karousosTag(rs.tagParts)
+		s.kar.OpCounts[rid] = cloneCounts(rs.opcounts)
+		s.kar.ResponseEmittedBy[rid] = rs.response
+		s.kar.HandlerLogs[rid] = append([]advice.HandlerOp(nil), rs.handlerLog...)
+	}
+	if s.oro != nil {
+		s.oro.Tags[rid] = orochiTag(rs.tagParts)
+		s.oro.OpCounts[rid] = cloneCounts(rs.opcounts)
+		s.oro.ResponseEmittedBy[rid] = rs.response
+		s.oro.HandlerLogs[rid] = append([]advice.HandlerOp(nil), rs.handlerLog...)
+	}
+}
+
+func cloneCounts(m map[core.HID]int) map[core.HID]int {
+	out := make(map[core.HID]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// karousosTag groups requests with the same tree of handlers and the same
+// in-handler control flow (§4.1): a digest of the *set* of (handlerID,
+// control-flow digest) pairs. Because handlerIDs encode function, activating
+// event, activator, and emit index, equal sets imply topologically equal
+// trees regardless of activation order.
+func karousosTag(parts []tagPart) string {
+	sorted := append([]tagPart(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].hid != sorted[j].hid {
+			return sorted[i].hid < sorted[j].hid
+		}
+		return sorted[i].cfd < sorted[j].cfd
+	})
+	return digestParts(sorted)
+}
+
+// orochiTag groups requests only if they executed the identical *sequence* of
+// handlers (§6 Baselines): the digest is order-sensitive, so two requests
+// whose unordered handlers interleaved differently land in different groups.
+func orochiTag(parts []tagPart) string {
+	return digestParts(parts)
+}
+
+func digestParts(parts []tagPart) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range parts {
+		h.Write([]byte(p.hid))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(p.cfd >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,168 @@
+// Package trace implements the ground-truth request/response trace and the
+// trusted collector that records it (paper §2.1, Definition 1).
+//
+// The trace is the only trusted input to an audit: an ordered list of request
+// events (REQ, rid, input) and response events (RESP, rid, output) in
+// chronological order. Everything else the verifier consumes — the advice —
+// is untrusted.
+package trace
+
+import (
+	"fmt"
+
+	"karousos.dev/karousos/internal/value"
+)
+
+// Kind distinguishes request and response events.
+type Kind uint8
+
+const (
+	// Req marks the arrival of a request at the server.
+	Req Kind = iota
+	// Resp marks the delivery of a response from the server.
+	Resp
+)
+
+func (k Kind) String() string {
+	if k == Req {
+		return "REQ"
+	}
+	return "RESP"
+}
+
+// Event is one entry of the trace: (REQ, rid, x) or (RESP, rid, y).
+type Event struct {
+	Kind Kind
+	RID  string
+	Data value.V
+}
+
+// Trace is the chronological list of events the collector observed.
+type Trace struct {
+	Events []Event
+}
+
+// Collector is the trusted bump-in-the-wire component. The server runtime
+// calls Request and Response exactly when bytes would cross the wire; in a
+// deployment this component sits outside the untrusted server (§2.2), and in
+// tests it is what an adversarial server cannot forge.
+type Collector struct {
+	tr Trace
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Request records the arrival of request rid with input x.
+func (c *Collector) Request(rid string, x value.V) {
+	c.tr.Events = append(c.tr.Events, Event{Kind: Req, RID: rid, Data: value.Clone(value.Normalize(x))})
+}
+
+// Response records the delivery of the response for rid with output y.
+func (c *Collector) Response(rid string, y value.V) {
+	c.tr.Events = append(c.tr.Events, Event{Kind: Resp, RID: rid, Data: value.Clone(value.Normalize(y))})
+}
+
+// Trace returns the collected trace. The caller takes ownership; the
+// collector must not be used afterwards.
+func (c *Collector) Trace() *Trace {
+	t := c.tr
+	c.tr = Trace{}
+	return &t
+}
+
+// CheckBalanced verifies the structural sanity the verifier's Preprocess
+// requires (Figure 14 line 19): every request id appears exactly once as a
+// REQ and exactly once as a RESP, and its REQ precedes its RESP.
+func (t *Trace) CheckBalanced() error {
+	reqAt := make(map[string]int, len(t.Events)/2)
+	respAt := make(map[string]int, len(t.Events)/2)
+	for i, e := range t.Events {
+		switch e.Kind {
+		case Req:
+			if _, dup := reqAt[e.RID]; dup {
+				return fmt.Errorf("trace: duplicate REQ for rid %q", e.RID)
+			}
+			reqAt[e.RID] = i
+		case Resp:
+			if _, dup := respAt[e.RID]; dup {
+				return fmt.Errorf("trace: duplicate RESP for rid %q", e.RID)
+			}
+			respAt[e.RID] = i
+		}
+	}
+	if len(reqAt) != len(respAt) {
+		return fmt.Errorf("trace: %d requests but %d responses", len(reqAt), len(respAt))
+	}
+	for rid, ri := range reqAt {
+		pi, ok := respAt[rid]
+		if !ok {
+			return fmt.Errorf("trace: request %q has no response", rid)
+		}
+		if pi < ri {
+			return fmt.Errorf("trace: response for %q precedes its request", rid)
+		}
+	}
+	return nil
+}
+
+// RIDs returns the request ids in order of request arrival.
+func (t *Trace) RIDs() []string {
+	var out []string
+	for _, e := range t.Events {
+		if e.Kind == Req {
+			out = append(out, e.RID)
+		}
+	}
+	return out
+}
+
+// Inputs returns a map from rid to request input.
+func (t *Trace) Inputs() map[string]value.V {
+	out := make(map[string]value.V)
+	for _, e := range t.Events {
+		if e.Kind == Req {
+			out[e.RID] = e.Data
+		}
+	}
+	return out
+}
+
+// Outputs returns a map from rid to the traced response.
+func (t *Trace) Outputs() map[string]value.V {
+	out := make(map[string]value.V)
+	for _, e := range t.Events {
+		if e.Kind == Resp {
+			out[e.RID] = e.Data
+		}
+	}
+	return out
+}
+
+// PrecedencePair is one time-precedence fact: the response of Before was
+// delivered strictly before the request of After arrived, so any valid
+// schedule must order them (Orochi's CreateTimePrecedenceGraph, reused by
+// Karousos §4.3).
+type PrecedencePair struct {
+	Before, After string
+}
+
+// PrecedencePairs returns a transitively-sufficient set of time-precedence
+// facts in O(n) pairs: each response is linked to the next request event, and
+// the verifier inserts barrier chaining so the transitive closure covers
+// every earlier response vs. every later request.
+//
+// The returned slices are grouped: Links[i] says "all responses with
+// BarrierIndex ≤ i precede request Reqs[i]". The verifier materializes this
+// with one barrier-node chain rather than O(n²) edges.
+type PrecedenceSchedule struct {
+	// Order lists the trace events as (kind, rid) in chronological order,
+	// already filtered to REQ/RESP.
+	Order []Event
+}
+
+// Precedence returns the chronological event order used to build the
+// time-precedence portion of the execution graph.
+func (t *Trace) Precedence() PrecedenceSchedule {
+	return PrecedenceSchedule{Order: t.Events}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/value"
+)
+
+func collect(events ...Event) *Trace {
+	return &Trace{Events: events}
+}
+
+func TestCollectorRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.Request("r1", value.Map("op", "get"))
+	c.Request("r2", value.Map("op", "set"))
+	c.Response("r2", value.Map("status", "ok"))
+	c.Response("r1", "hello")
+	tr := c.Trace()
+	if len(tr.Events) != 4 {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatalf("balanced: %v", err)
+	}
+	if got := tr.RIDs(); len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Errorf("RIDs = %v", got)
+	}
+	if !value.Equal(tr.Inputs()["r1"], value.Map("op", "get")) {
+		t.Error("input r1 wrong")
+	}
+	if !value.Equal(tr.Outputs()["r1"], "hello") {
+		t.Error("output r1 wrong")
+	}
+}
+
+func TestCollectorClonesInputs(t *testing.T) {
+	c := NewCollector()
+	in := value.Map("k", "v")
+	c.Request("r1", in)
+	in["k"] = "mutated"
+	c.Response("r1", nil)
+	tr := c.Trace()
+	if tr.Inputs()["r1"].(map[string]value.V)["k"] != "v" {
+		t.Error("collector must clone inputs: later mutation leaked into the trace")
+	}
+}
+
+func TestCollectorResetsAfterTrace(t *testing.T) {
+	c := NewCollector()
+	c.Request("r1", nil)
+	c.Response("r1", nil)
+	_ = c.Trace()
+	c.Request("r2", nil)
+	c.Response("r2", nil)
+	tr := c.Trace()
+	if len(tr.Events) != 2 {
+		t.Errorf("second trace has %d events, want 2", len(tr.Events))
+	}
+}
+
+func TestCheckBalancedRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"dup-req", collect(
+			Event{Req, "r1", nil}, Event{Req, "r1", nil}, Event{Resp, "r1", nil})},
+		{"dup-resp", collect(
+			Event{Req, "r1", nil}, Event{Resp, "r1", nil}, Event{Resp, "r1", nil})},
+		{"missing-resp", collect(
+			Event{Req, "r1", nil}, Event{Req, "r2", nil}, Event{Resp, "r1", nil})},
+		{"resp-without-req", collect(
+			Event{Resp, "r1", nil}, Event{Req, "r2", nil}, Event{Resp, "r2", nil})},
+		{"resp-before-req", collect(
+			Event{Resp, "r1", nil}, Event{Req, "r1", nil})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.tr.CheckBalanced(); err == nil {
+				t.Errorf("CheckBalanced accepted malformed trace %s", c.name)
+			}
+		})
+	}
+}
+
+func TestCheckBalancedAcceptsInterleaved(t *testing.T) {
+	tr := collect(
+		Event{Req, "r1", nil},
+		Event{Req, "r2", nil},
+		Event{Resp, "r2", nil},
+		Event{Req, "r3", nil},
+		Event{Resp, "r1", nil},
+		Event{Resp, "r3", nil},
+	)
+	if err := tr.CheckBalanced(); err != nil {
+		t.Errorf("interleaved balanced trace rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Req.String() != "REQ" || Resp.String() != "RESP" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestEmptyTraceBalanced(t *testing.T) {
+	if err := (&Trace{}).CheckBalanced(); err != nil {
+		t.Errorf("empty trace should be balanced: %v", err)
+	}
+}

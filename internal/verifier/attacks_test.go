@@ -1,0 +1,614 @@
+// Attack tests: every scenario here is a misbehaving server trying to get a
+// bogus (trace, advice) pair past the audit. Soundness (§2.1, Definition 6)
+// says the verifier must reject all of them. Each test starts from an honest
+// run and applies one forgery, or constructs an impossible execution
+// wholesale (the Figure 5 family).
+package verifier_test
+
+import (
+	"strings"
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// litmusApp is the store-buffer litmus test shaped like Figure 5: a "left"
+// request writes x then reads y; a "right" request writes y then reads x.
+// Handlers run to completion, so in any real schedule at least one request
+// observes the other's write — both responding 0 is physically impossible.
+func litmusApp() func() *core.App {
+	return func() *core.App {
+		var x, y *core.Variable
+		app := &core.App{Name: "litmus", RequestEvent: "request"}
+		app.Init = func(ctx *core.Context) {
+			x = ctx.VarNew("x", ctx.Scalar(0))
+			y = ctx.VarNew("y", ctx.Scalar(0))
+			ctx.Register("request", "h")
+		}
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"h": func(ctx *core.Context, p *mv.MV) {
+				left := ctx.Branch("op-left", ctx.Apply(func(a []value.V) value.V {
+					return appkit.Str(appkit.Field(a[0], "op")) == "left"
+				}, p))
+				if left {
+					ctx.Write(x, ctx.Scalar(1))
+					ctx.Respond(ctx.Read(y))
+				} else {
+					ctx.Write(y, ctx.Scalar(1))
+					ctx.Respond(ctx.Read(x))
+				}
+			},
+		}
+		return app
+	}
+}
+
+func auditLitmus(tr *trace.Trace, adv *advice.Advice) error {
+	_, err := verifier.Audit(verifier.Config{App: litmusApp()(), Mode: advice.ModeKarousos}, tr, adv)
+	return err
+}
+
+func serveLitmus(t *testing.T, reqs []server.Request, conc int, seed int64) (*trace.Trace, *advice.Advice) {
+	t.Helper()
+	srv := server.New(server.Config{App: litmusApp()(), Seed: seed, CollectKarousos: true})
+	res, err := srv.Run(reqs, conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace, res.Karousos
+}
+
+func leftReq(rid string) server.Request {
+	return server.Request{RID: core.RID(rid), Input: value.Map("op", "left")}
+}
+func rightReq(rid string) server.Request {
+	return server.Request{RID: core.RID(rid), Input: value.Map("op", "right")}
+}
+
+func TestLitmusHonestAccepted(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		tr, adv := serveLitmus(t, []server.Request{leftReq("r1"), rightReq("r2")}, 2, seed)
+		if err := auditLitmus(tr, adv); err != nil {
+			t.Fatalf("seed %d: honest litmus run rejected: %v", seed, err)
+		}
+	}
+}
+
+// TestFigure5ImpossibleInterleavingRejected is the flagship soundness test:
+// the adversary executes each request on a private copy of the state (so
+// both respond 0), merges the two runs' traces and advice, and submits the
+// result. Every local check passes — the rejection must come from the cycle
+// in the execution graph G (§4.3).
+func TestFigure5ImpossibleInterleavingRejected(t *testing.T) {
+	trL, advL := serveLitmus(t, []server.Request{leftReq("r1")}, 1, 1)
+	trR, advR := serveLitmus(t, []server.Request{rightReq("r2")}, 1, 1)
+
+	// Both isolated runs read the initial 0.
+	if !value.Equal(trL.Outputs()["r1"], float64(0)) || !value.Equal(trR.Outputs()["r2"], float64(0)) {
+		t.Fatal("isolated runs should both respond 0")
+	}
+
+	// Merge into one alleged concurrent execution.
+	merged := &trace.Trace{Events: []trace.Event{
+		{Kind: trace.Req, RID: "r1", Data: trL.Inputs()["r1"]},
+		{Kind: trace.Req, RID: "r2", Data: trR.Inputs()["r2"]},
+		{Kind: trace.Resp, RID: "r1", Data: trL.Outputs()["r1"]},
+		{Kind: trace.Resp, RID: "r2", Data: trR.Outputs()["r2"]},
+	}}
+	adv := advL.Clone()
+	for rid, tag := range advR.Tags {
+		adv.Tags[rid] = tag
+	}
+	for rid, c := range advR.OpCounts {
+		adv.OpCounts[rid] = c
+	}
+	for rid, at := range advR.ResponseEmittedBy {
+		adv.ResponseEmittedBy[rid] = at
+	}
+	for rid, hl := range advR.HandlerLogs {
+		adv.HandlerLogs[rid] = hl
+	}
+	for id, entries := range advR.VarLogs {
+		adv.VarLogs[id] = append(adv.VarLogs[id], entries...)
+	}
+	adv.Nondet = append(adv.Nondet, advR.Nondet...)
+
+	err := auditLitmus(merged, adv)
+	if err == nil {
+		t.Fatal("physically impossible execution accepted")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("expected rejection via graph cycle, got: %v", err)
+	}
+}
+
+// --- mutation attacks on an honest tree-shaped run ---
+
+// attackApp mirrors the server package's tree app: root writes a shared
+// variable and fans out to a reader and a responding writer.
+func attackApp() func() *core.App {
+	return func() *core.App {
+		var x *core.Variable
+		app := &core.App{Name: "tree", RequestEvent: "request"}
+		app.Init = func(ctx *core.Context) {
+			x = ctx.VarNew("x", ctx.Scalar(0))
+			ctx.Register("request", "root")
+			ctx.Register("child", "reader")
+			ctx.Register("final", "writer")
+		}
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"root": func(ctx *core.Context, p *mv.MV) {
+				ctx.Write(x, ctx.Apply(func(a []value.V) value.V {
+					return appkit.Field(a[0], "n")
+				}, p))
+				ctx.Emit("child", p)
+				ctx.Emit("final", p)
+			},
+			"reader": func(ctx *core.Context, p *mv.MV) { _ = ctx.Read(x) },
+			"writer": func(ctx *core.Context, p *mv.MV) {
+				v := ctx.Read(x)
+				ctx.Write(x, ctx.Apply(func(a []value.V) value.V {
+					return a[0].(float64) + 1
+				}, v))
+				ctx.Respond(v)
+			},
+		}
+		return app
+	}
+}
+
+type honestRun struct {
+	tr  *trace.Trace
+	adv *advice.Advice
+}
+
+func honestTreeRun(t *testing.T) honestRun {
+	t.Helper()
+	srv := server.New(server.Config{App: attackApp()(), Seed: 3, CollectKarousos: true})
+	var reqs []server.Request
+	for _, rid := range []string{"r1", "r2", "r3", "r4"} {
+		reqs = append(reqs, server.Request{RID: core.RID(rid), Input: value.Map("n", float64(len(rid)))})
+	}
+	res, err := srv.Run(reqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return honestRun{tr: res.Trace, adv: res.Karousos}
+}
+
+func auditTree(run honestRun) error {
+	_, err := verifier.Audit(verifier.Config{App: attackApp()(), Mode: advice.ModeKarousos}, run.tr, run.adv)
+	return err
+}
+
+func TestHonestTreeRunAccepted(t *testing.T) {
+	if err := auditTree(honestTreeRun(t)); err != nil {
+		t.Fatalf("honest run rejected: %v", err)
+	}
+}
+
+// expectReject applies a mutation to a fresh honest run and requires the
+// audit to reject it.
+func expectReject(t *testing.T, name string, mutate func(run *honestRun)) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		run := honestTreeRun(t)
+		if err := auditTree(run); err != nil {
+			t.Fatalf("baseline honest run rejected: %v", err)
+		}
+		run = honestTreeRun(t)
+		mutate(&run)
+		if err := auditTree(run); err == nil {
+			t.Fatalf("%s: forged run accepted", name)
+		}
+	})
+}
+
+func TestResponseTampering(t *testing.T) {
+	expectReject(t, "flip-response-bytes", func(run *honestRun) {
+		for i := range run.tr.Events {
+			if run.tr.Events[i].Kind == trace.Resp && run.tr.Events[i].RID == "r2" {
+				run.tr.Events[i].Data = float64(424242)
+			}
+		}
+	})
+}
+
+func TestDroppedRequestFromAdvice(t *testing.T) {
+	expectReject(t, "drop-request", func(run *honestRun) {
+		delete(run.adv.Tags, "r2")
+		delete(run.adv.OpCounts, "r2")
+		delete(run.adv.ResponseEmittedBy, "r2")
+		delete(run.adv.HandlerLogs, "r2")
+		for id, entries := range run.adv.VarLogs {
+			var kept []advice.VarLogEntry
+			for _, e := range entries {
+				if e.Op.RID != "r2" && (!e.HasPrec || e.Prec.RID != "r2") {
+					kept = append(kept, e)
+				}
+			}
+			run.adv.VarLogs[id] = kept
+		}
+	})
+}
+
+func TestVarLogValueForgery(t *testing.T) {
+	expectReject(t, "forge-write-value", func(run *honestRun) {
+		for id, entries := range run.adv.VarLogs {
+			for i := range entries {
+				if entries[i].Type == advice.AccessWrite {
+					run.adv.VarLogs[id][i].Value = float64(999999)
+					return
+				}
+			}
+		}
+		panic("no write entry to forge; run shape changed")
+	})
+}
+
+func TestVarLogDuplicateEntry(t *testing.T) {
+	expectReject(t, "duplicate-var-entry", func(run *honestRun) {
+		for id, entries := range run.adv.VarLogs {
+			if len(entries) > 0 {
+				run.adv.VarLogs[id] = append(entries, entries[0])
+				return
+			}
+		}
+		panic("no var entries")
+	})
+}
+
+func TestPhantomVarWrite(t *testing.T) {
+	// A forged write entry at an op position replay never performs must be
+	// caught by the consumption check — otherwise it could silently feed
+	// logged reads while staying invisible to the execution graph.
+	expectReject(t, "phantom-write", func(run *honestRun) {
+		hid := run.adv.ResponseEmittedBy["r1"].HID
+		n := run.adv.OpCounts["r1"][hid]
+		run.adv.OpCounts["r1"][hid] = n + 1 // make room for the phantom op
+		for id := range run.adv.VarLogs {
+			run.adv.VarLogs[id] = append(run.adv.VarLogs[id], advice.VarLogEntry{
+				Op: core.Op{RID: "r1", HID: hid, Num: n + 1}, Type: advice.AccessWrite, Value: float64(7),
+			})
+			return
+		}
+	})
+}
+
+func TestVarLogUnknownVariable(t *testing.T) {
+	expectReject(t, "unknown-variable", func(run *honestRun) {
+		run.adv.VarLogs["no-such-var"] = []advice.VarLogEntry{{
+			Op:   core.Op{RID: "r1", HID: run.adv.ResponseEmittedBy["r1"].HID, Num: 1},
+			Type: advice.AccessWrite, Value: float64(1),
+		}}
+	})
+}
+
+func TestReadDictatedByMissingWrite(t *testing.T) {
+	expectReject(t, "read-from-missing-write", func(run *honestRun) {
+		for id, entries := range run.adv.VarLogs {
+			for i := range entries {
+				if entries[i].Type == advice.AccessRead {
+					run.adv.VarLogs[id][i].Prec = core.Op{RID: "r1", HID: "bogus", Num: 1}
+					return
+				}
+			}
+		}
+		panic("no read entry")
+	})
+}
+
+func TestOpCountInflation(t *testing.T) {
+	expectReject(t, "inflate-opcount", func(run *honestRun) {
+		hid := run.adv.ResponseEmittedBy["r1"].HID
+		run.adv.OpCounts["r1"][hid]++
+	})
+}
+
+func TestOpCountDeflation(t *testing.T) {
+	expectReject(t, "deflate-opcount", func(run *honestRun) {
+		hid := run.adv.ResponseEmittedBy["r1"].HID
+		run.adv.OpCounts["r1"][hid]--
+	})
+}
+
+func TestPhantomHandler(t *testing.T) {
+	expectReject(t, "phantom-handler", func(run *honestRun) {
+		run.adv.OpCounts["r1"]["deadbeefdeadbeef"] = 2
+	})
+}
+
+func TestResponseEmittedByForgery(t *testing.T) {
+	expectReject(t, "wrong-response-op", func(run *honestRun) {
+		at := run.adv.ResponseEmittedBy["r1"]
+		at.OpNum--
+		run.adv.ResponseEmittedBy["r1"] = at
+	})
+	expectReject(t, "missing-response-entry", func(run *honestRun) {
+		delete(run.adv.ResponseEmittedBy, "r1")
+	})
+}
+
+func TestHandlerLogTampering(t *testing.T) {
+	expectReject(t, "drop-emit", func(run *honestRun) {
+		run.adv.HandlerLogs["r1"] = run.adv.HandlerLogs["r1"][:1]
+	})
+	expectReject(t, "forge-emit-event", func(run *honestRun) {
+		run.adv.HandlerLogs["r1"][0].Event = "no-such-event"
+	})
+	expectReject(t, "handler-log-for-unknown-request", func(run *honestRun) {
+		run.adv.HandlerLogs["zz"] = run.adv.HandlerLogs["r1"]
+	})
+}
+
+func TestTagForgery(t *testing.T) {
+	expectReject(t, "missing-tag", func(run *honestRun) {
+		delete(run.adv.Tags, "r3")
+	})
+}
+
+func TestNondetRemoval(t *testing.T) {
+	// The tree app records no nondeterminism, so removing is vacuous; instead
+	// forge a nondet entry duplicate to exercise that check via an app that
+	// uses Nondet.
+	appf := func() *core.App {
+		app := &core.App{Name: "nd", RequestEvent: "request"}
+		app.Init = func(ctx *core.Context) { ctx.Register("request", "h") }
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"h": func(ctx *core.Context, p *mv.MV) {
+				ctx.Respond(ctx.Nondet("coin", func(rid core.RID) value.V { return "heads" }))
+			},
+		}
+		return app
+	}
+	srv := server.New(server.Config{App: appf(), Seed: 1, CollectKarousos: true})
+	res, err := srv.Run([]server.Request{{RID: "r1"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := func(adv *advice.Advice) error {
+		_, err := verifier.Audit(verifier.Config{App: appf(), Mode: advice.ModeKarousos}, res.Trace, adv)
+		return err
+	}
+	if err := audit(res.Karousos); err != nil {
+		t.Fatalf("honest nondet run rejected: %v", err)
+	}
+	forged := res.Karousos.Clone()
+	forged.Nondet = nil
+	if err := audit(forged); err == nil {
+		t.Error("missing nondet record accepted")
+	}
+	dup := res.Karousos.Clone()
+	dup.Nondet = append(dup.Nondet, dup.Nondet[0])
+	if err := audit(dup); err == nil {
+		t.Error("duplicate nondet record accepted")
+	}
+	// Forging the recorded value changes the replayed response: reject.
+	wrong := res.Karousos.Clone()
+	wrong.Nondet[0].Value = "tails"
+	if err := audit(wrong); err == nil {
+		t.Error("forged nondet value accepted")
+	}
+}
+
+// --- transactional attacks ---
+
+// txAttackApp: one handler per request; report-like read-modify-write on a
+// single row, plus a read-own-write inside the transaction.
+func txAttackApp() func() (*core.App, *kvstore.Store) {
+	return func() (*core.App, *kvstore.Store) {
+		app := &core.App{Name: "txa", RequestEvent: "request"}
+		app.Init = func(ctx *core.Context) { ctx.Register("request", "h") }
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"h": func(ctx *core.Context, p *mv.MV) {
+				tx := ctx.TxStart()
+				cur, ok := ctx.Get(tx, ctx.Scalar("row"))
+				if !ctx.BranchBool("get-ok", ok) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				next := ctx.Apply(func(a []value.V) value.V {
+					return appkit.Num(a[0]) + 1
+				}, cur)
+				if !ctx.BranchBool("put-ok", ctx.Put(tx, ctx.Scalar("row"), next)) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				again, ok := ctx.Get(tx, ctx.Scalar("row")) // read own write
+				if !ctx.BranchBool("get2-ok", ok) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				if !ctx.BranchBool("commit-ok", ctx.Commit(tx)) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				ctx.Respond(again)
+			},
+		}
+		return app, kvstore.New(kvstore.Serializable)
+	}
+}
+
+func honestTxRun(t *testing.T) honestRun {
+	t.Helper()
+	app, store := txAttackApp()()
+	srv := server.New(server.Config{App: app, Store: store, Seed: 5, CollectKarousos: true})
+	res, err := srv.Run([]server.Request{{RID: "r1"}, {RID: "r2"}, {RID: "r3"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return honestRun{tr: res.Trace, adv: res.Karousos}
+}
+
+func auditTx(run honestRun) error {
+	app, _ := txAttackApp()()
+	_, err := verifier.Audit(verifier.Config{
+		App: app, Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+	}, run.tr, run.adv)
+	return err
+}
+
+func expectTxReject(t *testing.T, name string, mutate func(run *honestRun)) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		run := honestTxRun(t)
+		if err := auditTx(run); err != nil {
+			t.Fatalf("baseline honest tx run rejected: %v", err)
+		}
+		run = honestTxRun(t)
+		mutate(&run)
+		if err := auditTx(run); err == nil {
+			t.Fatalf("%s: forged tx run accepted", name)
+		}
+	})
+}
+
+func TestTxHonestAccepted(t *testing.T) {
+	if err := auditTx(honestTxRun(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxPutContentsForgery(t *testing.T) {
+	expectTxReject(t, "forge-put-contents", func(run *honestRun) {
+		for i := range run.adv.TxLogs {
+			for j := range run.adv.TxLogs[i].Ops {
+				if run.adv.TxLogs[i].Ops[j].Type == core.TxPut {
+					run.adv.TxLogs[i].Ops[j].Contents = float64(12345)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTxReadFromFutureRejected(t *testing.T) {
+	// Claim r1's GET read from r3's PUT: external-state WR edges then point
+	// backwards against program/time order — a cycle in G, exactly the §4.4
+	// "preposterous claim" example.
+	expectTxReject(t, "read-from-future", func(run *honestRun) {
+		var r3Put *advice.TxPos
+		for i := range run.adv.TxLogs {
+			tl := &run.adv.TxLogs[i]
+			if tl.RID != "r3" {
+				continue
+			}
+			for j := range tl.Ops {
+				if tl.Ops[j].Type == core.TxPut {
+					r3Put = &advice.TxPos{RID: tl.RID, TID: tl.TID, Index: j + 1}
+				}
+			}
+		}
+		if r3Put == nil {
+			panic("r3 has no PUT")
+		}
+		for i := range run.adv.TxLogs {
+			tl := &run.adv.TxLogs[i]
+			if tl.RID != "r1" {
+				continue
+			}
+			for j := range tl.Ops {
+				if tl.Ops[j].Type == core.TxGet && tl.Ops[j].ReadFrom != nil {
+					tl.Ops[j].ReadFrom = r3Put
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestTxOwnWriteViolation(t *testing.T) {
+	// The second GET of each transaction reads the transaction's own PUT;
+	// claiming it read someone else's write violates the §4.4 well-formedness
+	// check ("transactions observe their own writes").
+	expectTxReject(t, "ignore-own-write", func(run *honestRun) {
+		// Find r1's PUT (r2's second GET legitimately could not read it, but
+		// we forge r2's *second* GET — which must observe r2's own PUT — to
+		// point at r1's PUT instead).
+		var r1Put *advice.TxPos
+		for i := range run.adv.TxLogs {
+			tl := &run.adv.TxLogs[i]
+			if tl.RID != "r1" {
+				continue
+			}
+			for j := range tl.Ops {
+				if tl.Ops[j].Type == core.TxPut {
+					r1Put = &advice.TxPos{RID: tl.RID, TID: tl.TID, Index: j + 1}
+				}
+			}
+		}
+		for i := range run.adv.TxLogs {
+			tl := &run.adv.TxLogs[i]
+			if tl.RID != "r2" {
+				continue
+			}
+			gets := 0
+			for j := range tl.Ops {
+				if tl.Ops[j].Type == core.TxGet {
+					gets++
+					if gets == 2 {
+						tl.Ops[j].ReadFrom = r1Put
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestWriteOrderTampering(t *testing.T) {
+	expectTxReject(t, "drop-write-order-entry", func(run *honestRun) {
+		run.adv.WriteOrder = run.adv.WriteOrder[:len(run.adv.WriteOrder)-1]
+	})
+	expectTxReject(t, "duplicate-write-order-entry", func(run *honestRun) {
+		run.adv.WriteOrder[len(run.adv.WriteOrder)-1] = run.adv.WriteOrder[0]
+	})
+	expectTxReject(t, "invert-write-order", func(run *honestRun) {
+		// Reversing the installation order of the row's versions contradicts
+		// the read-from facts: the dependency graph gets a wr/ww cycle.
+		wo := run.adv.WriteOrder
+		wo[0], wo[len(wo)-1] = wo[len(wo)-1], wo[0]
+	})
+}
+
+func TestTxLogStructuralForgeries(t *testing.T) {
+	expectTxReject(t, "truncate-tx-log", func(run *honestRun) {
+		run.adv.TxLogs[0].Ops = run.adv.TxLogs[0].Ops[:2]
+	})
+	expectTxReject(t, "drop-tx-start", func(run *honestRun) {
+		run.adv.TxLogs[0].Ops = run.adv.TxLogs[0].Ops[1:]
+	})
+	expectTxReject(t, "duplicate-tx-log", func(run *honestRun) {
+		run.adv.TxLogs = append(run.adv.TxLogs, run.adv.TxLogs[0])
+	})
+	expectTxReject(t, "get-key-mismatch", func(run *honestRun) {
+		for i := range run.adv.TxLogs {
+			for j := range run.adv.TxLogs[i].Ops {
+				if run.adv.TxLogs[i].Ops[j].Type == core.TxGet {
+					run.adv.TxLogs[i].Ops[j].Key = "other-row"
+					return
+				}
+			}
+		}
+	})
+	expectTxReject(t, "commit-to-abort", func(run *honestRun) {
+		// Claiming a committed transaction aborted breaks the write order
+		// consistency (its installs are no longer last modifications of a
+		// committed transaction).
+		ops := run.adv.TxLogs[0].Ops
+		if ops[len(ops)-1].Type != core.TxCommit {
+			panic("expected trailing commit")
+		}
+		ops[len(ops)-1].Type = core.TxAbort
+	})
+}

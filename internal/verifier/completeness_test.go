@@ -1,0 +1,190 @@
+// Completeness tests: if the server behaved honestly, the audit must accept
+// (§2.1, Definition 2) — for every application, scheduler seed, concurrency
+// level, and both replay modes.
+package verifier_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/motd"
+	"karousos.dev/karousos/internal/apps/stacks"
+	"karousos.dev/karousos/internal/apps/wiki"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+type appCase struct {
+	name string
+	mk   func() (*core.App, *kvstore.Store)
+	gen  func(n int, seed int64) []server.Request
+}
+
+func appCases() []appCase {
+	return []appCase{
+		{
+			name: "motd",
+			mk:   func() (*core.App, *kvstore.Store) { return motd.New(), nil },
+			gen: func(n int, seed int64) []server.Request {
+				return workload.MOTD(n, workload.Mixed, seed)
+			},
+		},
+		{
+			name: "stacks",
+			mk:   func() (*core.App, *kvstore.Store) { return stacks.New(), kvstore.New(kvstore.Serializable) },
+			gen: func(n int, seed int64) []server.Request {
+				return workload.Stacks(n, workload.Mixed, seed, workload.DefaultStacksOptions())
+			},
+		},
+		{
+			name: "wiki",
+			mk:   func() (*core.App, *kvstore.Store) { return wiki.New(), nil2store() },
+			gen:  func(n int, seed int64) []server.Request { return workload.Wiki(n, seed) },
+		},
+	}
+}
+
+func nil2store() *kvstore.Store { return kvstore.New(kvstore.Serializable) }
+
+// TestQuickHonestRunsAccepted fuzzes over workload seeds, scheduler seeds,
+// and concurrency: the audit must accept every honest run in both modes.
+func TestQuickHonestRunsAccepted(t *testing.T) {
+	for _, ac := range appCases() {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				n := 10 + r.Intn(40)
+				conc := 1 + r.Intn(10)
+				reqs := ac.gen(n, r.Int63())
+				app, store := ac.mk()
+				srv := server.New(server.Config{
+					App: app, Store: store, Seed: r.Int63(),
+					CollectKarousos: true, CollectOrochi: true,
+				})
+				res, err := srv.Run(reqs, conc)
+				if err != nil {
+					t.Logf("serve failed: %v", err)
+					return false
+				}
+				appK, _ := ac.mk()
+				if _, err := verifier.Audit(verifier.Config{
+					App: appK, Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+				}, res.Trace, res.Karousos); err != nil {
+					t.Logf("karousos rejected honest run: %v", err)
+					return false
+				}
+				appO, _ := ac.mk()
+				if _, err := verifier.Audit(verifier.Config{
+					App: appO, Mode: advice.ModeOrochiJS, Isolation: adya.Serializable,
+				}, res.Trace, res.Orochi); err != nil {
+					t.Logf("orochi rejected honest run: %v", err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAdviceSurvivesWireRoundTrip: auditing the decoded wire form must give
+// the same verdict as auditing the in-memory advice.
+func TestAdviceSurvivesWireRoundTrip(t *testing.T) {
+	for _, ac := range appCases() {
+		app, store := ac.mk()
+		srv := server.New(server.Config{App: app, Store: store, Seed: 11, CollectKarousos: true})
+		res, err := srv.Run(ac.gen(40, 17), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := advice.UnmarshalBinary(res.Karousos.MarshalBinary())
+		if err != nil {
+			t.Fatalf("%s: decode: %v", ac.name, err)
+		}
+		appV, _ := ac.mk()
+		if _, err := verifier.Audit(verifier.Config{
+			App: appV, Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+		}, res.Trace, decoded); err != nil {
+			t.Errorf("%s: wire round-tripped advice rejected: %v", ac.name, err)
+		}
+	}
+}
+
+// TestModeMismatchRejected: feeding Orochi advice to a Karousos-configured
+// verifier is a usage error, reported as such.
+func TestModeMismatchRejected(t *testing.T) {
+	ac := appCases()[0]
+	app, store := ac.mk()
+	srv := server.New(server.Config{App: app, Store: store, Seed: 1, CollectOrochi: true})
+	res, err := srv.Run(ac.gen(10, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appV, _ := ac.mk()
+	if _, err := verifier.Audit(verifier.Config{App: appV, Mode: advice.ModeKarousos}, res.Trace, res.Orochi); err == nil {
+		t.Error("mode mismatch accepted")
+	}
+}
+
+// TestGroupingStatistics: Karousos must form at most as many groups as
+// Orochi-JS on the same run (same trees group regardless of order), and both
+// must re-execute every request exactly once.
+func TestGroupingStatistics(t *testing.T) {
+	for _, ac := range appCases() {
+		app, store := ac.mk()
+		srv := server.New(server.Config{App: app, Store: store, Seed: 23, CollectKarousos: true, CollectOrochi: true})
+		res, err := srv.Run(ac.gen(60, 29), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appK, _ := ac.mk()
+		stK, err := verifier.Audit(verifier.Config{App: appK, Mode: advice.ModeKarousos, Isolation: adya.Serializable}, res.Trace, res.Karousos)
+		if err != nil {
+			t.Fatalf("%s karousos: %v", ac.name, err)
+		}
+		appO, _ := ac.mk()
+		stO, err := verifier.Audit(verifier.Config{App: appO, Mode: advice.ModeOrochiJS, Isolation: adya.Serializable}, res.Trace, res.Orochi)
+		if err != nil {
+			t.Fatalf("%s orochi: %v", ac.name, err)
+		}
+		if stK.Groups > stO.Groups {
+			t.Errorf("%s: karousos groups (%d) exceed orochi groups (%d)", ac.name, stK.Groups, stO.Groups)
+		}
+		if stK.Requests != 60 || stO.Requests != 60 {
+			t.Errorf("%s: request counts %d/%d", ac.name, stK.Requests, stO.Requests)
+		}
+		if stK.GraphNodes == 0 || stK.GraphEdges == 0 {
+			t.Errorf("%s: empty execution graph", ac.name)
+		}
+	}
+}
+
+// TestOrochiModeRequiresLoggedAccesses: Karousos advice (which omits
+// R-ordered accesses) must not pass an Orochi-mode audit for an application
+// with R-ordered accesses — the Orochi verifier has no version dictionary to
+// feed them from.
+func TestOrochiModeRequiresLoggedAccesses(t *testing.T) {
+	app := wiki.New()
+	store := kvstore.New(kvstore.Serializable)
+	srv := server.New(server.Config{App: app, Store: store, Seed: 2, CollectKarousos: true})
+	res, err := srv.Run(workload.Wiki(20, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := res.Karousos.Clone()
+	forged.Mode = advice.ModeOrochiJS
+	if _, err := verifier.Audit(verifier.Config{
+		App: wiki.New(), Mode: advice.ModeOrochiJS, Isolation: adya.Serializable,
+	}, res.Trace, forged); err == nil {
+		t.Error("orochi-mode audit accepted advice missing logged accesses")
+	}
+}

@@ -1,0 +1,207 @@
+// Full-audit coverage for dynamic handler registration (§3's register and
+// unregister): the verifier's Registered-set reconstruction (Figure 16) and
+// CheckHandlerOp replay must round-trip executions whose listener tables
+// change mid-request.
+package verifier_test
+
+import (
+	"fmt"
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// dynApp registers a per-request listener, pings it, unregisters it, pings
+// again (reaching only the global listener), and responds with a counter the
+// listeners maintained.
+func dynApp() func() *core.App {
+	return func() *core.App {
+		var hits *core.Variable
+		app := &core.App{Name: "dyn", RequestEvent: "request"}
+		app.Init = func(ctx *core.Context) {
+			hits = ctx.VarNew("hits", ctx.Scalar(0))
+			ctx.Register("request", "root")
+			ctx.Register("done", "finish")
+		}
+		bump := func(ctx *core.Context) {
+			v := ctx.Read(hits)
+			ctx.Write(hits, ctx.Apply(func(a []value.V) value.V {
+				return a[0].(float64) + 1
+			}, v))
+		}
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"root": func(ctx *core.Context, p *mv.MV) {
+				extra := ctx.Branch("want-extra", ctx.Apply(func(a []value.V) value.V {
+					return appkit.Bool(appkit.Field(a[0], "extra"))
+				}, p))
+				ctx.Register("ping", "always")
+				if extra {
+					ctx.Register("ping", "extraListener")
+				}
+				ctx.Emit("ping", p) // always (+ extraListener)
+				if extra {
+					ctx.Unregister("ping", "extraListener")
+				}
+				ctx.Emit("ping", p) // always only
+				ctx.Emit("done", p)
+			},
+			"always":        func(ctx *core.Context, p *mv.MV) { bump(ctx) },
+			"extraListener": func(ctx *core.Context, p *mv.MV) { bump(ctx); bump(ctx) },
+			"finish": func(ctx *core.Context, p *mv.MV) {
+				ctx.Respond(ctx.Read(hits))
+			},
+		}
+		return app
+	}
+}
+
+func serveDyn(t *testing.T, seed int64, conc int) (*server.Result, error) {
+	t.Helper()
+	srv := server.New(server.Config{App: dynApp()(), Seed: seed, CollectKarousos: true, CollectOrochi: true})
+	var reqs []server.Request
+	for i := 0; i < 14; i++ {
+		reqs = append(reqs, server.Request{
+			RID:   core.RID(fmt.Sprintf("r%02d", i)),
+			Input: value.Map("extra", i%2 == 0),
+		})
+	}
+	return srv.Run(reqs, conc)
+}
+
+func TestDynamicHandlersFullAudit(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, conc := range []int{1, 5} {
+			res, err := serveDyn(t, seed, conc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := verifier.Audit(verifier.Config{
+				App: dynApp()(), Mode: advice.ModeKarousos,
+			}, res.Trace, res.Karousos); err != nil {
+				t.Fatalf("seed %d conc %d: karousos rejected dynamic-handler run: %v", seed, conc, err)
+			}
+			if _, err := verifier.Audit(verifier.Config{
+				App: dynApp()(), Mode: advice.ModeOrochiJS,
+			}, res.Trace, res.Orochi); err != nil {
+				t.Fatalf("seed %d conc %d: orochi rejected dynamic-handler run: %v", seed, conc, err)
+			}
+		}
+	}
+}
+
+// TestDynamicHandlersForgery: claiming a different registration history must
+// reject — either the emit activates handlers the advice did not count, or
+// counted handlers never run.
+func TestDynamicHandlersForgery(t *testing.T) {
+	res, err := serveDyn(t, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := func(adv *advice.Advice) error {
+		_, err := verifier.Audit(verifier.Config{App: dynApp()(), Mode: advice.ModeKarousos}, res.Trace, adv)
+		return err
+	}
+	if err := audit(res.Karousos); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+
+	t.Run("drop-register-entry", func(t *testing.T) {
+		forged := res.Karousos.Clone()
+		for rid := range forged.HandlerLogs {
+			log := forged.HandlerLogs[rid]
+			for i, op := range log {
+				if op.Kind == advice.OpRegister && op.Fn == "extraListener" {
+					forged.HandlerLogs[rid] = append(log[:i:i], log[i+1:]...)
+					goto done
+				}
+			}
+		}
+	done:
+		if err := audit(forged); err == nil {
+			t.Error("dropped register entry accepted")
+		}
+	})
+	t.Run("drop-unregister-entry", func(t *testing.T) {
+		forged := res.Karousos.Clone()
+		for rid := range forged.HandlerLogs {
+			log := forged.HandlerLogs[rid]
+			for i, op := range log {
+				if op.Kind == advice.OpUnregister {
+					forged.HandlerLogs[rid] = append(log[:i:i], log[i+1:]...)
+					goto done
+				}
+			}
+		}
+	done:
+		if err := audit(forged); err == nil {
+			t.Error("dropped unregister entry accepted")
+		}
+	})
+	t.Run("forge-registered-function", func(t *testing.T) {
+		forged := res.Karousos.Clone()
+		for rid := range forged.HandlerLogs {
+			for i := range forged.HandlerLogs[rid] {
+				if forged.HandlerLogs[rid][i].Kind == advice.OpRegister &&
+					forged.HandlerLogs[rid][i].Fn == "extraListener" {
+					forged.HandlerLogs[rid][i].Fn = "always"
+					goto done
+				}
+			}
+		}
+	done:
+		if err := audit(forged); err == nil {
+			t.Error("forged registered function accepted")
+		}
+	})
+}
+
+// TestOrochiModeAttacks: the soundness checks hold in the Orochi-JS baseline
+// verifier too.
+func TestOrochiModeAttacks(t *testing.T) {
+	res, err := serveDyn(t, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := func(adv *advice.Advice) error {
+		_, err := verifier.Audit(verifier.Config{App: dynApp()(), Mode: advice.ModeOrochiJS}, res.Trace, adv)
+		return err
+	}
+	if err := audit(res.Orochi); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	t.Run("forge-logged-value", func(t *testing.T) {
+		forged := res.Orochi.Clone()
+		for id := range forged.VarLogs {
+			for i := range forged.VarLogs[id] {
+				if forged.VarLogs[id][i].Type == advice.AccessWrite {
+					forged.VarLogs[id][i].Value = float64(-1)
+					goto done
+				}
+			}
+		}
+	done:
+		if err := audit(forged); err == nil {
+			t.Error("orochi: forged write value accepted")
+		}
+	})
+	t.Run("tampered-response", func(t *testing.T) {
+		tampered := *res.Trace
+		tampered.Events = append([]trace.Event(nil), res.Trace.Events...)
+		for i := range tampered.Events {
+			if tampered.Events[i].Kind == 1 {
+				tampered.Events[i].Data = float64(-42)
+				break
+			}
+		}
+		if _, err := verifier.Audit(verifier.Config{App: dynApp()(), Mode: advice.ModeOrochiJS}, &tampered, res.Orochi); err == nil {
+			t.Error("orochi: tampered response accepted")
+		}
+	})
+}

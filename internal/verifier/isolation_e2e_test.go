@@ -1,0 +1,190 @@
+// End-to-end isolation-level verification: the paper's §4.4 machinery must
+// accept an honest weakly-isolated execution when audited at the store's
+// real level, and reject the same execution when the advice alleges a
+// stronger level than the store provided — the classic write-skew anomaly
+// makes the difference observable.
+package verifier_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// oncallApp is the textbook write-skew scenario: two doctors share an
+// on-call rota; a doctor may go off duty only if the other is still on call.
+// The check (GET both rows) and the update (PUT own row) happen in separate
+// handlers of one transaction, so under read committed two concurrent
+// requests can each observe the other still on call and both go off — a
+// non-serializable but RC-legal outcome.
+func oncallApp() func() *core.App {
+	return func() *core.App {
+		app := &core.App{Name: "oncall", RequestEvent: "request"}
+		open := map[core.RID]*core.Tx{}
+		app.Init = func(ctx *core.Context) {
+			ctx.Register("request", "check")
+			ctx.Register("oncall.update", "update")
+		}
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"check": func(ctx *core.Context, p *mv.MV) {
+				isSeed := ctx.Branch("op-seed", ctx.Apply(func(a []value.V) value.V {
+					return appkit.Str(appkit.Field(a[0], "op")) == "seed"
+				}, p))
+				tx := ctx.TxStart()
+				if isSeed {
+					// Seed both doctors on call.
+					if !ctx.BranchBool("seed-a", ctx.Put(tx, ctx.Scalar("doc:a"), ctx.Scalar(value.Map("oncall", true)))) ||
+						!ctx.BranchBool("seed-b", ctx.Put(tx, ctx.Scalar("doc:b"), ctx.Scalar(value.Map("oncall", true)))) ||
+						!ctx.BranchBool("seed-commit", ctx.Commit(tx)) {
+						ctx.Respond(ctx.Scalar("retry"))
+						return
+					}
+					ctx.Respond(ctx.Scalar("seeded"))
+					return
+				}
+				mine := ctx.Apply(func(a []value.V) value.V {
+					return "doc:" + appkit.Str(appkit.Field(a[0], "who"))
+				}, p)
+				other := ctx.Apply(func(a []value.V) value.V {
+					return "doc:" + appkit.Str(appkit.Field(a[0], "other"))
+				}, p)
+				otherRow, ok := ctx.Get(tx, other)
+				if !ctx.BranchBool("get-other-ok", ok) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				otherOn := ctx.Branch("other-oncall", ctx.Apply(func(a []value.V) value.V {
+					return appkit.Bool(appkit.Field(a[0], "oncall"))
+				}, otherRow))
+				if !otherOn {
+					ctx.Abort(tx)
+					ctx.Respond(ctx.Scalar("denied"))
+					return
+				}
+				open[ctx.RIDs()[0]] = tx
+				ctx.Emit("oncall.update", ctx.Apply(func(a []value.V) value.V {
+					return value.Map("key", a[0])
+				}, mine))
+			},
+			"update": func(ctx *core.Context, p *mv.MV) {
+				tx := open[ctx.RIDs()[0]]
+				delete(open, ctx.RIDs()[0])
+				key := ctx.Apply(func(a []value.V) value.V { return appkit.Field(a[0], "key") }, p)
+				if !ctx.BranchBool("put-ok", ctx.Put(tx, key, ctx.Scalar(value.Map("oncall", false)))) ||
+					!ctx.BranchBool("commit-ok", ctx.Commit(tx)) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				ctx.Respond(ctx.Scalar("off-duty"))
+			},
+		}
+		return app
+	}
+}
+
+func serveOncall(t *testing.T, level kvstore.Isolation, seed int64) (bothOff bool, tr *struct{}, run *server.Result) {
+	t.Helper()
+	store := kvstore.New(level)
+	srv := server.New(server.Config{App: oncallApp()(), Store: store, Seed: seed, CollectKarousos: true})
+	seedReq := server.Request{RID: "seed", Input: value.Map("op", "seed")}
+	if _, err := srv.Run([]server.Request{seedReq}, 1); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []server.Request{
+		{RID: "offA", Input: value.Map("op", "off", "who", "a", "other", "b")},
+		{RID: "offB", Input: value.Map("op", "off", "who", "b", "other", "a")},
+	}
+	res, err := srv.Run(reqs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := store.SnapshotCommitted()
+	aOff := !appkit.Bool(appkit.Field(snap["doc:a"], "oncall"))
+	bOff := !appkit.Bool(appkit.Field(snap["doc:b"], "oncall"))
+	return aOff && bOff, nil, res
+}
+
+// mergeTraces is needed because serveOncall runs the seed separately; the
+// server accumulated one collector, so res.Trace already holds only the
+// second batch. Rebuild the full trace from both runs.
+func TestWriteSkewUnderReadCommitted(t *testing.T) {
+	// Find a seed where both doctors go off duty — possible only because
+	// read committed takes no read locks.
+	var skewSeed int64 = -1
+	for seed := int64(0); seed < 80; seed++ {
+		both, _, _ := serveOncall(t, kvstore.ReadCommitted, seed)
+		if both {
+			skewSeed = seed
+			break
+		}
+	}
+	if skewSeed < 0 {
+		t.Fatal("no interleaving produced write skew under read committed")
+	}
+
+	// Under serializable 2PL the same workload can never end with both off.
+	for seed := int64(0); seed < 80; seed++ {
+		if both, _, _ := serveOncall(t, kvstore.Serializable, seed); both {
+			t.Fatalf("seed %d: write skew under a serializable store", seed)
+		}
+	}
+}
+
+// TestIsolationLevelAudit runs the skewed execution through the audit: the
+// honest advice must pass at the store's real level (read committed) and
+// must fail when the principal expects serializability — the alleged history
+// contains the rw-rw cycle Adya's G2 test detects.
+func TestIsolationLevelAudit(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		store := kvstore.New(kvstore.ReadCommitted)
+		srv := server.New(server.Config{App: oncallApp()(), Store: store, Seed: seed, CollectKarousos: true})
+		reqs := []server.Request{
+			{RID: "seed", Input: value.Map("op", "seed")},
+			{RID: "offA", Input: value.Map("op", "off", "who", "a", "other", "b")},
+			{RID: "offB", Input: value.Map("op", "off", "who", "b", "other", "a")},
+		}
+		// Admit the seed first at concurrency 1... we need seed to finish
+		// before the two off requests contend, so serve in two calls on one
+		// server (one trace).
+		res1, err := srv.Run(reqs[:1], 1)
+		_ = res1
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Run(reqs[1:], 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := store.SnapshotCommitted()
+		both := !appkit.Bool(appkit.Field(snap["doc:a"], "oncall")) &&
+			!appkit.Bool(appkit.Field(snap["doc:b"], "oncall"))
+		if !both {
+			continue // not skewed under this seed; try the next
+		}
+
+		// Rebuild the combined trace: res1 (seed) then res (off requests).
+		full := res1.Trace
+		full.Events = append(full.Events, res.Trace.Events...)
+
+		if _, err := verifier.Audit(verifier.Config{
+			App: oncallApp()(), Mode: advice.ModeKarousos, Isolation: adya.ReadCommitted,
+		}, full, res.Karousos); err != nil {
+			t.Fatalf("seed %d: honest read-committed execution rejected at its real level: %v", seed, err)
+		}
+		if _, err := verifier.Audit(verifier.Config{
+			App: oncallApp()(), Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+		}, full, res.Karousos); err == nil {
+			t.Fatalf("seed %d: write-skewed execution accepted as serializable", seed)
+		}
+		return // one skewed seed suffices
+	}
+	t.Fatal("no interleaving produced write skew; cannot exercise the isolation audit")
+}

@@ -1,0 +1,94 @@
+// Parallel-server completeness: KEM explicitly allows multiple concurrently
+// executing handlers (§3 — "Karousos can be used even with future Node.js
+// runtimes that ... use multiple threads"). These tests serve workloads with
+// a truly parallel dispatch loop (several OS threads) and audit the result
+// with the *unchanged* verifier: every honest parallel execution must be
+// accepted, in both Karousos and Orochi-JS modes.
+package verifier_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/motd"
+	"karousos.dev/karousos/internal/apps/stacks"
+	"karousos.dev/karousos/internal/apps/wiki"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func TestParallelServerRunsVerify(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*core.App, *kvstore.Store)
+		gen  func() []server.Request
+	}{
+		{
+			"motd",
+			func() (*core.App, *kvstore.Store) { return motd.New(), nil },
+			func() []server.Request { return workload.MOTD(80, workload.Mixed, 5) },
+		},
+		{
+			"stacks",
+			func() (*core.App, *kvstore.Store) { return stacks.New(), kvstore.New(kvstore.Serializable) },
+			func() []server.Request {
+				return workload.Stacks(80, workload.Mixed, 5, workload.DefaultStacksOptions())
+			},
+		},
+		{
+			"wiki",
+			func() (*core.App, *kvstore.Store) { return wiki.New(), kvstore.New(kvstore.Serializable) },
+			func() []server.Request { return workload.Wiki(80, 5) },
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				app, store := tc.mk()
+				srv := server.New(server.Config{
+					App: app, Store: store, Seed: int64(trial),
+					Workers: 8, CollectKarousos: true, CollectOrochi: true,
+				})
+				res, err := srv.Run(tc.gen(), 12)
+				if err != nil {
+					t.Fatalf("trial %d: serve: %v", trial, err)
+				}
+				appK, _ := tc.mk()
+				if _, err := verifier.Audit(verifier.Config{
+					App: appK, Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+				}, res.Trace, res.Karousos); err != nil {
+					t.Fatalf("trial %d: karousos rejected honest parallel run: %v", trial, err)
+				}
+				appO, _ := tc.mk()
+				if _, err := verifier.Audit(verifier.Config{
+					App: appO, Mode: advice.ModeOrochiJS, Isolation: adya.Serializable,
+				}, res.Trace, res.Orochi); err != nil {
+					t.Fatalf("trial %d: orochi rejected honest parallel run: %v", trial, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelServerAttackStillRejected: parallelism at the server must not
+// weaken soundness — a tampered response from a parallel run is rejected
+// like any other.
+func TestParallelServerAttackStillRejected(t *testing.T) {
+	app := motd.New()
+	srv := server.New(server.Config{App: app, Seed: 3, Workers: 8, CollectKarousos: true})
+	res, err := srv.Run(workload.MOTD(40, workload.Mixed, 9), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Trace.Events[len(res.Trace.Events)-1].Data = "forged"
+	if _, err := verifier.Audit(verifier.Config{
+		App: motd.New(), Mode: advice.ModeKarousos,
+	}, res.Trace, res.Karousos); err == nil {
+		t.Fatal("tampered parallel run accepted")
+	}
+}

@@ -1,0 +1,238 @@
+// End-to-end tests for range reads (the TxScan extension): an application
+// that lists inventory by prefix scan must verify when honest, and forged
+// scan result sets must reject.
+package verifier_test
+
+import (
+	"fmt"
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/mv"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// inventoryApp: "stock" requests PUT an item row; "list" requests SCAN the
+// item prefix inside a transaction whose commit happens in a continuation
+// handler — so the predicate lock is held across handlers and concurrent
+// stock requests can conflict with an in-flight scan.
+func inventoryApp() func() *core.App {
+	return func() *core.App {
+		app := &core.App{Name: "inventory", RequestEvent: "request"}
+		open := map[core.RID]*core.Tx{}
+		app.Init = func(ctx *core.Context) {
+			ctx.Register("request", "h")
+			ctx.Register("inv.finish", "finish")
+		}
+		app.Funcs = map[core.FunctionID]core.HandlerFunc{
+			"h": func(ctx *core.Context, p *mv.MV) {
+				isStock := ctx.Branch("op-stock", ctx.Apply(func(a []value.V) value.V {
+					return appkit.Str(appkit.Field(a[0], "op")) == "stock"
+				}, p))
+				tx := ctx.TxStart()
+				if isStock {
+					key := ctx.Apply(func(a []value.V) value.V {
+						return "item:" + appkit.Str(appkit.Field(a[0], "sku"))
+					}, p)
+					val := ctx.Apply(func(a []value.V) value.V {
+						return value.Map("qty", appkit.Field(a[0], "qty"))
+					}, p)
+					if !ctx.BranchBool("put-ok", ctx.Put(tx, key, val)) ||
+						!ctx.BranchBool("commit-ok", ctx.Commit(tx)) {
+						ctx.Respond(ctx.Scalar("retry"))
+						return
+					}
+					ctx.Respond(ctx.Scalar("stocked"))
+					return
+				}
+				rows, ok := ctx.Scan(tx, ctx.Scalar("item:"))
+				if !ctx.BranchBool("scan-ok", ok) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				open[ctx.RIDs()[0]] = tx
+				ctx.Emit("inv.finish", rows)
+			},
+			"finish": func(ctx *core.Context, rows *mv.MV) {
+				tx := open[ctx.RIDs()[0]]
+				delete(open, ctx.RIDs()[0])
+				if !ctx.BranchBool("list-commit-ok", ctx.Commit(tx)) {
+					ctx.Respond(ctx.Scalar("retry"))
+					return
+				}
+				ctx.Respond(ctx.Apply(func(a []value.V) value.V {
+					return value.Map("status", "ok", "items", a[0])
+				}, rows))
+			},
+		}
+		return app
+	}
+}
+
+func serveInventory(t *testing.T, seed int64, conc int) (*server.Result, error) {
+	t.Helper()
+	srv := server.New(server.Config{
+		App:   inventoryApp()(),
+		Store: kvstore.New(kvstore.Serializable),
+		Seed:  seed, CollectKarousos: true,
+	})
+	var reqs []server.Request
+	for i := 0; i < 12; i++ {
+		rid := core.RID(fmt.Sprintf("r%02d", i))
+		if i%3 == 2 {
+			reqs = append(reqs, server.Request{RID: rid, Input: value.Map("op", "list")})
+		} else {
+			reqs = append(reqs, server.Request{RID: rid, Input: value.Map(
+				"op", "stock", "sku", fmt.Sprintf("sku-%d", i%4), "qty", i)})
+		}
+	}
+	return srv.Run(reqs, conc)
+}
+
+func auditInventory(res *server.Result) error {
+	_, err := verifier.Audit(verifier.Config{
+		App: inventoryApp()(), Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+	}, res.Trace, res.Karousos)
+	return err
+}
+
+func TestScanHonestRunsVerify(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, conc := range []int{1, 4} {
+			res, err := serveInventory(t, seed, conc)
+			if err != nil {
+				t.Fatalf("seed %d conc %d: %v", seed, conc, err)
+			}
+			if err := auditInventory(res); err != nil {
+				t.Fatalf("seed %d conc %d: honest scan run rejected: %v", seed, conc, err)
+			}
+		}
+	}
+}
+
+func TestScanResponsesContainStockedItems(t *testing.T) {
+	res, err := serveInventory(t, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last list request (r11 is stock; r08 is list) sees the items
+	// stocked before it at concurrency 1.
+	out := res.Trace.Outputs()["r08"]
+	items := appkit.AsList(appkit.Field(out, "items"))
+	if len(items) == 0 {
+		t.Fatalf("list response has no items: %v", value.String(out))
+	}
+	prev := ""
+	for _, it := range items {
+		k := appkit.Str(appkit.Field(it, "key"))
+		if k <= prev {
+			t.Errorf("scan results not sorted: %q after %q", k, prev)
+		}
+		prev = k
+	}
+}
+
+func mutateScanEntry(t *testing.T, res *server.Result, mutate func(op *advice.TxOp)) *advice.Advice {
+	t.Helper()
+	forged := res.Karousos.Clone()
+	for i := range forged.TxLogs {
+		for j := range forged.TxLogs[i].Ops {
+			op := &forged.TxLogs[i].Ops[j]
+			if op.Type == core.TxScan && len(op.ReadSet) > 0 {
+				mutate(op)
+				return forged
+			}
+		}
+	}
+	t.Fatal("no scan with results in advice")
+	return nil
+}
+
+func TestScanForgeryRejected(t *testing.T) {
+	res, err := serveInventory(t, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auditInventory(res); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+
+	t.Run("drop-result-row", func(t *testing.T) {
+		forged := mutateScanEntry(t, res, func(op *advice.TxOp) {
+			op.ReadSet = op.ReadSet[1:]
+		})
+		if err := auditInventory(&server.Result{Trace: res.Trace, Karousos: forged}); err == nil {
+			t.Error("scan with dropped row accepted (response no longer matches)")
+		}
+	})
+	t.Run("reorder-result-rows", func(t *testing.T) {
+		forged := mutateScanEntry(t, res, func(op *advice.TxOp) {
+			if len(op.ReadSet) >= 2 {
+				op.ReadSet[0], op.ReadSet[1] = op.ReadSet[1], op.ReadSet[0]
+			}
+		})
+		if err := auditInventory(&server.Result{Trace: res.Trace, Karousos: forged}); err == nil {
+			t.Error("unsorted scan result set accepted")
+		}
+	})
+	t.Run("out-of-prefix-key", func(t *testing.T) {
+		forged := mutateScanEntry(t, res, func(op *advice.TxOp) {
+			op.ReadSet[0].Key = "zz:" + op.ReadSet[0].Key
+		})
+		if err := auditInventory(&server.Result{Trace: res.Trace, Karousos: forged}); err == nil {
+			t.Error("scan result outside the prefix accepted")
+		}
+	})
+	t.Run("dangling-dictating-write", func(t *testing.T) {
+		forged := mutateScanEntry(t, res, func(op *advice.TxOp) {
+			op.ReadSet[0].ReadFrom = advice.TxPos{RID: "r99", TID: "bogus", Index: 1}
+		})
+		if err := auditInventory(&server.Result{Trace: res.Trace, Karousos: forged}); err == nil {
+			t.Error("scan reading from missing write accepted")
+		}
+	})
+	t.Run("forged-row-value", func(t *testing.T) {
+		// Point the first row's dictating write at a different item's PUT:
+		// the key no longer matches.
+		forged := mutateScanEntry(t, res, func(op *advice.TxOp) {
+			for i := 1; i < len(op.ReadSet); i++ {
+				op.ReadSet[0].ReadFrom = op.ReadSet[i].ReadFrom
+				return
+			}
+		})
+		if err := auditInventory(&server.Result{Trace: res.Trace, Karousos: forged}); err == nil {
+			t.Error("scan row dictated by wrong key's write accepted")
+		}
+	})
+}
+
+// TestScanConflictReplaysAsRetry: when the store aborts a scan (predicate
+// conflict), the response is a retry and the audit still accepts.
+func TestScanConflictReplaysAsRetry(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		res, err := serveInventory(t, seed, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawRetry := false
+		for _, out := range res.Trace.Outputs() {
+			if value.Equal(out, "retry") {
+				sawRetry = true
+			}
+		}
+		if !sawRetry {
+			continue
+		}
+		if err := auditInventory(res); err != nil {
+			t.Fatalf("seed %d: run with scan conflict rejected: %v", seed, err)
+		}
+		return
+	}
+	t.Skip("no interleaving produced a scan conflict; store-level test covers the conflict path")
+}

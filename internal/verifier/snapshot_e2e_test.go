@@ -1,0 +1,167 @@
+// End-to-end snapshot-isolation auditing (extension; see adya.CheckSI): an
+// honest SI execution exhibiting write skew must pass the audit at the
+// SnapshotIsolation level, fail at Serializable, and forged begin/commit
+// orders must reject.
+package verifier_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/kvstore"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// skewedSIRun finds a scheduler seed where the oncall application (see
+// isolation_e2e_test.go) produces write skew on a snapshot-isolation store,
+// and returns the combined trace and advice.
+func skewedSIRun(t *testing.T) (*trace.Trace, *advice.Advice) {
+	t.Helper()
+	for seed := int64(0); seed < 120; seed++ {
+		store := kvstore.New(kvstore.SnapshotIsolation)
+		srv := server.New(server.Config{App: oncallApp()(), Store: store, Seed: seed, CollectKarousos: true})
+		res1, err := srv.Run([]server.Request{
+			{RID: "seed", Input: value.Map("op", "seed")},
+		}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Run([]server.Request{
+			{RID: "offA", Input: value.Map("op", "off", "who", "a", "other", "b")},
+			{RID: "offB", Input: value.Map("op", "off", "who", "b", "other", "a")},
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := store.SnapshotCommitted()
+		if appkit.Bool(appkit.Field(snap["doc:a"], "oncall")) ||
+			appkit.Bool(appkit.Field(snap["doc:b"], "oncall")) {
+			continue
+		}
+		full := res1.Trace
+		full.Events = append(full.Events, res.Trace.Events...)
+		return full, res.Karousos
+	}
+	t.Fatal("no interleaving produced write skew under snapshot isolation")
+	return nil, nil
+}
+
+func auditOncallAt(level adya.Level, tr *trace.Trace, adv *advice.Advice) error {
+	_, err := verifier.Audit(verifier.Config{
+		App: oncallApp()(), Mode: advice.ModeKarousos, Isolation: level,
+	}, tr, adv)
+	return err
+}
+
+func TestSnapshotIsolationAudit(t *testing.T) {
+	tr, adv := skewedSIRun(t)
+	// Write skew is SI-legal: the audit must accept at the real level.
+	if err := auditOncallAt(adya.SnapshotIsolation, tr, adv); err != nil {
+		t.Fatalf("honest SI execution rejected at snapshot isolation: %v", err)
+	}
+	// The same execution is not serializable: claiming so must fail (G2).
+	if err := auditOncallAt(adya.Serializable, tr, adv); err == nil {
+		t.Fatal("write-skewed SI execution accepted as serializable")
+	}
+}
+
+func TestSnapshotIsolationTxOrderForgeries(t *testing.T) {
+	tr, adv := skewedSIRun(t)
+	if err := auditOncallAt(adya.SnapshotIsolation, tr, adv); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+
+	t.Run("drop-tx-order", func(t *testing.T) {
+		forged := adv.Clone()
+		forged.TxOrder = nil
+		if err := auditOncallAt(adya.SnapshotIsolation, tr, forged); err == nil {
+			t.Error("missing begin/commit order accepted")
+		}
+	})
+	t.Run("drop-one-commit-event", func(t *testing.T) {
+		forged := adv.Clone()
+		for i, ev := range forged.TxOrder {
+			if ev.Kind == 1 {
+				forged.TxOrder = append(forged.TxOrder[:i:i], forged.TxOrder[i+1:]...)
+				break
+			}
+		}
+		if err := auditOncallAt(adya.SnapshotIsolation, tr, forged); err == nil {
+			t.Error("commit event removal accepted")
+		}
+	})
+	t.Run("duplicate-begin", func(t *testing.T) {
+		forged := adv.Clone()
+		for _, ev := range forged.TxOrder {
+			if ev.Kind == 0 {
+				forged.TxOrder = append(forged.TxOrder, ev)
+				break
+			}
+		}
+		if err := auditOncallAt(adya.SnapshotIsolation, tr, forged); err == nil {
+			t.Error("duplicate begin accepted")
+		}
+	})
+	t.Run("unknown-transaction", func(t *testing.T) {
+		forged := adv.Clone()
+		forged.TxOrder = append(forged.TxOrder, advice.TxOrderEvent{Kind: 0, RID: "ghost", TID: "ghost"})
+		if err := auditOncallAt(adya.SnapshotIsolation, tr, forged); err == nil {
+			t.Error("txOrder naming an unknown transaction accepted")
+		}
+	})
+	t.Run("commit-before-begin", func(t *testing.T) {
+		forged := adv.Clone()
+		// Move a committed tx's begin event to the very end.
+		for i, ev := range forged.TxOrder {
+			if ev.Kind == 0 {
+				moved := ev
+				forged.TxOrder = append(forged.TxOrder[:i:i], forged.TxOrder[i+1:]...)
+				forged.TxOrder = append(forged.TxOrder, moved)
+				break
+			}
+		}
+		if err := auditOncallAt(adya.SnapshotIsolation, tr, forged); err == nil {
+			t.Error("begin-after-commit accepted")
+		}
+	})
+}
+
+// TestSIRejectsDependencyOnConcurrentTx: a read-committed execution where a
+// transaction reads a value committed after it began (non-repeatable-read
+// pattern) violates G-SIa; auditing it at the SnapshotIsolation level must
+// reject, while its real level passes.
+func TestSIRejectsDependencyOnConcurrentTx(t *testing.T) {
+	// Search read-committed runs of the oncall app for an execution where a
+	// reader observed a write committed after the reader's own begin.
+	for seed := int64(0); seed < 200; seed++ {
+		store := kvstore.New(kvstore.ReadCommitted)
+		srv := server.New(server.Config{App: oncallApp()(), Store: store, Seed: seed, CollectKarousos: true})
+		res1, err := srv.Run([]server.Request{{RID: "seed", Input: value.Map("op", "seed")}}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srv.Run([]server.Request{
+			{RID: "offA", Input: value.Map("op", "off", "who", "a", "other", "b")},
+			{RID: "offB", Input: value.Map("op", "off", "who", "b", "other", "a")},
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := res1.Trace
+		full.Events = append(full.Events, res.Trace.Events...)
+		// The advice has no TxOrder (non-SI store), so an SI-level audit
+		// must reject outright.
+		if err := auditOncallAt(adya.SnapshotIsolation, full, res.Karousos); err == nil {
+			t.Fatalf("seed %d: read-committed advice (no txOrder) accepted at SI level", seed)
+		}
+		if err := auditOncallAt(adya.ReadCommitted, full, res.Karousos); err != nil {
+			t.Fatalf("seed %d: honest RC run rejected at RC: %v", seed, err)
+		}
+		return
+	}
+}
