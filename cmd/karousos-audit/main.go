@@ -11,52 +11,86 @@
 //
 //	karousos-audit tamper -dir rundir
 //	    flips one response in the stored trace, so a subsequent verify
-//	    demonstrates rejection.
+//	    demonstrates rejection;
+//
+//	karousos-audit faultinject -dir rundir -op bit-flip:7
+//	    corrupts the stored advice with a catalogue operator, so a
+//	    subsequent verify demonstrates a coded rejection.
+//
+// Exit codes make the verdict scriptable: 0 the audit accepted, 2 the audit
+// rejected (the reason code is printed; -reason-code prints it bare), 1 an
+// internal error (bad flags, unreadable files) — so a monitoring wrapper
+// can distinguish "the server cheated" from "the audit never ran".
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"karousos.dev/karousos"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so tests drive the CLI
+// in-process and assert on exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 1
 	}
-	switch os.Args[1] {
+	var err error
+	switch args[0] {
 	case "serve":
-		serveCmd(os.Args[2:])
+		err = serveCmd(args[1:], stdout, stderr)
 	case "verify":
-		verifyCmd(os.Args[2:])
+		return verifyCmd(args[1:], stdout, stderr)
 	case "tamper":
-		tamperCmd(os.Args[2:])
+		err = tamperCmd(args[1:], stdout, stderr)
+	case "faultinject":
+		err = faultinjectCmd(args[1:], stdout, stderr)
 	default:
-		usage()
+		usage(stderr)
+		return 1
 	}
+	if err != nil {
+		fmt.Fprintln(stderr, "karousos-audit:", err)
+		return 1
+	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: karousos-audit serve|verify|tamper [flags]")
-	os.Exit(2)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: karousos-audit serve|verify|tamper|faultinject [flags]
+
+  serve       run a workload, write trace.json + advice.bin to -out
+  verify      audit a run directory; exits 0 on ACCEPT, 2 on REJECT
+              (with a reason code), 1 on internal error
+  tamper      flip one response in the stored trace
+  faultinject corrupt the stored advice with a catalogue operator (-op)
+
+reason codes:
+  MalformedAdvice LogMismatch GraphCycle IsolationViolation
+  OutputMismatch ResourceLimit InternalFault`)
 }
 
-func appSpec(name string) karousos.AppSpec {
+func appSpec(name string) (karousos.AppSpec, error) {
 	switch name {
 	case "motd":
-		return karousos.MOTDApp()
+		return karousos.MOTDApp(), nil
 	case "stacks":
-		return karousos.StacksApp()
+		return karousos.StacksApp(), nil
 	case "wiki":
-		return karousos.WikiApp()
+		return karousos.WikiApp(), nil
 	}
-	fmt.Fprintf(os.Stderr, "unknown app %q (motd, stacks, wiki)\n", name)
-	os.Exit(2)
-	return karousos.AppSpec{}
+	return karousos.AppSpec{}, fmt.Errorf("unknown app %q (motd, stacks, wiki)", name)
 }
 
 func workloadFor(name string, n int, seed int64) []karousos.Request {
@@ -70,47 +104,82 @@ func workloadFor(name string, n int, seed int64) []karousos.Request {
 	}
 }
 
-func serveCmd(args []string) {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+func serveCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
 	n := fs.Int("n", 600, "number of requests")
 	conc := fs.Int("conc", 30, "concurrent requests")
 	seed := fs.Int64("seed", 42, "workload and scheduler seed")
 	out := fs.String("out", "karousos-run", "output directory")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	spec := appSpec(*app)
+	spec, err := appSpec(*app)
+	if err != nil {
+		return err
+	}
 	run, err := karousos.Serve(spec, workloadFor(*app, *n, *seed), *conc, *seed, karousos.CollectKarousos)
-	check(err)
+	if err != nil {
+		return err
+	}
 
-	check(os.MkdirAll(*out, 0o755))
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
 	traceJSON, err := json.MarshalIndent(run.Trace, "", " ")
-	check(err)
-	check(os.WriteFile(filepath.Join(*out, "trace.json"), traceJSON, 0o644))
-	check(os.WriteFile(filepath.Join(*out, "advice.bin"), run.Karousos.MarshalBinary(), 0o644))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*out, "trace.json"), traceJSON, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*out, "advice.bin"), run.Karousos.MarshalBinary(), 0o644); err != nil {
+		return err
+	}
 	meta, err := json.Marshal(map[string]any{"app": *app})
-	check(err)
-	check(os.WriteFile(filepath.Join(*out, "meta.json"), meta, 0o644))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*out, "meta.json"), meta, 0o644); err != nil {
+		return err
+	}
 
-	fmt.Printf("served %d requests (%s, conc %d) in %v; %d conflicts\n",
+	fmt.Fprintf(stdout, "served %d requests (%s, conc %d) in %v; %d conflicts\n",
 		*n, *app, *conc, run.Elapsed, run.Conflicts)
-	fmt.Printf("wrote %s/trace.json (%d events) and %s/advice.bin (%.1f KiB)\n",
+	fmt.Fprintf(stdout, "wrote %s/trace.json (%d events) and %s/advice.bin (%.1f KiB)\n",
 		*out, len(run.Trace.Events), *out, float64(run.Karousos.Size())/1024)
+	return nil
 }
 
-func loadRun(dir string) (karousos.AppSpec, *karousos.Trace, []byte) {
+func loadRun(dir string) (karousos.AppSpec, *karousos.Trace, []byte, error) {
 	metaJSON, err := os.ReadFile(filepath.Join(dir, "meta.json"))
-	check(err)
+	if err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
 	var meta struct{ App string }
-	check(json.Unmarshal(metaJSON, &meta))
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
+	spec, err := appSpec(meta.App)
+	if err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
 	traceJSON, err := os.ReadFile(filepath.Join(dir, "trace.json"))
-	check(err)
+	if err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
 	var tr karousos.Trace
-	check(json.Unmarshal(traceJSON, &tr))
+	if err := json.Unmarshal(traceJSON, &tr); err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
 	normalizeTrace(&tr)
 	adv, err := os.ReadFile(filepath.Join(dir, "advice.bin"))
-	check(err)
-	return appSpec(meta.App), &tr, adv
+	if err != nil {
+		return karousos.AppSpec{}, nil, nil, err
+	}
+	return spec, &tr, adv, nil
 }
 
 // normalizeTrace re-canonicalizes values after the JSON round trip (JSON
@@ -140,59 +209,135 @@ func canon(v karousos.V) karousos.V {
 	}
 }
 
-func verifyCmd(args []string) {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+func verifyCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dir := fs.String("dir", "karousos-run", "run directory from `serve`")
 	graph := fs.String("graph", "", "write the execution graph G as Graphviz DOT to this file (cycles highlighted)")
-	fs.Parse(args)
+	reasonCode := fs.Bool("reason-code", false, "on rejection, print only the bare reason code on stdout")
+	deadline := fs.Duration("deadline", karousos.DefaultLimits().Deadline, "wall-clock budget for the audit (0 = unbounded)")
+	faultSpec := fs.String("faultinject", "", "corrupt the advice with a catalogue operator (\"op\" or \"op:seed\") before auditing")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 
-	spec, tr, advBytes := loadRun(*dir)
-	adv, err := karousos.UnmarshalAdvice(advBytes)
-	check(err)
+	spec, tr, advBytes, err := loadRun(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "karousos-audit:", err)
+		return 1
+	}
+	if *faultSpec != "" {
+		if advBytes, err = karousos.ApplyFault(*faultSpec, advBytes); err != nil {
+			fmt.Fprintln(stderr, "karousos-audit:", err)
+			return 1
+		}
+	}
+	lim := karousos.DefaultLimits()
+	lim.Deadline = *deadline
+
+	start := time.Now()
 	var verdict *karousos.VerifyResult
-	if *graph != "" {
+	if err := lim.CheckAdviceBytes(len(advBytes)); err != nil {
+		verdict = &karousos.VerifyResult{Elapsed: time.Since(start), Err: err}
+	} else if adv, err := karousos.UnmarshalAdvice(advBytes); err != nil {
+		verdict = &karousos.VerifyResult{Elapsed: time.Since(start), Err: err}
+	} else if *graph != "" {
 		f, err := os.Create(*graph)
-		check(err)
+		if err != nil {
+			fmt.Fprintln(stderr, "karousos-audit:", err)
+			return 1
+		}
 		defer f.Close()
 		verdict = karousos.VerifyKarousosWithGraph(spec, tr, adv, f)
-		fmt.Printf("wrote execution graph to %s\n", *graph)
+		fmt.Fprintf(stdout, "wrote execution graph to %s\n", *graph)
 	} else {
-		verdict = karousos.VerifyKarousos(spec, tr, adv)
+		verdict = karousos.VerifyKarousosLimits(spec, tr, adv, lim)
 	}
 	if verdict.Err != nil {
-		fmt.Printf("AUDIT REJECTED after %v: %v\n", verdict.Elapsed, verdict.Err)
-		os.Exit(1)
+		code := karousos.RejectCodeOf(verdict.Err)
+		if code == "" {
+			// Not a structured rejection — the advice failed to decode.
+			// At this boundary that is the MalformedAdvice verdict: the
+			// server shipped bytes that are not advice.
+			code = karousos.RejectMalformedAdvice
+		}
+		if *reasonCode {
+			fmt.Fprintln(stdout, code)
+		}
+		fmt.Fprintf(stderr, "AUDIT REJECTED [%s] after %v: %v\n", code, verdict.Elapsed, verdict.Err)
+		return 2
 	}
-	fmt.Printf("AUDIT ACCEPTED in %v: %d requests, %d groups, %d handlers re-run, graph %d nodes / %d edges\n",
+	fmt.Fprintf(stdout, "AUDIT ACCEPTED in %v: %d requests, %d groups, %d handlers re-run, graph %d nodes / %d edges\n",
 		verdict.Elapsed, verdict.Stats.Requests, verdict.Stats.Groups,
 		verdict.Stats.HandlersRerun, verdict.Stats.GraphNodes, verdict.Stats.GraphEdges)
+	return 0
 }
 
-func tamperCmd(args []string) {
-	fs := flag.NewFlagSet("tamper", flag.ExitOnError)
+func tamperCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tamper", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	dir := fs.String("dir", "karousos-run", "run directory from `serve`")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	path := filepath.Join(*dir, "trace.json")
 	traceJSON, err := os.ReadFile(path)
-	check(err)
+	if err != nil {
+		return err
+	}
 	var tr karousos.Trace
-	check(json.Unmarshal(traceJSON, &tr))
+	if err := json.Unmarshal(traceJSON, &tr); err != nil {
+		return err
+	}
 	for i := range tr.Events {
 		if tr.Events[i].Kind == karousos.TraceResp {
 			tr.Events[i].Data = karousos.Map("status", "tampered")
-			fmt.Printf("tampered response of %s\n", tr.Events[i].RID)
+			fmt.Fprintf(stdout, "tampered response of %s\n", tr.Events[i].RID)
 			break
 		}
 	}
 	out, err := json.MarshalIndent(&tr, "", " ")
-	check(err)
-	check(os.WriteFile(path, out, 0o644))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "karousos-audit:", err)
-		os.Exit(1)
+func faultinjectCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("faultinject", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "karousos-run", "run directory from `serve`")
+	spec := fs.String("op", "", "operator spec, \"op\" or \"op:seed\" (see -list)")
+	out := fs.String("out", "", "output path for the corrupted advice (default: overwrite <dir>/advice.bin)")
+	list := fs.Bool("list", false, "list the operator catalogue and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if *list {
+		for _, op := range karousos.FaultCatalogue() {
+			fmt.Fprintf(stdout, "%-18s %-9s %s\n", op.Name, op.Kind, op.Desc)
+		}
+		return nil
+	}
+	if *spec == "" {
+		return fmt.Errorf("faultinject: -op is required (try -list)")
+	}
+	path := filepath.Join(*dir, "advice.bin")
+	wire, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	mut, err := karousos.ApplyFault(*spec, wire)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		*out = path
+	}
+	if err := os.WriteFile(*out, mut, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "applied %s: %d bytes -> %d bytes at %s\n", *spec, len(wire), len(mut), *out)
+	return nil
 }

@@ -251,15 +251,43 @@ func (d *decoder) uvarint() (uint64, error) {
 // length reads a collection length and sanity-bounds it against the
 // remaining input so hostile advice cannot force huge allocations.
 func (d *decoder) length() (int, error) {
+	return d.lengthElems(1)
+}
+
+// lengthElems reads a collection length whose elements each encode to at
+// least minElemSize bytes, and clamps the attacker-declared count against
+// the remaining input divided by that size. Without the divisor a
+// length-inflated blob can force allocations ~sizeof(element) times larger
+// than the input itself (a few declared bytes preallocating hundreds of
+// megabytes of decoded structs); with it, decode-side memory stays
+// proportional to input size.
+func (d *decoder) lengthElems(minElemSize int) (int, error) {
 	x, err := d.uvarint()
 	if err != nil {
 		return 0, err
 	}
-	if x > uint64(len(d.buf)-d.off) {
-		return 0, fmt.Errorf("advice: length %d exceeds remaining input", x)
+	if x > uint64(len(d.buf)-d.off)/uint64(minElemSize) {
+		return 0, fmt.Errorf("advice: declared length %d exceeds remaining input", x)
 	}
 	return int(x), nil
 }
+
+// Minimum wire sizes of variable-count elements, used to clamp declared
+// lengths: an empty string is 1 byte (its length varint), an op is three
+// such fields, and so on. These are lower bounds on what the corresponding
+// decode method consumes — update them together with the format.
+const (
+	minStrSize       = 1
+	minOpSize        = 3 * minStrSize // rid + hid + num
+	minTxPosSize     = 3 * minStrSize // rid + tid + index
+	minHandlerOpSize = 6              // hid + opnum + kind + event + events-len + fn
+	minVarEntrySize  = minOpSize + 3  // op + type + value-tag + hasPrec
+	minTxLogSize     = 3              // rid + tid + ops-len
+	minTxOpSize      = 7              // hid + opnum + type + key + contents + readFrom + readSet-len
+	minScanReadSize  = minStrSize + minTxPosSize
+	minTxOrderSize   = 3 // kind + rid + tid
+	minNondetSize    = minOpSize + 1
+)
 
 func (d *decoder) intv() (int, error) {
 	x, err := d.uvarint()
@@ -330,7 +358,7 @@ func (d *decoder) value() (value.V, error) {
 		}
 		return out, nil
 	case tMap:
-		n, err := d.length()
+		n, err := d.lengthElems(minStrSize + 1)
 		if err != nil {
 			return nil, err
 		}
@@ -421,7 +449,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := d.length()
+		m, err := d.lengthElems(minStrSize + 1)
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +495,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := d.length()
+		m, err := d.lengthElems(minHandlerOpSize)
 		if err != nil {
 			return nil, err
 		}
@@ -488,7 +516,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		if err != nil {
 			return nil, err
 		}
-		m, err := d.length()
+		m, err := d.lengthElems(minVarEntrySize)
 		if err != nil {
 			return nil, err
 		}
@@ -501,7 +529,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		a.VarLogs[core.VarID(id)] = entries
 	}
 
-	if n, err = d.length(); err != nil {
+	if n, err = d.lengthElems(minTxLogSize); err != nil {
 		return nil, err
 	}
 	a.TxLogs = make([]TxLog, n)
@@ -511,7 +539,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		}
 	}
 
-	if n, err = d.length(); err != nil {
+	if n, err = d.lengthElems(minTxPosSize); err != nil {
 		return nil, err
 	}
 	a.WriteOrder = make([]TxPos, n)
@@ -521,7 +549,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		}
 	}
 
-	if n, err = d.length(); err != nil {
+	if n, err = d.lengthElems(minTxOrderSize); err != nil {
 		return nil, err
 	}
 	if n > 0 {
@@ -542,7 +570,7 @@ func UnmarshalBinary(data []byte) (a *Advice, err error) {
 		}
 	}
 
-	if n, err = d.length(); err != nil {
+	if n, err = d.lengthElems(minNondetSize); err != nil {
 		return nil, err
 	}
 	a.Nondet = make([]NondetEntry, n)
@@ -639,7 +667,7 @@ func (d *decoder) txLog() (TxLog, error) {
 		return tl, err
 	}
 	tl.RID, tl.TID = core.RID(rid), core.TxID(tid)
-	n, err := d.length()
+	n, err := d.lengthElems(minTxOpSize)
 	if err != nil {
 		return tl, err
 	}
@@ -676,7 +704,7 @@ func (d *decoder) txLog() (TxLog, error) {
 			}
 			op.ReadFrom = &p
 		}
-		nrs, err := d.length()
+		nrs, err := d.lengthElems(minScanReadSize)
 		if err != nil {
 			return tl, err
 		}

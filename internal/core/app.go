@@ -342,17 +342,3 @@ func (c *Context) BranchBool(site string, cond bool) bool {
 func (c *Context) Nondet(site string, gen func(rid RID) value.V) *mv.MV {
 	return c.ops.Nondet(c, c.next(), site, gen)
 }
-
-// Reject aborts an audit: verifier-side Ops implementations panic with it
-// when untrusted advice fails a check, and the re-executor recovers it into
-// the audit verdict. It is exported so every layer (annotated-op replay,
-// state-op checks, group execution) rejects uniformly.
-type Reject struct{ Reason string }
-
-// Error implements error.
-func (r Reject) Error() string { return "audit reject: " + r.Reason }
-
-// Rejectf panics with a Reject carrying the formatted reason.
-func Rejectf(format string, args ...any) {
-	panic(Reject{Reason: fmt.Sprintf(format, args...)})
-}

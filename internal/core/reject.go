@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RejectCode is the machine-readable classification of an audit rejection.
+// The advice is untrusted (§2.1), so the verifier must turn *every* hostile
+// input into a verdict rather than a crash; the code tells operators — and
+// the CLI's exit-status logic — which layer of the audit fired.
+type RejectCode string
+
+const (
+	// RejectMalformedAdvice: the advice fails structural validation before
+	// or during Preprocess — missing sections, out-of-range references,
+	// duplicate entries, impossible log shapes, or a mode mismatch.
+	RejectMalformedAdvice RejectCode = "MalformedAdvice"
+	// RejectLogMismatch: grouped re-execution diverged from the logs — an
+	// operation the advice never logged, a logged operation replay never
+	// produced, or replayed values disagreeing with logged ones (Figure 19).
+	RejectLogMismatch RejectCode = "LogMismatch"
+	// RejectGraphCycle: the execution graph G is cyclic — no legal schedule
+	// explains the alleged execution (§4.3, Figure 5's family).
+	RejectGraphCycle RejectCode = "GraphCycle"
+	// RejectIsolationViolation: the alleged transaction history violates the
+	// store's isolation level (Figure 17, Adya's phenomena) or its read-from
+	// / write-order consistency rules (§4.4).
+	RejectIsolationViolation RejectCode = "IsolationViolation"
+	// RejectOutputMismatch: re-execution produced a response that differs
+	// from the trusted trace — the observable-behavior check itself.
+	RejectOutputMismatch RejectCode = "OutputMismatch"
+	// RejectResourceLimit: the audit exceeded a configured resource bound
+	// (verifier.Limits) — attacker-inflated opcounts, graph blow-up, or a
+	// wall-clock deadline. The advice is rejected, not the auditor killed.
+	RejectResourceLimit RejectCode = "ResourceLimit"
+	// RejectInternalFault: the verifier itself panicked on this input. The
+	// audit boundary converts the panic into this rejection (stack attached)
+	// so one malformed blob cannot take down the audit process; an
+	// InternalFault is also a verifier bug worth filing.
+	RejectInternalFault RejectCode = "InternalFault"
+)
+
+// Reject aborts an audit: verifier-side Ops implementations panic with it
+// when untrusted advice fails a check, and the audit boundary recovers it
+// into the verdict. It is exported so every layer (annotated-op replay,
+// state-op checks, group execution) rejects uniformly.
+type Reject struct {
+	// Code classifies the rejection; legacy call sites that only supply a
+	// reason default to MalformedAdvice.
+	Code   RejectCode
+	Reason string
+	// Stack carries the captured goroutine stack for InternalFault
+	// rejections, for diagnostics; empty otherwise.
+	Stack string
+}
+
+// Error implements error.
+func (r Reject) Error() string {
+	if r.Code == "" {
+		return "audit reject: " + r.Reason
+	}
+	return fmt.Sprintf("audit reject [%s]: %s", r.Code, r.Reason)
+}
+
+// Rejectf panics with a MalformedAdvice Reject carrying the formatted
+// reason. Prefer RejectCodef at new call sites.
+func Rejectf(format string, args ...any) {
+	RejectCodef(RejectMalformedAdvice, format, args...)
+}
+
+// RejectCodef panics with a Reject carrying the given code and formatted
+// reason.
+func RejectCodef(code RejectCode, format string, args ...any) {
+	panic(Reject{Code: code, Reason: fmt.Sprintf(format, args...)})
+}
+
+// RejectCodeOf extracts the rejection code from an audit error: the Reject's
+// code if err is (or wraps) one, or "" for nil and non-reject errors.
+func RejectCodeOf(err error) RejectCode {
+	if err == nil {
+		return ""
+	}
+	var rej Reject
+	if errors.As(err, &rej) {
+		return rej.Code
+	}
+	return ""
+}

@@ -139,13 +139,27 @@ func VerifyOrochi(spec AppSpec, tr *trace.Trace, adv *advice.Advice) *VerifyResu
 }
 
 func verify(spec AppSpec, tr *trace.Trace, adv *advice.Advice, mode advice.Mode) *VerifyResult {
+	return verifyLimits(spec, tr, adv, mode, verifier.Limits{})
+}
+
+// VerifyKarousosLimits audits under explicit resource bounds: the wire size
+// is checked before decode-side allocation, and the audit runs under lim's
+// deadline and graph budgets.
+func VerifyKarousosLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, lim verifier.Limits) *VerifyResult {
+	return verifyLimits(spec, tr, adv, advice.ModeKarousos, lim)
+}
+
+func verifyLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, mode advice.Mode, lim verifier.Limits) *VerifyResult {
 	app, _ := spec.New()
-	cfg := verifier.Config{App: app, Mode: mode, Isolation: spec.Isolation}
+	cfg := verifier.Config{App: app, Mode: mode, Isolation: spec.Isolation, Limits: lim}
 	// The advice crosses the network in a deployment (§2.1), so the timed
 	// region starts from its serialized form: decoding bigger advice is part
 	// of what makes the Orochi-JS verifier slower (§6.2).
 	wire := adv.MarshalBinary()
 	start := time.Now()
+	if err := lim.CheckAdviceBytes(len(wire)); err != nil {
+		return &VerifyResult{Elapsed: time.Since(start), Err: err}
+	}
 	parsed, err := advice.UnmarshalBinary(wire)
 	if err != nil {
 		return &VerifyResult{Elapsed: time.Since(start), Err: err}

@@ -86,7 +86,7 @@ func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core
 	if e, ok := vv.log[op]; ok {
 		vv.consumed[op] = true
 		if e.Type != advice.AccessRead {
-			core.Rejectf("re-executed read %v logged as write", op)
+			core.RejectCodef(core.RejectLogMismatch, "re-executed read %v logged as write", op)
 		}
 		if !e.HasPrec {
 			core.Rejectf("logged read %v has no dictating write", op)
@@ -99,11 +99,11 @@ func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core
 		return pe.Value
 	}
 	if v.cfg.Mode == advice.ModeOrochiJS && op.RID != core.InitRID {
-		core.Rejectf("orochi-js: read %v of variable %s is not logged", op, vv.id)
+		core.RejectCodef(core.RejectLogMismatch, "orochi-js: read %v of variable %s is not logged", op, vv.id)
 	}
 	prev, val, found := v.findNearestRPrecedingWrite(vv, op, parentOf)
 	if !found {
-		core.Rejectf("read %v of variable %s precedes every write", op, vv.id)
+		core.RejectCodef(core.RejectLogMismatch, "read %v of variable %s precedes every write", op, vv.id)
 	}
 	vv.readObs[prev] = append(vv.readObs[prev], op)
 	return val
@@ -120,15 +120,15 @@ func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map
 	if e, ok := vv.log[op]; ok {
 		vv.consumed[op] = true
 		if e.Type != advice.AccessWrite {
-			core.Rejectf("re-executed write %v logged as read", op)
+			core.RejectCodef(core.RejectLogMismatch, "re-executed write %v logged as read", op)
 		}
 		if !value.Equal(e.Value, val) {
-			core.Rejectf("write %v of variable %s produced %s but log records %s",
+			core.RejectCodef(core.RejectLogMismatch, "write %v of variable %s produced %s but log records %s",
 				op, vv.id, value.String(val), value.String(e.Value))
 		}
 		if e.HasPrec {
 			if prev, set := vv.writeObs[e.Prec]; set {
-				core.Rejectf("writes %v and %v both overwrite %v of variable %s", prev, op, e.Prec, vv.id)
+				core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", prev, op, e.Prec, vv.id)
 			}
 			vv.writeObs[e.Prec] = op
 			return
@@ -136,18 +136,18 @@ func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map
 		// A lazily-logged write carries no predecessor reference; its
 		// predecessor is R-ordered before it and is found below.
 	} else if v.cfg.Mode == advice.ModeOrochiJS && op.RID != core.InitRID {
-		core.Rejectf("orochi-js: write %v of variable %s is not logged", op, vv.id)
+		core.RejectCodef(core.RejectLogMismatch, "orochi-js: write %v of variable %s is not logged", op, vv.id)
 	}
 	prev, _, found := v.findNearestRPrecedingWrite(vv, op, parentOf)
 	if found {
 		if other, set := vv.writeObs[prev]; set {
-			core.Rejectf("writes %v and %v both overwrite %v of variable %s", other, op, prev, vv.id)
+			core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", other, op, prev, vv.id)
 		}
 		vv.writeObs[prev] = op
 		return
 	}
 	if vv.initial != nil {
-		core.Rejectf("variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, op)
+		core.RejectCodef(core.RejectLogMismatch, "variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, op)
 	}
 	cp := op
 	vv.initial = &cp
@@ -159,7 +159,15 @@ func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map
 // activation I.
 func (v *Verifier) findNearestRPrecedingWrite(vv *vvar, op core.Op, parentOf map[core.HID]core.HID) (core.Op, value.V, bool) {
 	rid, hid, bound := op.RID, op.HID, op.Num
-	for {
+	// The climb is bounded by the activation-tree depth; hids are digests of
+	// their parents, so a parentOf cycle cannot arise from honest hashing —
+	// but the bound makes "cannot hang" a property of this loop, not of the
+	// hash function.
+	for depth := 0; ; depth++ {
+		v.poll()
+		if depth > len(parentOf)+1 {
+			core.RejectCodef(core.RejectGraphCycle, "activation parent chain of handler %s does not terminate", op.HID)
+		}
 		entries := vv.dict[dkey{rid: rid, hid: hid}]
 		for i := len(entries) - 1; i >= 0; i-- {
 			if entries[i].num < bound {
@@ -171,7 +179,7 @@ func (v *Verifier) findNearestRPrecedingWrite(vv *vvar, op core.Op, parentOf map
 		}
 		parent, ok := parentOf[hid]
 		if !ok {
-			core.Rejectf("handler %s has no recorded activator", hid)
+			core.RejectCodef(core.RejectLogMismatch, "handler %s has no recorded activator", hid)
 		}
 		hid = parent
 		bound = math.MaxInt
@@ -277,11 +285,11 @@ func (v *Verifier) postprocess() {
 	cycle := v.g.FindCycle()
 	if v.cfg.DumpGraph != nil {
 		if err := v.g.DOT(v.cfg.DumpGraph, "karousos-G", gnodeLabel, cycle); err != nil {
-			core.Rejectf("writing graph dump: %v", err)
+			core.RejectCodef(core.RejectInternalFault, "writing graph dump: %v", err)
 		}
 	}
 	if cycle != nil {
-		core.Rejectf("execution graph has a cycle of length %d through %v", len(cycle)-1, cycle[0])
+		core.RejectCodef(core.RejectGraphCycle, "execution graph has a cycle of length %d through %v", len(cycle)-1, cycle[0])
 	}
 }
 
@@ -317,8 +325,9 @@ func (v *Verifier) addInternalStateEdges() {
 		cur := *vv.initial
 		visited := make(map[core.Op]bool)
 		for {
+			v.poll()
 			if visited[cur] {
-				core.Rejectf("variable %s has a cyclic write chain through %v", vv.id, cur)
+				core.RejectCodef(core.RejectGraphCycle, "variable %s has a cyclic write chain through %v", vv.id, cur)
 			}
 			visited[cur] = true
 			for _, r := range vv.readObs[cur] {
@@ -345,13 +354,13 @@ func (v *Verifier) addInternalStateEdges() {
 func (v *Verifier) checkConsumption() {
 	for op := range v.opMap {
 		if !v.opConsumed[op] {
-			core.Rejectf("log entry %v was never produced by re-execution", op)
+			core.RejectCodef(core.RejectLogMismatch, "log entry %v was never produced by re-execution", op)
 		}
 	}
 	for _, vv := range v.vars {
 		for op := range vv.log {
 			if !vv.consumed[op] {
-				core.Rejectf("variable log entry %v of %s was never produced by re-execution", op, vv.id)
+				core.RejectCodef(core.RejectLogMismatch, "variable log entry %v of %s was never produced by re-execution", op, vv.id)
 			}
 		}
 	}

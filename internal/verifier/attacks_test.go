@@ -129,6 +129,9 @@ func TestFigure5ImpossibleInterleavingRejected(t *testing.T) {
 	if !strings.Contains(err.Error(), "cycle") {
 		t.Errorf("expected rejection via graph cycle, got: %v", err)
 	}
+	if got := core.RejectCodeOf(err); got != core.RejectGraphCycle {
+		t.Errorf("rejected with code %s, want %s", got, core.RejectGraphCycle)
+	}
 }
 
 // --- mutation attacks on an honest tree-shaped run ---
@@ -197,8 +200,10 @@ func TestHonestTreeRunAccepted(t *testing.T) {
 }
 
 // expectReject applies a mutation to a fresh honest run and requires the
-// audit to reject it.
-func expectReject(t *testing.T, name string, mutate func(run *honestRun)) {
+// audit to reject it with the expected reason code — the code is part of
+// the auditor's contract (monitoring scripts dispatch on it), so a forgery
+// drifting to a different code is a regression even if it still rejects.
+func expectReject(t *testing.T, name string, want core.RejectCode, mutate func(run *honestRun)) {
 	t.Helper()
 	t.Run(name, func(t *testing.T) {
 		run := honestTreeRun(t)
@@ -207,14 +212,18 @@ func expectReject(t *testing.T, name string, mutate func(run *honestRun)) {
 		}
 		run = honestTreeRun(t)
 		mutate(&run)
-		if err := auditTree(run); err == nil {
+		err := auditTree(run)
+		if err == nil {
 			t.Fatalf("%s: forged run accepted", name)
+		}
+		if got := core.RejectCodeOf(err); got != want {
+			t.Errorf("%s: rejected with code %s, want %s (%v)", name, got, want, err)
 		}
 	})
 }
 
 func TestResponseTampering(t *testing.T) {
-	expectReject(t, "flip-response-bytes", func(run *honestRun) {
+	expectReject(t, "flip-response-bytes", core.RejectOutputMismatch, func(run *honestRun) {
 		for i := range run.tr.Events {
 			if run.tr.Events[i].Kind == trace.Resp && run.tr.Events[i].RID == "r2" {
 				run.tr.Events[i].Data = float64(424242)
@@ -224,7 +233,7 @@ func TestResponseTampering(t *testing.T) {
 }
 
 func TestDroppedRequestFromAdvice(t *testing.T) {
-	expectReject(t, "drop-request", func(run *honestRun) {
+	expectReject(t, "drop-request", core.RejectMalformedAdvice, func(run *honestRun) {
 		delete(run.adv.Tags, "r2")
 		delete(run.adv.OpCounts, "r2")
 		delete(run.adv.ResponseEmittedBy, "r2")
@@ -242,7 +251,7 @@ func TestDroppedRequestFromAdvice(t *testing.T) {
 }
 
 func TestVarLogValueForgery(t *testing.T) {
-	expectReject(t, "forge-write-value", func(run *honestRun) {
+	expectReject(t, "forge-write-value", core.RejectLogMismatch, func(run *honestRun) {
 		for id, entries := range run.adv.VarLogs {
 			for i := range entries {
 				if entries[i].Type == advice.AccessWrite {
@@ -256,7 +265,7 @@ func TestVarLogValueForgery(t *testing.T) {
 }
 
 func TestVarLogDuplicateEntry(t *testing.T) {
-	expectReject(t, "duplicate-var-entry", func(run *honestRun) {
+	expectReject(t, "duplicate-var-entry", core.RejectMalformedAdvice, func(run *honestRun) {
 		for id, entries := range run.adv.VarLogs {
 			if len(entries) > 0 {
 				run.adv.VarLogs[id] = append(entries, entries[0])
@@ -271,7 +280,7 @@ func TestPhantomVarWrite(t *testing.T) {
 	// A forged write entry at an op position replay never performs must be
 	// caught by the consumption check — otherwise it could silently feed
 	// logged reads while staying invisible to the execution graph.
-	expectReject(t, "phantom-write", func(run *honestRun) {
+	expectReject(t, "phantom-write", core.RejectLogMismatch, func(run *honestRun) {
 		hid := run.adv.ResponseEmittedBy["r1"].HID
 		n := run.adv.OpCounts["r1"][hid]
 		run.adv.OpCounts["r1"][hid] = n + 1 // make room for the phantom op
@@ -285,7 +294,7 @@ func TestPhantomVarWrite(t *testing.T) {
 }
 
 func TestVarLogUnknownVariable(t *testing.T) {
-	expectReject(t, "unknown-variable", func(run *honestRun) {
+	expectReject(t, "unknown-variable", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.VarLogs["no-such-var"] = []advice.VarLogEntry{{
 			Op:   core.Op{RID: "r1", HID: run.adv.ResponseEmittedBy["r1"].HID, Num: 1},
 			Type: advice.AccessWrite, Value: float64(1),
@@ -294,7 +303,7 @@ func TestVarLogUnknownVariable(t *testing.T) {
 }
 
 func TestReadDictatedByMissingWrite(t *testing.T) {
-	expectReject(t, "read-from-missing-write", func(run *honestRun) {
+	expectReject(t, "read-from-missing-write", core.RejectMalformedAdvice, func(run *honestRun) {
 		for id, entries := range run.adv.VarLogs {
 			for i := range entries {
 				if entries[i].Type == advice.AccessRead {
@@ -308,50 +317,50 @@ func TestReadDictatedByMissingWrite(t *testing.T) {
 }
 
 func TestOpCountInflation(t *testing.T) {
-	expectReject(t, "inflate-opcount", func(run *honestRun) {
+	expectReject(t, "inflate-opcount", core.RejectLogMismatch, func(run *honestRun) {
 		hid := run.adv.ResponseEmittedBy["r1"].HID
 		run.adv.OpCounts["r1"][hid]++
 	})
 }
 
 func TestOpCountDeflation(t *testing.T) {
-	expectReject(t, "deflate-opcount", func(run *honestRun) {
+	expectReject(t, "deflate-opcount", core.RejectMalformedAdvice, func(run *honestRun) {
 		hid := run.adv.ResponseEmittedBy["r1"].HID
 		run.adv.OpCounts["r1"][hid]--
 	})
 }
 
 func TestPhantomHandler(t *testing.T) {
-	expectReject(t, "phantom-handler", func(run *honestRun) {
+	expectReject(t, "phantom-handler", core.RejectLogMismatch, func(run *honestRun) {
 		run.adv.OpCounts["r1"]["deadbeefdeadbeef"] = 2
 	})
 }
 
 func TestResponseEmittedByForgery(t *testing.T) {
-	expectReject(t, "wrong-response-op", func(run *honestRun) {
+	expectReject(t, "wrong-response-op", core.RejectLogMismatch, func(run *honestRun) {
 		at := run.adv.ResponseEmittedBy["r1"]
 		at.OpNum--
 		run.adv.ResponseEmittedBy["r1"] = at
 	})
-	expectReject(t, "missing-response-entry", func(run *honestRun) {
+	expectReject(t, "missing-response-entry", core.RejectMalformedAdvice, func(run *honestRun) {
 		delete(run.adv.ResponseEmittedBy, "r1")
 	})
 }
 
 func TestHandlerLogTampering(t *testing.T) {
-	expectReject(t, "drop-emit", func(run *honestRun) {
+	expectReject(t, "drop-emit", core.RejectLogMismatch, func(run *honestRun) {
 		run.adv.HandlerLogs["r1"] = run.adv.HandlerLogs["r1"][:1]
 	})
-	expectReject(t, "forge-emit-event", func(run *honestRun) {
+	expectReject(t, "forge-emit-event", core.RejectLogMismatch, func(run *honestRun) {
 		run.adv.HandlerLogs["r1"][0].Event = "no-such-event"
 	})
-	expectReject(t, "handler-log-for-unknown-request", func(run *honestRun) {
+	expectReject(t, "handler-log-for-unknown-request", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.HandlerLogs["zz"] = run.adv.HandlerLogs["r1"]
 	})
 }
 
 func TestTagForgery(t *testing.T) {
-	expectReject(t, "missing-tag", func(run *honestRun) {
+	expectReject(t, "missing-tag", core.RejectMalformedAdvice, func(run *honestRun) {
 		delete(run.adv.Tags, "r3")
 	})
 }
@@ -458,7 +467,7 @@ func auditTx(run honestRun) error {
 	return err
 }
 
-func expectTxReject(t *testing.T, name string, mutate func(run *honestRun)) {
+func expectTxReject(t *testing.T, name string, want core.RejectCode, mutate func(run *honestRun)) {
 	t.Helper()
 	t.Run(name, func(t *testing.T) {
 		run := honestTxRun(t)
@@ -467,8 +476,12 @@ func expectTxReject(t *testing.T, name string, mutate func(run *honestRun)) {
 		}
 		run = honestTxRun(t)
 		mutate(&run)
-		if err := auditTx(run); err == nil {
+		err := auditTx(run)
+		if err == nil {
 			t.Fatalf("%s: forged tx run accepted", name)
+		}
+		if got := core.RejectCodeOf(err); got != want {
+			t.Errorf("%s: rejected with code %s, want %s (%v)", name, got, want, err)
 		}
 	})
 }
@@ -480,7 +493,7 @@ func TestTxHonestAccepted(t *testing.T) {
 }
 
 func TestTxPutContentsForgery(t *testing.T) {
-	expectTxReject(t, "forge-put-contents", func(run *honestRun) {
+	expectTxReject(t, "forge-put-contents", core.RejectLogMismatch, func(run *honestRun) {
 		for i := range run.adv.TxLogs {
 			for j := range run.adv.TxLogs[i].Ops {
 				if run.adv.TxLogs[i].Ops[j].Type == core.TxPut {
@@ -493,10 +506,11 @@ func TestTxPutContentsForgery(t *testing.T) {
 }
 
 func TestTxReadFromFutureRejected(t *testing.T) {
-	// Claim r1's GET read from r3's PUT: external-state WR edges then point
-	// backwards against program/time order — a cycle in G, exactly the §4.4
-	// "preposterous claim" example.
-	expectTxReject(t, "read-from-future", func(run *honestRun) {
+	// Claim r1's GET read from r3's PUT — the §4.4 "preposterous claim"
+	// example. The retargeted GET is r1's own-write read, so the
+	// transactions-observe-their-own-writes check fires before graph
+	// construction would see the backwards WR edge.
+	expectTxReject(t, "read-from-future", core.RejectIsolationViolation, func(run *honestRun) {
 		var r3Put *advice.TxPos
 		for i := range run.adv.TxLogs {
 			tl := &run.adv.TxLogs[i]
@@ -531,7 +545,7 @@ func TestTxOwnWriteViolation(t *testing.T) {
 	// The second GET of each transaction reads the transaction's own PUT;
 	// claiming it read someone else's write violates the §4.4 well-formedness
 	// check ("transactions observe their own writes").
-	expectTxReject(t, "ignore-own-write", func(run *honestRun) {
+	expectTxReject(t, "ignore-own-write", core.RejectIsolationViolation, func(run *honestRun) {
 		// Find r1's PUT (r2's second GET legitimately could not read it, but
 		// we forge r2's *second* GET — which must observe r2's own PUT — to
 		// point at r1's PUT instead).
@@ -567,13 +581,13 @@ func TestTxOwnWriteViolation(t *testing.T) {
 }
 
 func TestWriteOrderTampering(t *testing.T) {
-	expectTxReject(t, "drop-write-order-entry", func(run *honestRun) {
+	expectTxReject(t, "drop-write-order-entry", core.RejectIsolationViolation, func(run *honestRun) {
 		run.adv.WriteOrder = run.adv.WriteOrder[:len(run.adv.WriteOrder)-1]
 	})
-	expectTxReject(t, "duplicate-write-order-entry", func(run *honestRun) {
+	expectTxReject(t, "duplicate-write-order-entry", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.WriteOrder[len(run.adv.WriteOrder)-1] = run.adv.WriteOrder[0]
 	})
-	expectTxReject(t, "invert-write-order", func(run *honestRun) {
+	expectTxReject(t, "invert-write-order", core.RejectIsolationViolation, func(run *honestRun) {
 		// Reversing the installation order of the row's versions contradicts
 		// the read-from facts: the dependency graph gets a wr/ww cycle.
 		wo := run.adv.WriteOrder
@@ -582,16 +596,16 @@ func TestWriteOrderTampering(t *testing.T) {
 }
 
 func TestTxLogStructuralForgeries(t *testing.T) {
-	expectTxReject(t, "truncate-tx-log", func(run *honestRun) {
+	expectTxReject(t, "truncate-tx-log", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.TxLogs[0].Ops = run.adv.TxLogs[0].Ops[:2]
 	})
-	expectTxReject(t, "drop-tx-start", func(run *honestRun) {
+	expectTxReject(t, "drop-tx-start", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.TxLogs[0].Ops = run.adv.TxLogs[0].Ops[1:]
 	})
-	expectTxReject(t, "duplicate-tx-log", func(run *honestRun) {
+	expectTxReject(t, "duplicate-tx-log", core.RejectMalformedAdvice, func(run *honestRun) {
 		run.adv.TxLogs = append(run.adv.TxLogs, run.adv.TxLogs[0])
 	})
-	expectTxReject(t, "get-key-mismatch", func(run *honestRun) {
+	expectTxReject(t, "get-key-mismatch", core.RejectLogMismatch, func(run *honestRun) {
 		for i := range run.adv.TxLogs {
 			for j := range run.adv.TxLogs[i].Ops {
 				if run.adv.TxLogs[i].Ops[j].Type == core.TxGet {
@@ -601,7 +615,7 @@ func TestTxLogStructuralForgeries(t *testing.T) {
 			}
 		}
 	})
-	expectTxReject(t, "commit-to-abort", func(run *honestRun) {
+	expectTxReject(t, "commit-to-abort", core.RejectIsolationViolation, func(run *honestRun) {
 		// Claiming a committed transaction aborted breaks the write order
 		// consistency (its installs are no longer last modifications of a
 		// committed transaction).

@@ -1,0 +1,52 @@
+// Native fuzz target for the whole audit boundary: arbitrary bytes in,
+// coded verdict out. Where FuzzDecodeAdvice stops at the codec, this target
+// pushes everything that decodes into a real audit against an honest trace,
+// so the fuzzer can hunt for panics and stalls in Preprocess, re-execution,
+// and Postprocess too.
+package verifier_test
+
+import (
+	"testing"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/motd"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/faultinject"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func FuzzAudit(f *testing.F) {
+	srv := server.New(server.Config{App: motd.New(), Seed: 19, CollectKarousos: true})
+	res, err := srv.Run(workload.MOTD(8, workload.Mixed, 23), 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wire := res.Karousos.MarshalBinary()
+	f.Add(wire)
+	// Seed the corpus with one mutant per catalogue operator so the fuzzer
+	// starts from advice that decodes but lies.
+	for _, op := range faultinject.Catalogue() {
+		if mut, err := op.Apply(1, wire); err == nil {
+			f.Add(mut)
+		}
+	}
+	lim := verifier.DefaultLimits()
+	lim.Deadline = 5 * time.Second
+	f.Fuzz(func(t *testing.T, data []byte) {
+		adv, err := advice.UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		_, err = verifier.Audit(verifier.Config{
+			App: motd.New(), Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+			Limits: lim,
+		}, res.Trace, adv)
+		if err != nil && core.RejectCodeOf(err) == "" {
+			t.Fatalf("rejection without a reason code: %v", err)
+		}
+	})
+}

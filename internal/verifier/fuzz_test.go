@@ -20,6 +20,7 @@ import (
 	"karousos.dev/karousos/internal/apps/motd"
 	"karousos.dev/karousos/internal/apps/stacks"
 	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/faultinject"
 	"karousos.dev/karousos/internal/kvstore"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/trace"
@@ -241,6 +242,24 @@ func mutators() []mutator {
 	}
 }
 
+// faultMutators adapts the fault-injection catalogue's semantic operators
+// into the mutator sweep, so the two corruption vocabularies (hand-written
+// mutators here, the operator catalogue in internal/faultinject) are both
+// held to the same soundness invariant.
+func faultMutators() []mutator {
+	var ms []mutator
+	for _, op := range faultinject.Catalogue() {
+		if op.Kind != faultinject.KindSemantic {
+			continue
+		}
+		op := op
+		ms = append(ms, mutator{"faultinject/" + op.Name, func(r *rand.Rand, a *advice.Advice) bool {
+			return op.Mutate(r, a)
+		}})
+	}
+	return ms
+}
+
 type fuzzTarget struct {
 	name string
 	mk   func() (*core.App, *kvstore.Store)
@@ -260,8 +279,11 @@ func auditMutant(t *testing.T, mk func() (*core.App, *kvstore.Store), tr *trace.
 		}
 	}()
 	app, _ := mk()
+	// DefaultLimits so resource-amplifying mutants (inflated opcounts)
+	// reject instead of stalling the test process.
 	_, err := verifier.Audit(verifier.Config{
 		App: app, Mode: advice.ModeKarousos, Isolation: adya.Serializable,
+		Limits: verifier.DefaultLimits(),
 	}, tr, adv)
 	return err == nil
 }
@@ -300,7 +322,7 @@ func TestAdviceMutationFuzz(t *testing.T) {
 			}
 			accepted := 0
 			applied := 0
-			for _, m := range mutators() {
+			for _, m := range append(mutators(), faultMutators()...) {
 				for trial := 0; trial < 8; trial++ {
 					r := rand.New(rand.NewSource(int64(trial)*1000 + 7))
 					mut := res.Karousos.Clone()

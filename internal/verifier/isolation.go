@@ -34,6 +34,7 @@ func (v *Verifier) addExternalStateEdges() {
 			v.committed[ref] = true
 		}
 		for j := range tl.Ops {
+			v.poll()
 			op := &tl.Ops[j]
 			v.checkOpIsValid(tl.RID, op.HID, op.OpNum, opLoc{isTx: true, rid: tl.RID, tid: tl.TID, idx: j + 1})
 		}
@@ -44,6 +45,7 @@ func (v *Verifier) addExternalStateEdges() {
 		ref := txRef{rid: tl.RID, tid: tl.TID}
 		myWrites := make(map[string]advice.TxPos)
 		for j := range tl.Ops {
+			v.poll()
 			op := &tl.Ops[j]
 			pos := advice.TxPos{RID: tl.RID, TID: tl.TID, Index: j + 1}
 			switch op.Type {
@@ -70,7 +72,7 @@ func (v *Verifier) addExternalStateEdges() {
 					v.g.AddEdge(opNode(sr.ReadFrom.RID, opw.HID, opw.OpNum), opNode(tl.RID, op.HID, op.OpNum))
 					v.readMap[sr.ReadFrom] = append(v.readMap[sr.ReadFrom], pos)
 					if mw, ok := myWrites[sr.Key]; ok && mw != sr.ReadFrom {
-						core.Rejectf("SCAN %v ignores own write %v of key %q", pos, mw, sr.Key)
+						core.RejectCodef(core.RejectIsolationViolation, "SCAN %v ignores own write %v of key %q", pos, mw, sr.Key)
 					}
 				}
 				// Own writes within the prefix must be visible to the scan.
@@ -85,7 +87,7 @@ func (v *Verifier) addExternalStateEdges() {
 						}
 					}
 					if !found {
-						core.Rejectf("SCAN %v omits this transaction's own write %v of key %q", pos, mw, key)
+						core.RejectCodef(core.RejectIsolationViolation, "SCAN %v omits this transaction's own write %v of key %q", pos, mw, key)
 					}
 				}
 			case core.TxGet:
@@ -106,10 +108,10 @@ func (v *Verifier) addExternalStateEdges() {
 					// Reading a key this transaction already wrote must
 					// observe its own last modification.
 					if mw, ok := myWrites[op.Key]; ok && mw != w {
-						core.Rejectf("GET %v ignores own write %v of key %q", pos, mw, op.Key)
+						core.RejectCodef(core.RejectIsolationViolation, "GET %v ignores own write %v of key %q", pos, mw, op.Key)
 					}
 				} else if mw, ok := myWrites[op.Key]; ok {
-					core.Rejectf("GET %v reads key %q as absent despite own write %v", pos, op.Key, mw)
+					core.RejectCodef(core.RejectIsolationViolation, "GET %v reads key %q as absent despite own write %v", pos, op.Key, mw)
 				}
 			case core.TxPut:
 				myWrites[op.Key] = pos
@@ -167,7 +169,7 @@ func (v *Verifier) isolationLevelVerification() {
 			}
 			for _, r := range readers {
 				if v.committed[txRef{rid: r.RID, tid: r.TID}] && (r.RID != w.RID || r.TID != w.TID) {
-					core.Rejectf("committed transaction %s/%s reads from non-installed write %v", r.RID, r.TID, w)
+					core.RejectCodef(core.RejectIsolationViolation, "committed transaction %s/%s reads from non-installed write %v", r.RID, r.TID, w)
 				}
 			}
 		}
@@ -196,12 +198,12 @@ func (v *Verifier) isolationLevelVerification() {
 	if v.cfg.Isolation == adya.SnapshotIsolation {
 		times := v.validateTxOrder()
 		if err := adya.CheckSI(h, times); err != nil {
-			core.Rejectf("%v", err)
+			core.RejectCodef(core.RejectIsolationViolation, "%v", err)
 		}
 		return
 	}
 	if err := adya.Check(h, v.cfg.Isolation); err != nil {
-		core.Rejectf("%v", err)
+		core.RejectCodef(core.RejectIsolationViolation, "%v", err)
 	}
 }
 
@@ -259,7 +261,7 @@ func (v *Verifier) validateTxOrder() map[adya.TxKey]adya.TxTimes {
 		seenTx[ref] = true
 		pos := times[adya.TxKey{RID: string(p.RID), TID: string(p.TID)}].Commit
 		if pos < lastCommitPos {
-			core.Rejectf("write order and txOrder disagree on commit order at %s/%s", p.RID, p.TID)
+			core.RejectCodef(core.RejectIsolationViolation, "write order and txOrder disagree on commit order at %s/%s", p.RID, p.TID)
 		}
 		lastCommitPos = pos
 	}
@@ -271,7 +273,7 @@ func (v *Verifier) validateTxOrder() map[adya.TxKey]adya.TxTimes {
 // committed transactions, once each, and is split per key.
 func (v *Verifier) extractWriteOrderPerKey() map[string][]advice.TxPos {
 	if len(v.adv.WriteOrder) != len(v.lastMod) {
-		core.Rejectf("write order has %d entries but the logs imply %d last modifications",
+		core.RejectCodef(core.RejectIsolationViolation, "write order has %d entries but the logs imply %d last modifications",
 			len(v.adv.WriteOrder), len(v.lastMod))
 	}
 	perKey := make(map[string][]advice.TxPos)
@@ -285,7 +287,7 @@ func (v *Verifier) extractWriteOrderPerKey() map[string][]advice.TxPos {
 			core.Rejectf("write order entry %v is not a PUT in the logs", p)
 		}
 		if v.lastMod[lmKey{rid: p.RID, tid: p.TID, key: op.Key}] != p.Index {
-			core.Rejectf("write order entry %v is not a committed last modification of key %q", p, op.Key)
+			core.RejectCodef(core.RejectIsolationViolation, "write order entry %v is not a committed last modification of key %q", p, op.Key)
 		}
 		perKey[op.Key] = append(perKey[op.Key], p)
 	}

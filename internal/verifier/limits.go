@@ -1,0 +1,99 @@
+package verifier
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"karousos.dev/karousos/internal/core"
+)
+
+// Limits bounds the resources one audit may consume. The advice is
+// adversarial input: without bounds, an attacker-inflated opcount or a
+// pathological graph can make the auditor allocate without limit or run
+// forever — a denial-of-audit. Every bound rejects with ResourceLimit
+// rather than crashing or stalling the process. A zero field means
+// "unbounded" for that dimension, so the zero Limits preserves the old
+// behavior; DefaultLimits returns production-shaped bounds.
+type Limits struct {
+	// MaxAdviceBytes bounds the serialized advice size a caller should
+	// accept before decoding. Audit itself receives decoded advice, so this
+	// field is enforced by CheckAdviceBytes at the decode boundary (harness,
+	// CLI), not inside Audit.
+	MaxAdviceBytes int
+	// MaxHandlers bounds the total number of advised handler activations
+	// (rid, hid pairs in opcounts).
+	MaxHandlers int
+	// MaxOpsPerHandler bounds any single advised opcount; an honest handler
+	// issues one op per special operation, so this is effectively a bound on
+	// handler length.
+	MaxOpsPerHandler int
+	// MaxGraphNodes / MaxGraphEdges bound the execution graph G.
+	MaxGraphNodes int
+	MaxGraphEdges int
+	// Deadline is the wall-clock budget for the whole audit; exceeded
+	// deadlines reject with ResourceLimit at the next cancellation check.
+	Deadline time.Duration
+}
+
+// DefaultLimits returns bounds sized for production audits: generous enough
+// for the paper's 600-request workloads by two orders of magnitude, small
+// enough that a hostile advice blob cannot stall or OOM the auditor.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxAdviceBytes:   1 << 28, // 256 MiB on the wire
+		MaxHandlers:      1 << 20,
+		MaxOpsPerHandler: 1 << 20,
+		MaxGraphNodes:    16 << 20,
+		MaxGraphEdges:    64 << 20,
+		Deadline:         5 * time.Minute,
+	}
+}
+
+// CheckAdviceBytes enforces MaxAdviceBytes against a serialized advice size.
+// Callers that decode wire-format advice should check before allocating
+// decode-side structures.
+func (l Limits) CheckAdviceBytes(n int) error {
+	if l.MaxAdviceBytes > 0 && n > l.MaxAdviceBytes {
+		return core.Reject{
+			Code:   core.RejectResourceLimit,
+			Reason: fmt.Sprintf("advice is %d bytes, limit %d", n, l.MaxAdviceBytes),
+		}
+	}
+	return nil
+}
+
+// pollInterval is how many poll() calls pass between deadline/graph budget
+// checks; polling sites sit on per-operation paths, so checks stay cheap.
+const pollInterval = 1024
+
+// poll is called from every hot loop that untrusted advice can lengthen; it
+// runs the budget checks every pollInterval calls.
+func (v *Verifier) poll() {
+	v.pollN++
+	if v.pollN%pollInterval != 0 {
+		return
+	}
+	v.checkBudgets()
+}
+
+// checkBudgets rejects with ResourceLimit when the audit context is done
+// (deadline or caller cancellation) or the execution graph outgrew its
+// bounds.
+func (v *Verifier) checkBudgets() {
+	if v.ctx != nil {
+		if err := v.ctx.Err(); err != nil {
+			if err == context.DeadlineExceeded {
+				core.RejectCodef(core.RejectResourceLimit, "audit deadline of %v exceeded", v.cfg.Limits.Deadline)
+			}
+			core.RejectCodef(core.RejectResourceLimit, "audit canceled: %v", err)
+		}
+	}
+	lim := v.cfg.Limits
+	if lim.MaxGraphNodes > 0 && v.g.NumNodes() > lim.MaxGraphNodes {
+		core.RejectCodef(core.RejectResourceLimit, "execution graph exceeds %d nodes", lim.MaxGraphNodes)
+	}
+	if lim.MaxGraphEdges > 0 && v.g.NumEdges() > lim.MaxGraphEdges {
+		core.RejectCodef(core.RejectResourceLimit, "execution graph exceeds %d edges", lim.MaxGraphEdges)
+	}
+}

@@ -37,13 +37,13 @@ func (v *Verifier) reExec() {
 	for rid, counts := range v.adv.OpCounts {
 		for hid := range counts {
 			if !v.executed[rid][hid] {
-				core.Rejectf("advised handler (%s,%s) was never re-executed", rid, hid)
+				core.RejectCodef(core.RejectLogMismatch, "advised handler (%s,%s) was never re-executed", rid, hid)
 			}
 		}
 	}
 	for rid := range v.inputs {
 		if !v.responded[rid] {
-			core.Rejectf("re-execution produced no response for %s", rid)
+			core.RejectCodef(core.RejectLogMismatch, "re-execution produced no response for %s", rid)
 		}
 	}
 }
@@ -91,6 +91,7 @@ func (v *Verifier) runGroup(rids []core.RID) {
 	}
 	// Step (2): run handlers from the active queue to completion.
 	for len(g.active) > 0 {
+		v.poll()
 		act := g.active[0]
 		g.active = g.active[1:]
 		for _, rid := range rids {
@@ -100,7 +101,7 @@ func (v *Verifier) runGroup(rids []core.RID) {
 				v.executed[rid] = ex
 			}
 			if ex[act.hid] {
-				core.Rejectf("handler (%s,%s) re-executed twice", rid, act.hid)
+				core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) re-executed twice", rid, act.hid)
 			}
 			ex[act.hid] = true
 		}
@@ -110,7 +111,7 @@ func (v *Verifier) runGroup(rids []core.RID) {
 		// the re-executed count exactly.
 		for _, rid := range rids {
 			if n := v.adv.OpCounts[rid][act.hid]; n != ctx.OpsIssued() {
-				core.Rejectf("handler (%s,%s) advised %d ops but re-executed %d", rid, act.hid, n, ctx.OpsIssued())
+				core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) advised %d ops but re-executed %d", rid, act.hid, n, ctx.OpsIssued())
 			}
 		}
 		v.Stats.HandlersRerun++
@@ -120,9 +121,10 @@ func (v *Verifier) runGroup(rids []core.RID) {
 // checkWithin enforces Figure 18 line 43 / Figure 19 lines 5 and 19: an op
 // number beyond the advised count is a divergence between advice and replay.
 func (g *groupExec) checkWithin(ctx *core.Context, opnum int) {
+	g.v.poll()
 	for _, rid := range g.rids {
 		if n := g.v.adv.OpCounts[rid][ctx.HID()]; opnum > n {
-			core.Rejectf("handler (%s,%s) exceeded its advised %d operations", rid, ctx.HID(), n)
+			core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) exceeded its advised %d operations", rid, ctx.HID(), n)
 		}
 	}
 }
@@ -134,19 +136,19 @@ func (g *groupExec) checkHandlerOp(rid core.RID, hid core.HID, opnum int, want a
 	op := core.Op{RID: rid, HID: hid, Num: opnum}
 	loc, ok := g.v.opMap[op]
 	if !ok || loc.isTx || loc.rid != rid {
-		core.Rejectf("handler operation %v not found in handler log", op)
+		core.RejectCodef(core.RejectLogMismatch, "handler operation %v not found in handler log", op)
 	}
 	e := &g.v.adv.HandlerLogs[rid][loc.idx]
 	if e.Kind != want.Kind || e.Event != want.Event || e.Fn != want.Fn {
-		core.Rejectf("handler operation %v does not match logged %s", op, e.Kind)
+		core.RejectCodef(core.RejectLogMismatch, "handler operation %v does not match logged %s", op, e.Kind)
 	}
 	if want.Kind == advice.OpRegister {
 		if len(e.Events) != len(want.Events) {
-			core.Rejectf("register %v logged with different event set", op)
+			core.RejectCodef(core.RejectLogMismatch, "register %v logged with different event set", op)
 		}
 		for i := range e.Events {
 			if e.Events[i] != want.Events[i] {
-				core.Rejectf("register %v logged with different event set", op)
+				core.RejectCodef(core.RejectLogMismatch, "register %v logged with different event set", op)
 			}
 		}
 	}
@@ -168,11 +170,11 @@ func (g *groupExec) Emit(ctx *core.Context, opnum int, event core.EventName, pay
 			continue
 		}
 		if len(s) != len(set) {
-			core.Rejectf("emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
+			core.RejectCodef(core.RejectLogMismatch, "emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
 		}
 		for hid := range set {
 			if !s[hid] {
-				core.Rejectf("emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
+				core.RejectCodef(core.RejectLogMismatch, "emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
 			}
 		}
 	}
@@ -238,7 +240,7 @@ func (g *groupExec) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOp
 		cur := core.Op{RID: rid, HID: ctx.HID(), Num: opnum}
 		loc, ok := g.v.opMap[cur]
 		if !ok || !loc.isTx || loc.rid != rid || loc.tid != tx.ID || loc.idx != idx {
-			core.Rejectf("state operation %v does not match transaction log position (%s,%d)", cur, tx.ID, idx)
+			core.RejectCodef(core.RejectLogMismatch, "state operation %v does not match transaction log position (%s,%d)", cur, tx.ID, idx)
 		}
 		e := g.v.txIndex[txRef{rid: rid, tid: tx.ID}].Ops[idx-1]
 		g.v.opConsumed[cur] = true
@@ -249,13 +251,13 @@ func (g *groupExec) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOp
 			continue
 		}
 		if e.Type != op {
-			core.Rejectf("state operation %v is %s but log records %s", cur, op, e.Type)
+			core.RejectCodef(core.RejectLogMismatch, "state operation %v is %s but log records %s", cur, op, e.Type)
 		}
 		switch op {
 		case core.TxScan:
 			k, _ := key.At(i).(string)
 			if e.Key != k {
-				core.Rejectf("SCAN %v on prefix %q but log records %q", cur, k, e.Key)
+				core.RejectCodef(core.RejectLogMismatch, "SCAN %v on prefix %q but log records %q", cur, k, e.Key)
 			}
 			rows := make([]value.V, len(e.ReadSet))
 			for j, sr := range e.ReadSet {
@@ -268,7 +270,7 @@ func (g *groupExec) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOp
 		case core.TxGet:
 			k, _ := key.At(i).(string)
 			if e.Key != k {
-				core.Rejectf("GET %v on key %q but log records %q", cur, k, e.Key)
+				core.RejectCodef(core.RejectLogMismatch, "GET %v on key %q but log records %q", cur, k, e.Key)
 			}
 			if e.ReadFrom == nil {
 				vals[i] = nil
@@ -278,16 +280,16 @@ func (g *groupExec) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOp
 		case core.TxPut:
 			k, _ := key.At(i).(string)
 			if e.Key != k {
-				core.Rejectf("PUT %v on key %q but log records %q", cur, k, e.Key)
+				core.RejectCodef(core.RejectLogMismatch, "PUT %v on key %q but log records %q", cur, k, e.Key)
 			}
 			if !value.Equal(e.Contents, value.Normalize(val.At(i))) {
-				core.Rejectf("PUT %v writes %s but log records %s", cur, value.String(val.At(i)), value.String(e.Contents))
+				core.RejectCodef(core.RejectLogMismatch, "PUT %v writes %s but log records %s", cur, value.String(val.At(i)), value.String(e.Contents))
 			}
 		}
 	}
 	if aborted > 0 {
 		if aborted != len(g.rids) {
-			core.Rejectf("transaction %s aborted for part of the group only", tx.ID)
+			core.RejectCodef(core.RejectLogMismatch, "transaction %s aborted for part of the group only", tx.ID)
 		}
 		return nil, false
 	}
@@ -304,15 +306,15 @@ func (g *groupExec) Respond(ctx *core.Context, opsIssued int, payload *mv.MV) {
 	for i, rid := range g.rids {
 		at := g.v.adv.ResponseEmittedBy[rid]
 		if at.HID != ctx.HID() || at.OpNum != opsIssued {
-			core.Rejectf("request %s responded at (%s,%d) but advice says (%s,%d)", rid, ctx.HID(), opsIssued, at.HID, at.OpNum)
+			core.RejectCodef(core.RejectLogMismatch, "request %s responded at (%s,%d) but advice says (%s,%d)", rid, ctx.HID(), opsIssued, at.HID, at.OpNum)
 		}
 		if g.v.responded[rid] {
-			core.Rejectf("request %s responded twice during re-execution", rid)
+			core.RejectCodef(core.RejectLogMismatch, "request %s responded twice during re-execution", rid)
 		}
 		g.v.responded[rid] = true
 		got := value.Normalize(payload.At(i))
 		if !value.Equal(got, g.v.outputs[rid]) {
-			core.Rejectf("request %s re-executed output %s does not match trace %s",
+			core.RejectCodef(core.RejectOutputMismatch, "request %s re-executed output %s does not match trace %s",
 				rid, value.String(got), value.String(g.v.outputs[rid]))
 		}
 	}
@@ -323,7 +325,7 @@ func (g *groupExec) Respond(ctx *core.Context, opsIssued int, payload *mv.MV) {
 func (g *groupExec) Branch(ctx *core.Context, site string, cond *mv.MV) bool {
 	b, ok := cond.Bool()
 	if !ok {
-		core.Rejectf("group diverges at branch %q in handler %s", site, ctx.HID())
+		core.RejectCodef(core.RejectLogMismatch, "group diverges at branch %q in handler %s", site, ctx.HID())
 	}
 	return b
 }
@@ -335,7 +337,7 @@ func (g *groupExec) Nondet(ctx *core.Context, opnum int, site string, gen func(r
 	for i, rid := range g.rids {
 		rec, ok := g.v.nondet[core.Op{RID: rid, HID: ctx.HID(), Num: opnum}]
 		if !ok {
-			core.Rejectf("no recorded nondeterminism for %v at site %q", core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, site)
+			core.RejectCodef(core.RejectLogMismatch, "no recorded nondeterminism for %v at site %q", core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, site)
 		}
 		vals[i] = rec
 	}

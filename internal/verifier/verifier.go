@@ -27,8 +27,10 @@
 package verifier
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 
 	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/adya"
@@ -53,6 +55,10 @@ type Config struct {
 	// when the audit rejects on acyclicity. Debugging aid; not on the hot
 	// path of a passing audit's checks.
 	DumpGraph io.Writer
+	// Limits bounds what the audit may consume; the zero value is
+	// unbounded (see DefaultLimits for production bounds). Exceeding a
+	// bound rejects with ResourceLimit.
+	Limits Limits
 }
 
 // node kinds of the execution graph G.
@@ -112,6 +118,11 @@ type Verifier struct {
 	cfg Config
 	tr  *trace.Trace
 	adv *advice.Advice
+
+	// ctx carries the audit deadline / cancellation; pollN drives the
+	// periodic budget checks (see limits.go).
+	ctx   context.Context
+	pollN int
 
 	g *graph.Graph[gnode]
 
@@ -178,21 +189,46 @@ func New(cfg Config) *Verifier {
 }
 
 // Audit runs the full audit of Figure 14 and returns nil iff the verifier
-// accepts the (trace, advice) pair.
-func Audit(cfg Config, tr *trace.Trace, adv *advice.Advice) (st Stats, err error) {
+// accepts the (trace, advice) pair. Every rejection is a core.Reject with a
+// machine-readable code; Audit never panics on hostile advice (a non-Reject
+// panic is contained into an InternalFault rejection).
+func Audit(cfg Config, tr *trace.Trace, adv *advice.Advice) (Stats, error) {
+	return AuditContext(context.Background(), cfg, tr, adv)
+}
+
+// AuditContext is Audit under a caller-supplied context: the audit rejects
+// with ResourceLimit at its next cancellation check once ctx is done. When
+// cfg.Limits.Deadline is set, it is applied on top of ctx.
+func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Advice) (st Stats, err error) {
+	if cfg.Limits.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Limits.Deadline)
+		defer cancel()
+	}
 	v := New(cfg)
+	v.ctx = ctx
 	defer func() {
 		if r := recover(); r != nil {
+			st = v.Stats
 			if rej, ok := r.(core.Reject); ok {
-				st = v.Stats
 				err = rej
 				return
 			}
-			panic(r)
+			// The advice is untrusted; a panic it provoked must not take
+			// down the audit process. Contain it as a coded rejection with
+			// the stack attached — an InternalFault is also a verifier bug.
+			err = core.Reject{
+				Code:   core.RejectInternalFault,
+				Reason: fmt.Sprintf("verifier panicked: %v", r),
+				Stack:  string(debug.Stack()),
+			}
 		}
 	}()
 	if adv.Mode != cfg.Mode {
-		return v.Stats, fmt.Errorf("verifier: advice mode %q does not match configured mode %q", adv.Mode, cfg.Mode)
+		return v.Stats, core.Reject{
+			Code:   core.RejectMalformedAdvice,
+			Reason: fmt.Sprintf("advice mode %q does not match configured mode %q", adv.Mode, cfg.Mode),
+		}
 	}
 	v.tr = tr
 	v.adv = adv
@@ -246,7 +282,8 @@ func (v *Verifier) runInit() {
 		}
 	}
 	if len(v.requestFns) == 0 {
-		core.Rejectf("application registers no request handlers")
+		// Advice-independent: the configured application itself is unusable.
+		core.RejectCodef(core.RejectInternalFault, "application registers no request handlers")
 	}
 }
 
@@ -287,6 +324,8 @@ func (v *Verifier) addTimePrecedenceEdges() {
 // addProgramEdges implements Figure 14's AddProgramEdges: one node per
 // operation of every advised handler activation, chained in program order.
 func (v *Verifier) addProgramEdges() {
+	lim := v.cfg.Limits
+	handlers := 0
 	for rid, counts := range v.adv.OpCounts {
 		if !v.inTrace[rid] {
 			core.Rejectf("opcounts mention request %s absent from trace", rid)
@@ -295,9 +334,17 @@ func (v *Verifier) addProgramEdges() {
 			if n < 0 {
 				core.Rejectf("negative opcount for (%s,%s)", rid, hid)
 			}
+			handlers++
+			if lim.MaxHandlers > 0 && handlers > lim.MaxHandlers {
+				core.RejectCodef(core.RejectResourceLimit, "advice declares more than %d handler activations", lim.MaxHandlers)
+			}
+			if lim.MaxOpsPerHandler > 0 && n > lim.MaxOpsPerHandler {
+				core.RejectCodef(core.RejectResourceLimit, "opcount %d for (%s,%s) exceeds limit %d", n, rid, hid, lim.MaxOpsPerHandler)
+			}
 			v.g.AddNode(opNode(rid, hid, 0))
 			v.g.AddNode(hEndNode(rid, hid))
 			for i := 1; i <= n; i++ {
+				v.poll()
 				v.g.AddEdge(opNode(rid, hid, i-1), opNode(rid, hid, i))
 			}
 			v.g.AddEdge(opNode(rid, hid, n), hEndNode(rid, hid))
@@ -374,6 +421,7 @@ func (v *Verifier) addHandlerRelatedEdges() {
 		registered := make(map[regEntry]bool)
 		var prev core.Op
 		for i, op := range log {
+			v.poll()
 			v.checkOpIsValid(rid, op.HID, op.OpNum, opLoc{rid: rid, idx: i})
 			cur := core.Op{RID: rid, HID: op.HID, Num: op.OpNum}
 			if i != 0 {

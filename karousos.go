@@ -53,6 +53,7 @@ import (
 	"karousos.dev/karousos/internal/adya"
 	"karousos.dev/karousos/internal/apps/appkit"
 	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/faultinject"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/kvstore"
 	"karousos.dev/karousos/internal/mv"
@@ -281,4 +282,55 @@ func VerifyKarousosWithGraph(spec AppSpec, tr *Trace, adv *Advice, w io.Writer) 
 	start := time.Now()
 	stats, err := verifier.Audit(cfg, tr, adv)
 	return &VerifyResult{Elapsed: time.Since(start), Stats: stats, Err: err}
+}
+
+// Rejection taxonomy: every audit rejection carries a machine-readable
+// reason code; see core.RejectCode for the classification rules.
+type RejectCode = core.RejectCode
+
+// The rejection reason codes.
+const (
+	RejectMalformedAdvice    = core.RejectMalformedAdvice
+	RejectLogMismatch        = core.RejectLogMismatch
+	RejectGraphCycle         = core.RejectGraphCycle
+	RejectIsolationViolation = core.RejectIsolationViolation
+	RejectOutputMismatch     = core.RejectOutputMismatch
+	RejectResourceLimit      = core.RejectResourceLimit
+	RejectInternalFault      = core.RejectInternalFault
+)
+
+// RejectCodeOf extracts the reason code from an audit error; "" when the
+// error is not an audit rejection.
+func RejectCodeOf(err error) RejectCode { return core.RejectCodeOf(err) }
+
+// Limits bounds the resources one audit may consume; the zero value is
+// unbounded, DefaultLimits is production-shaped.
+type Limits = verifier.Limits
+
+// DefaultLimits returns the production-shaped resource bounds.
+func DefaultLimits() Limits { return verifier.DefaultLimits() }
+
+// VerifyKarousosLimits audits like VerifyKarousos under explicit resource
+// bounds: the serialized advice size is checked before decoding, and the
+// audit itself runs under lim's deadline and graph budgets, rejecting with
+// RejectResourceLimit when exceeded.
+func VerifyKarousosLimits(spec AppSpec, tr *Trace, adv *Advice, lim Limits) *VerifyResult {
+	return harness.VerifyKarousosLimits(spec, tr, adv, lim)
+}
+
+// FaultOp is one operator of the fault-injection catalogue; see
+// internal/faultinject.
+type FaultOp = faultinject.Op
+
+// FaultCatalogue returns every fault-injection operator.
+func FaultCatalogue() []FaultOp { return faultinject.Catalogue() }
+
+// ApplyFault corrupts wire-format advice per an "op:seed" spec (seed
+// defaults to 0) from the fault-injection catalogue, deterministically.
+func ApplyFault(spec string, wire []byte) ([]byte, error) {
+	op, seed, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return op.Apply(seed, wire)
 }
