@@ -24,7 +24,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -71,8 +73,9 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: karousos-audit serve|verify|tamper|faultinject [flags]
 
   serve       run a workload, write trace.json + advice.bin to -out
-  verify      audit a run directory; exits 0 on ACCEPT, 2 on REJECT
-              (with a reason code), 1 on internal error
+  verify      audit a run directory — or, with -epochs, a karousos-auditd
+              epoch log — exits 0 on ACCEPT, 2 on REJECT (with a reason
+              code), 1 on internal error
   tamper      flip one response in the stored trace
   faultinject corrupt the stored advice with a catalogue operator (-op)
 
@@ -217,8 +220,12 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 	reasonCode := fs.Bool("reason-code", false, "on rejection, print only the bare reason code on stdout")
 	deadline := fs.Duration("deadline", karousos.DefaultLimits().Deadline, "wall-clock budget for the audit (0 = unbounded)")
 	faultSpec := fs.String("faultinject", "", "corrupt the advice with a catalogue operator (\"op\" or \"op:seed\") before auditing")
+	epochs := fs.String("epochs", "", "audit a karousos-auditd epoch log directory instead of a run directory")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *epochs != "" {
+		return verifyEpochs(*epochs, *deadline, *reasonCode, stdout, stderr)
 	}
 
 	spec, tr, advBytes, err := loadRun(*dir)
@@ -270,6 +277,32 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "AUDIT ACCEPTED in %v: %d requests, %d groups, %d handlers re-run, graph %d nodes / %d edges\n",
 		verdict.Elapsed, verdict.Stats.Requests, verdict.Stats.Groups,
 		verdict.Stats.HandlersRerun, verdict.Stats.GraphNodes, verdict.Stats.GraphEdges)
+	return 0
+}
+
+// verifyEpochs audits every sealed epoch of an epoch log directory in
+// order, carrying the verifier's dictionary state across epochs — the
+// offline equivalent of karousos-auditd audit.
+func verifyEpochs(dir string, deadline time.Duration, reasonCode bool, stdout, stderr io.Writer) int {
+	lim := karousos.DefaultLimits()
+	lim.Deadline = deadline
+	start := time.Now()
+	st, err := karousos.AuditEpochDir(context.Background(), dir, lim)
+	if err != nil {
+		var rej *karousos.EpochReject
+		if errors.As(err, &rej) {
+			if reasonCode {
+				fmt.Fprintln(stdout, rej.Code)
+			}
+			fmt.Fprintf(stderr, "AUDIT REJECTED epoch %d [%s] after %v: %s\n",
+				rej.Epoch, rej.Code, time.Since(start), rej.Reason)
+			return 2
+		}
+		fmt.Fprintln(stderr, "karousos-audit:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "AUDIT ACCEPTED in %v: %d epochs through epoch %d\n",
+		time.Since(start), st.Accepted, st.LastAccepted)
 	return 0
 }
 

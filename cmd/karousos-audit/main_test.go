@@ -6,9 +6,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"karousos.dev/karousos"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -110,5 +114,44 @@ func TestFaultinjectList(t *testing.T) {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("catalogue listing missing %s", name)
 		}
+	}
+}
+
+// TestVerifyEpochDir: verify -epochs audits a karousos-auditd epoch log
+// offline, accepting an honest log and rejecting one whose sealed advice
+// was corrupted on disk.
+func TestVerifyEpochDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "epochs")
+	spec := karousos.StacksApp()
+	if _, err := karousos.RunPipeline(context.Background(), spec,
+		karousos.StacksWorkload(30, karousos.Mixed, 5),
+		karousos.PipelineOptions{Dir: dir, EpochRequests: 10}); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+
+	code, stdout, stderr := runCLI(t, "verify", "-epochs", dir)
+	if code != 0 {
+		t.Fatalf("verify -epochs exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "3 epochs through epoch 3") {
+		t.Fatalf("verify output: %s", stdout)
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "ep000001.advice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		blob[i] ^= 0xff
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ep000001.advice"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runCLI(t, "verify", "-epochs", dir, "-reason-code")
+	if code != 2 {
+		t.Fatalf("verify of corrupted epoch exited %d: %s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "MalformedAdvice" {
+		t.Fatalf("reason code %q, want MalformedAdvice", stdout)
 	}
 }

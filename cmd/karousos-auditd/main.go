@@ -1,0 +1,264 @@
+// karousos-auditd is the continuous-audit pipeline's command-line front:
+//
+//	karousos-auditd serve -app wiki -dir epochs -addr :8080 -epoch-requests 50
+//	    serves the application as an HTTP endpoint, recording the trusted
+//	    trace into a durable epoch log and sealing epochs as thresholds
+//	    are crossed;
+//
+//	karousos-auditd audit -dir epochs [-checkpoint cp.json] [-follow]
+//	    audits every sealed epoch past the checkpoint in order, carrying
+//	    dictionary state across epochs; -follow keeps tailing the log;
+//
+//	karousos-auditd status -dir epochs [-checkpoint cp.json]
+//	    prints the log's sealed manifests and the auditor's cursor;
+//
+//	karousos-auditd pipeline -app wiki -n 200 -epoch-requests 50 -dir epochs
+//	    runs the whole loop in one process — serve over loopback HTTP,
+//	    seal mid-workload, audit concurrently — and exits by verdict.
+//
+// Exit codes are scriptable like karousos-audit's: 0 every audited epoch
+// accepted, 2 an epoch rejected (the epoch and reason code are printed),
+// 1 infrastructure error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"karousos.dev/karousos/internal/auditd"
+	"karousos.dev/karousos/internal/collectorhttp"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment explicit so tests drive the CLI
+// in-process and assert on exit codes.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 1
+	}
+	switch args[0] {
+	case "serve":
+		return serveCmd(args[1:], stdout, stderr)
+	case "audit":
+		return auditCmd(args[1:], stdout, stderr)
+	case "status":
+		return statusCmd(args[1:], stdout, stderr)
+	case "pipeline":
+		return pipelineCmd(args[1:], stdout, stderr)
+	default:
+		usage(stderr)
+		return 1
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: karousos-auditd serve|audit|status|pipeline [flags]
+
+  serve     serve an app over HTTP, recording a durable epoch log
+  audit     audit sealed epochs in order; exits 0 ACCEPT, 2 REJECT, 1 error
+  status    print the epoch log's manifests and the audit cursor
+  pipeline  serve + seal + audit in one process (exit code is the verdict)`)
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "karousos-auditd:", err)
+	return 1
+}
+
+func workloadFor(name string, n int, seed int64) []server.Request {
+	switch name {
+	case "motd":
+		return workload.MOTD(n, workload.Mixed, seed)
+	case "stacks":
+		return workload.Stacks(n, workload.Mixed, seed, workload.DefaultStacksOptions())
+	default:
+		return workload.Wiki(n, seed)
+	}
+}
+
+func serveCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
+	dir := fs.String("dir", "karousos-epochs", "epoch log directory")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	epochReqs := fs.Int("epoch-requests", 50, "seal after this many requests (0 = manual/seal endpoint only)")
+	maxAge := fs.Duration("epoch-max-age", 0, "seal non-empty epochs older than this (0 = disabled)")
+	seed := fs.Int64("seed", 42, "scheduler seed")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	spec, err := harness.SpecByName(*app)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	col, err := collectorhttp.New(collectorhttp.Config{
+		Spec:          spec,
+		Dir:           *dir,
+		EpochRequests: *epochReqs,
+		EpochMaxAge:   *maxAge,
+		Seed:          *seed,
+		Limits:        verifier.DefaultLimits(),
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	hs := &http.Server{Addr: *addr, Handler: col.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		hs.Close()
+	}()
+	fmt.Fprintf(stdout, "serving %s on %s, epoch log %s (seal every %d requests)\n",
+		*app, *addr, *dir, *epochReqs)
+	err = hs.ListenAndServe()
+	if closeErr := col.Close(); closeErr != nil {
+		return fail(stderr, closeErr)
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "sealed %d epochs, served %d requests\n",
+		col.Status().SealedEpochs, col.Status().Served)
+	return 0
+}
+
+func auditCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "karousos-epochs", "epoch log directory")
+	cp := fs.String("checkpoint", "", "resume file; written after every accepted epoch")
+	follow := fs.Bool("follow", false, "keep tailing the log until interrupted")
+	deadline := fs.Duration("deadline", verifier.DefaultLimits().Deadline, "wall-clock budget per epoch audit (0 = unbounded)")
+	reasonCode := fs.Bool("reason-code", false, "on rejection, print only the bare reason code on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	lim := verifier.DefaultLimits()
+	lim.Deadline = *deadline
+	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *follow {
+		err = aud.Run(ctx)
+	} else {
+		_, err = aud.RunOnce(ctx)
+	}
+	st := aud.Status()
+	if err != nil {
+		var rej *auditd.Reject
+		if errors.As(err, &rej) {
+			if *reasonCode {
+				fmt.Fprintln(stdout, rej.Code)
+			}
+			fmt.Fprintf(stderr, "AUDIT REJECTED epoch %d [%s]: %s\n", rej.Epoch, rej.Code, rej.Reason)
+			return 2
+		}
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "AUDIT ACCEPTED through epoch %d: %d epochs this run, %v total audit time\n",
+		st.LastAccepted, st.Accepted, st.TotalAudit)
+	return 0
+}
+
+func statusCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "karousos-epochs", "epoch log directory")
+	cp := fs.String("checkpoint", "", "auditor resume file to report against")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	sealed, err := epochlog.ListSealed(*dir)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	out := map[string]any{"dir": *dir, "sealedEpochs": len(sealed), "manifests": sealed}
+	if meta, err := collectorhttp.ReadMeta(*dir); err == nil {
+		out["app"], out["mode"] = meta.App, meta.Mode
+	}
+	if *cp != "" {
+		if blob, err := os.ReadFile(*cp); err == nil {
+			var c struct {
+				LastAccepted uint64 `json:"lastAccepted"`
+			}
+			if json.Unmarshal(blob, &c) == nil {
+				out["lastAccepted"] = c.LastAccepted
+				out["pending"] = len(sealed) - int(c.LastAccepted)
+			}
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+func pipelineCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
+	n := fs.Int("n", 200, "number of requests to drive")
+	epochReqs := fs.Int("epoch-requests", 50, "seal after this many requests")
+	dir := fs.String("dir", "", "epoch log directory (default: a fresh temp dir)")
+	seed := fs.Int64("seed", 42, "workload and scheduler seed")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall pipeline budget")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	spec, err := harness.SpecByName(*app)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "karousos-epochs-")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := auditd.RunPipeline(ctx, spec, workloadFor(*app, *n, *seed), auditd.PipelineOptions{
+		Dir:           *dir,
+		EpochRequests: *epochReqs,
+		Seed:          *seed,
+		Limits:        verifier.DefaultLimits(),
+	})
+	if err != nil {
+		var rej *auditd.Reject
+		if errors.As(err, &rej) {
+			fmt.Fprintf(stderr, "PIPELINE REJECTED epoch %d [%s]: %s\n", rej.Epoch, rej.Code, rej.Reason)
+			return 2
+		}
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "PIPELINE ACCEPTED: served %d requests over %s, sealed %d epochs, all audited in %v\n",
+		res.Served, res.Addr, res.Sealed, res.Status.TotalAudit)
+	return 0
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPipelineAuditStatusWorkflow exercises the daemon's scriptable
+// surface: a pipeline run exits 0, the epoch directory then audits clean
+// again offline (the checkpoint advancing), and status reports the log.
+func TestPipelineAuditStatusWorkflow(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "epochs")
+	var out, errb bytes.Buffer
+	code := run([]string{"pipeline", "-app", "motd", "-n", "40", "-epoch-requests", "15", "-dir", dir, "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("pipeline exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PIPELINE ACCEPTED") || !strings.Contains(out.String(), "sealed 3 epochs") {
+		t.Fatalf("pipeline output: %s", out.String())
+	}
+
+	cp := filepath.Join(t.TempDir(), "cp.json")
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"audit", "-dir", dir, "-checkpoint", cp}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("audit exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "AUDIT ACCEPTED through epoch 3") {
+		t.Fatalf("audit output: %s", out.String())
+	}
+
+	// Re-auditing against the checkpoint finds nothing pending but still
+	// accepts.
+	out.Reset()
+	code = run([]string{"audit", "-dir", dir, "-checkpoint", cp}, &out, &errb)
+	if code != 0 || !strings.Contains(out.String(), "0 epochs this run") {
+		t.Fatalf("re-audit exit %d: %s", code, out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"status", "-dir", dir, "-checkpoint", cp}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("status exit %d: %s", code, errb.String())
+	}
+	var st struct {
+		App          string `json:"app"`
+		SealedEpochs int    `json:"sealedEpochs"`
+		LastAccepted uint64 `json:"lastAccepted"`
+		Pending      int    `json:"pending"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+		t.Fatalf("status output not JSON: %v (%s)", err, out.String())
+	}
+	if st.App != "motd" || st.SealedEpochs != 3 || st.LastAccepted != 3 || st.Pending != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestAuditRejectsCorruptEpoch: corrupting a sealed advice file makes the
+// audit subcommand exit 2 with the bare reason code on stdout.
+func TestAuditRejectsCorruptEpoch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "epochs")
+	var out, errb bytes.Buffer
+	if code := run([]string{"pipeline", "-app", "motd", "-n", "30", "-epoch-requests", "10", "-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("pipeline exit %d: %s", code, errb.String())
+	}
+	path := filepath.Join(dir, "ep000002.advice")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		blob[i] ^= 0x5a
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"audit", "-dir", dir, "-reason-code"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("audit of corrupt epoch exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "MalformedAdvice" {
+		t.Fatalf("reason code output %q, want MalformedAdvice", out.String())
+	}
+	if !strings.Contains(errb.String(), "epoch 2") {
+		t.Fatalf("rejection did not name the epoch: %s", errb.String())
+	}
+}
+
+// TestBadArgs: unknown subcommands and apps are infrastructure errors.
+func TestBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"frobnicate"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown subcommand exit %d", code)
+	}
+	if code := run([]string{"pipeline", "-app", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown app exit %d", code)
+	}
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("no args exit %d", code)
+	}
+}

@@ -42,54 +42,11 @@ func (e *encoder) boolb(b bool) {
 	}
 }
 
-// Value tags.
-const (
-	tNil   byte = 0
-	tFalse byte = 1
-	tTrue  byte = 2
-	tNum   byte = 3
-	tStr   byte = 4
-	tList  byte = 5
-	tMap   byte = 6
-)
-
+// Values use the canonical binary encoding in internal/value — the same
+// bytes the epoch log's trace segments carry, so one codec (and one set of
+// hostile-input clamps) serves both channels.
 func (e *encoder) value(v value.V) {
-	switch x := v.(type) {
-	case nil:
-		e.buf = append(e.buf, tNil)
-	case bool:
-		if x {
-			e.buf = append(e.buf, tTrue)
-		} else {
-			e.buf = append(e.buf, tFalse)
-		}
-	case float64:
-		e.buf = append(e.buf, tNum)
-		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(x))
-	case string:
-		e.buf = append(e.buf, tStr)
-		e.str(x)
-	case []value.V:
-		e.buf = append(e.buf, tList)
-		e.uvarint(uint64(len(x)))
-		for _, el := range x {
-			e.value(el)
-		}
-	case map[string]value.V:
-		e.buf = append(e.buf, tMap)
-		keys := make([]string, 0, len(x))
-		for k := range x {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		e.uvarint(uint64(len(keys)))
-		for _, k := range keys {
-			e.str(k)
-			e.value(x[k])
-		}
-	default:
-		panic(fmt.Sprintf("advice: unencodable value kind %T", v))
-	}
+	e.buf = value.AppendBinary(e.buf, v)
 }
 
 func (e *encoder) op(o core.Op) {
@@ -325,57 +282,12 @@ func (d *decoder) boolv() (bool, error) {
 }
 
 func (d *decoder) value() (value.V, error) {
-	tag, err := d.bytev()
+	v, n, err := value.DecodeBinary(d.buf[d.off:])
 	if err != nil {
 		return nil, err
 	}
-	switch tag {
-	case tNil:
-		return nil, nil
-	case tFalse:
-		return false, nil
-	case tTrue:
-		return true, nil
-	case tNum:
-		if len(d.buf)-d.off < 8 {
-			return nil, errTruncated
-		}
-		bits := binary.LittleEndian.Uint64(d.buf[d.off:])
-		d.off += 8
-		return math.Float64frombits(bits), nil
-	case tStr:
-		return d.str()
-	case tList:
-		n, err := d.length()
-		if err != nil {
-			return nil, err
-		}
-		out := make([]value.V, n)
-		for i := range out {
-			if out[i], err = d.value(); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	case tMap:
-		n, err := d.lengthElems(minStrSize + 1)
-		if err != nil {
-			return nil, err
-		}
-		out := make(map[string]value.V, n)
-		for i := 0; i < n; i++ {
-			k, err := d.str()
-			if err != nil {
-				return nil, err
-			}
-			if out[k], err = d.value(); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("advice: unknown value tag %d", tag)
-	}
+	d.off += n
+	return v, nil
 }
 
 func (d *decoder) op() (core.Op, error) {

@@ -1,0 +1,320 @@
+// Package auditd is the incremental auditor: it tails an epoch log while a
+// collector is still serving, audits each sealed epoch in order, and
+// carries the verifier's dictionary state across epoch boundaries so a
+// long-running server is audited piecewise with the same verdict a
+// monolithic audit would reach.
+//
+// Ordering is semantic, not cosmetic: epoch k's audit needs the carry
+// produced by epoch k-1's accepting audit, so audits run strictly in
+// sequence. The worker pool prefetches — reads and integrity-checks —
+// upcoming epochs concurrently, which is where the wall-clock time goes for
+// I/O-bound logs.
+//
+// The auditor checkpoints (last accepted epoch, carry state) after every
+// accept. A restarted auditor resumes from the checkpoint without
+// re-auditing accepted epochs; the checkpoint is the auditor's own prior
+// verdict, so trusting it is trusting itself.
+package auditd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/collectorhttp"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// Config describes one auditor instance.
+type Config struct {
+	// Dir is the epoch log directory to tail.
+	Dir string
+	// Spec is the application to re-execute. When its Name is empty the
+	// auditor resolves the app from the directory's meta.json sidecar.
+	Spec harness.AppSpec
+	// Mode selects the verifier. Empty means the sidecar's mode, falling
+	// back to Karousos.
+	Mode advice.Mode
+	// Limits bounds each epoch's audit; the zero value is unbounded.
+	Limits verifier.Limits
+	// Checkpoint is the path of the resume file. Empty keeps the cursor in
+	// memory only.
+	Checkpoint string
+	// Workers bounds concurrent epoch prefetches. Defaults to 2.
+	Workers int
+	// Poll is the follow-mode polling interval. Defaults to 200ms.
+	Poll time.Duration
+}
+
+// Reject is a machine-readable audit rejection: which epoch failed, the
+// coded reason, and the human-readable detail.
+type Reject struct {
+	Epoch  uint64          `json:"epoch"`
+	Code   core.RejectCode `json:"code"`
+	Reason string          `json:"reason"`
+}
+
+func (r *Reject) Error() string {
+	return fmt.Sprintf("auditd: epoch %d rejected: %s: %s", r.Epoch, r.Code, r.Reason)
+}
+
+// Status is the auditor's observable state.
+type Status struct {
+	LastAccepted uint64        `json:"lastAccepted"`
+	Accepted     int           `json:"accepted"`
+	Rejected     int           `json:"rejected"`
+	LastAudit    time.Duration `json:"lastAuditNanos"`
+	TotalAudit   time.Duration `json:"totalAuditNanos"`
+}
+
+// checkpoint is the resume file's schema. The carry is the dictionary state
+// the next epoch's audit starts from; it came out of this auditor's own
+// accepting audit, so it shares the trace's trust level.
+type checkpoint struct {
+	LastAccepted uint64               `json:"lastAccepted"`
+	Carry        *verifier.CarryState `json:"carry,omitempty"`
+}
+
+// Auditor tails one epoch log.
+type Auditor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	carry  *verifier.CarryState
+	status Status
+}
+
+// New resolves the application, loads the checkpoint if one exists, and
+// returns an auditor ready to run.
+func New(cfg Config) (*Auditor, error) {
+	if cfg.Spec.Name == "" || cfg.Mode == "" {
+		meta, err := collectorhttp.ReadMeta(cfg.Dir)
+		if cfg.Spec.Name == "" {
+			if err != nil {
+				return nil, fmt.Errorf("auditd: no app configured and no readable sidecar: %w", err)
+			}
+			if cfg.Spec, err = harness.SpecByName(meta.App); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Mode == "" {
+			cfg.Mode = meta.Mode // zero when the sidecar was unreadable
+		}
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = advice.ModeKarousos
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	a := &Auditor{cfg: cfg}
+	if cfg.Checkpoint != "" {
+		blob, err := os.ReadFile(cfg.Checkpoint)
+		switch {
+		case os.IsNotExist(err):
+		case err != nil:
+			return nil, err
+		default:
+			var cp checkpoint
+			if err := json.Unmarshal(blob, &cp); err != nil {
+				return nil, fmt.Errorf("auditd: corrupt checkpoint %s: %w", cfg.Checkpoint, err)
+			}
+			if cp.Carry != nil {
+				cp.Carry.Normalize()
+			}
+			a.status.LastAccepted = cp.LastAccepted
+			a.carry = cp.Carry
+		}
+	}
+	return a, nil
+}
+
+// Status returns a copy of the auditor's counters.
+func (a *Auditor) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.status
+}
+
+// fetched is one prefetched epoch, integrity-checked against its manifest.
+type fetched struct {
+	tr   *trace.Trace
+	blob []byte
+	err  error
+}
+
+// RunOnce audits every sealed epoch past the checkpoint, in order, and
+// returns how many it accepted. A rejection returns a *Reject error; an
+// unreadable trusted channel (trace or manifest) returns an ordinary error,
+// since that is infrastructure failure, not server misbehavior.
+func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
+	sealed, err := epochlog.ListSealed(a.cfg.Dir)
+	if err != nil {
+		return 0, err
+	}
+	last := a.Status().LastAccepted
+	var pending []epochlog.Manifest
+	for _, m := range sealed {
+		if m.Seq > last {
+			pending = append(pending, m)
+		}
+	}
+	if len(pending) == 0 {
+		return 0, nil
+	}
+
+	// Prefetch pending epochs with the worker pool; audit strictly in
+	// order as each becomes available.
+	opt := epochlog.Options{MaxAdviceBytes: a.cfg.Limits.MaxAdviceBytes}
+	sem := make(chan struct{}, a.cfg.Workers)
+	results := make([]chan fetched, len(pending))
+	for i, m := range pending {
+		ch := make(chan fetched, 1)
+		results[i] = ch
+		go func(seq uint64) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr, blob, _, err := epochlog.ReadSealed(a.cfg.Dir, seq, opt)
+			ch <- fetched{tr: tr, blob: blob, err: err}
+		}(m.Seq)
+	}
+
+	accepted := 0
+	for i, m := range pending {
+		if err := ctx.Err(); err != nil {
+			return accepted, err
+		}
+		f := <-results[i]
+		if f.err != nil {
+			return accepted, fmt.Errorf("auditd: epoch %d: %w", m.Seq, f.err)
+		}
+		if err := a.auditEpoch(ctx, m, f); err != nil {
+			return accepted, err
+		}
+		accepted++
+	}
+	return accepted, nil
+}
+
+func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched) error {
+	start := time.Now()
+	reject := func(code core.RejectCode, reason string) error {
+		a.mu.Lock()
+		a.status.Rejected++
+		a.mu.Unlock()
+		return &Reject{Epoch: m.Seq, Code: code, Reason: reason}
+	}
+
+	if err := a.cfg.Limits.CheckAdviceBytes(len(f.blob)); err != nil {
+		return reject(rejectCode(err), err.Error())
+	}
+	adv, err := advice.UnmarshalBinary(f.blob)
+	if err != nil {
+		// The advice channel is untrusted end to end: a blob that does not
+		// decode — whether the server sent garbage or the disk lost the
+		// frame — is a coded rejection, not an infrastructure error.
+		return reject(core.RejectMalformedAdvice, err.Error())
+	}
+
+	app, _ := a.cfg.Spec.New()
+	cfg := verifier.Config{
+		App:       app,
+		Mode:      a.cfg.Mode,
+		Isolation: a.cfg.Spec.Isolation,
+		Limits:    a.cfg.Limits,
+		Carry:     a.carry,
+	}
+	_, next, err := verifier.AuditCarry(ctx, cfg, f.tr, adv)
+	if err != nil {
+		return reject(rejectCode(err), err.Error())
+	}
+
+	a.mu.Lock()
+	a.carry = next
+	a.status.LastAccepted = m.Seq
+	a.status.Accepted++
+	a.status.LastAudit = time.Since(start)
+	a.status.TotalAudit += a.status.LastAudit
+	cp := checkpoint{LastAccepted: m.Seq, Carry: next}
+	a.mu.Unlock()
+
+	if a.cfg.Checkpoint != "" {
+		if err := writeCheckpoint(a.cfg.Checkpoint, cp); err != nil {
+			return fmt.Errorf("auditd: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func rejectCode(err error) core.RejectCode {
+	if code := core.RejectCodeOf(err); code != "" {
+		return code
+	}
+	return core.RejectMalformedAdvice
+}
+
+// writeCheckpoint persists atomically: a crash mid-write leaves the previous
+// checkpoint, so a restarted auditor re-audits at most one epoch.
+func writeCheckpoint(path string, cp checkpoint) error {
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// Run follows the log: it audits sealed epochs as they appear until the
+// context is cancelled (returning nil) or an audit rejects or fails
+// (returning that error).
+func (a *Auditor) Run(ctx context.Context) error {
+	ticker := time.NewTicker(a.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		if _, err := a.RunOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}

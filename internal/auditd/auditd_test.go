@@ -1,0 +1,226 @@
+package auditd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"karousos.dev/karousos/internal/collectorhttp"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/faultinject"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/workload"
+)
+
+func requestsFor(spec harness.AppSpec, n int, seed int64) []server.Request {
+	switch spec.Name {
+	case "motd":
+		return workload.MOTD(n, workload.Mixed, seed)
+	case "stacks":
+		return workload.Stacks(n, workload.Mixed, seed, workload.DefaultStacksOptions())
+	default:
+		return workload.Wiki(n, seed)
+	}
+}
+
+// TestPipelineAllAppsAccept is the tentpole E2E: every application served
+// through the HTTP collector with epochs sealing mid-workload, the follower
+// auditing while serving continues, and every epoch accepting.
+func TestPipelineAllAppsAccept(t *testing.T) {
+	for _, spec := range []harness.AppSpec{harness.MOTDApp(), harness.StacksApp(), harness.WikiApp()} {
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := RunPipeline(context.Background(), spec, requestsFor(spec, 60, 9), PipelineOptions{
+				Dir:           t.TempDir(),
+				EpochRequests: 20,
+				Seed:          42,
+			})
+			if err != nil {
+				t.Fatalf("pipeline: %v", err)
+			}
+			if res.Served != 60 {
+				t.Errorf("served %d, want 60", res.Served)
+			}
+			if res.Sealed != 3 {
+				t.Errorf("sealed %d epochs, want 3", res.Sealed)
+			}
+			if res.Accepted != res.Sealed || res.Status.Rejected != 0 {
+				t.Errorf("accepted %d of %d (rejected %d)", res.Accepted, res.Sealed, res.Status.Rejected)
+			}
+		})
+	}
+}
+
+// newLoopback serves the collector on an httptest server torn down with
+// the test.
+func newLoopback(t *testing.T, col *collectorhttp.Collector) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(col.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// driveHTTP posts each request's input through the collector's /invoke
+// endpoint.
+func driveHTTP(t *testing.T, ts *httptest.Server, reqs []server.Request) {
+	t.Helper()
+	for _, r := range reqs {
+		body, err := json.Marshal(map[string]any{"input": r.Input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/invoke", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("invoke: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestCorruptedAdviceRejectsWithCode: corrupting a sealed epoch's advice
+// with each faultinject byte operator produces a machine-readable rejection
+// (almost always MalformedAdvice — the blob no longer decodes), never a
+// panic or an accept.
+func TestCorruptedAdviceRejectsWithCode(t *testing.T) {
+	ref := t.TempDir()
+	spec := harness.WikiApp()
+	res, err := RunPipeline(context.Background(), spec, requestsFor(spec, 40, 9), PipelineOptions{
+		Dir: ref, EpochRequests: 20, Seed: 42,
+	})
+	if err != nil || res.Sealed < 2 {
+		t.Fatalf("pipeline: sealed %d, err %v", res.Sealed, err)
+	}
+
+	for _, op := range faultinject.Catalogue() {
+		if op.Kind != faultinject.KindBytes {
+			continue
+		}
+		t.Run(op.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			ents, err := os.ReadDir(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range ents {
+				data, err := os.ReadFile(filepath.Join(ref, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, ent.Name()), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			target := filepath.Join(dir, "ep000002.advice")
+			wire, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutated, err := op.Apply(7, wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(target, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			aud, err := New(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			accepted, err := aud.RunOnce(context.Background())
+			if err == nil {
+				// The operator may happen to produce a decodable blob that
+				// still matches the trace (e.g. a truncation landing on the
+				// frame boundary); that counts as no corruption applied.
+				if string(mutated) == string(wire) {
+					return
+				}
+				t.Fatalf("corrupted epoch accepted (%d accepted)", accepted)
+			}
+			var rej *Reject
+			if !errors.As(err, &rej) {
+				t.Fatalf("corruption produced a non-reject error: %v", err)
+			}
+			if rej.Epoch != 2 || rej.Code == "" || rej.Code == core.RejectInternalFault {
+				t.Fatalf("reject = %+v, want coded rejection of epoch 2", rej)
+			}
+			if accepted != 1 {
+				t.Errorf("accepted %d epochs before the reject, want 1", accepted)
+			}
+		})
+	}
+}
+
+// TestCheckpointResume: an auditor that accepted epochs, then died, resumes
+// from its checkpoint — auditing only epochs sealed since, and accepting
+// them even when they read state written before the restart.
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	cpPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	spec := harness.WikiApp()
+	reqs := requestsFor(spec, 60, 9)
+
+	col, err := collectorhttp.New(collectorhttp.Config{Spec: spec, Dir: dir, EpochRequests: 15, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLoopback(t, col)
+	driveHTTP(t, ts, reqs[:30])
+
+	aud1, err := New(Config{Dir: dir, Checkpoint: cpPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := aud1.RunOnce(context.Background())
+	if err != nil || n != 2 {
+		t.Fatalf("first auditor accepted %d (err %v), want 2", n, err)
+	}
+
+	// Serve more epochs, then "restart": a fresh auditor from the
+	// checkpoint must audit only the new epochs.
+	driveHTTP(t, ts, reqs[30:])
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud2, err := New(Config{Dir: dir, Checkpoint: cpPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aud2.Status().LastAccepted; got != 2 {
+		t.Fatalf("restarted auditor resumes at epoch %d, want 2", got)
+	}
+	n, err = aud2.RunOnce(context.Background())
+	if err != nil {
+		t.Fatalf("post-restart audit rejected: %v", err)
+	}
+	if want := len(sealed) - 2; n != want {
+		t.Fatalf("restarted auditor audited %d epochs, want %d", n, want)
+	}
+	if aud2.Status().LastAccepted != sealed[len(sealed)-1].Seq {
+		t.Fatalf("restarted auditor stopped at %d of %d", aud2.Status().LastAccepted, sealed[len(sealed)-1].Seq)
+	}
+
+	// A third auditor finds nothing pending: accepted epochs are never
+	// re-audited.
+	aud3, err := New(Config{Dir: dir, Checkpoint: cpPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := aud3.RunOnce(context.Background()); err != nil || n != 0 {
+		t.Fatalf("third auditor re-audited %d epochs (err %v)", n, err)
+	}
+}

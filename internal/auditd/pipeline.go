@@ -1,0 +1,152 @@
+package auditd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/collectorhttp"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// PipelineOptions configures RunPipeline.
+type PipelineOptions struct {
+	// Dir is the epoch log directory (required).
+	Dir string
+	// EpochRequests is the sealing threshold; must be ≥ 1 so epochs seal
+	// mid-workload.
+	EpochRequests int
+	// Mode selects the collected advice and the verifier. Defaults to
+	// Karousos.
+	Mode advice.Mode
+	// Seed seeds the dispatch scheduler.
+	Seed int64
+	// Limits bounds each epoch's audit.
+	Limits verifier.Limits
+	// Checkpoint is the auditor's resume file ("" = in-memory).
+	Checkpoint string
+}
+
+// PipelineResult is RunPipeline's summary.
+type PipelineResult struct {
+	Addr     string `json:"addr"`
+	Served   int    `json:"served"`
+	Sealed   int    `json:"sealed"`
+	Accepted int    `json:"accepted"`
+	Status   Status `json:"status"`
+}
+
+// RunPipeline is the end-to-end continuous-audit exercise: it boots the
+// HTTP collector on a loopback listener, starts the auditor following the
+// epoch log, drives the workload as real HTTP requests — epochs sealing and
+// auditing while serving continues — then closes the collector (sealing the
+// final partial epoch) and waits for the auditor to drain. It returns once
+// every sealed epoch has been audited, or with the first rejection.
+func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Request, opts PipelineOptions) (*PipelineResult, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("auditd: pipeline needs a directory")
+	}
+	if opts.EpochRequests < 1 {
+		opts.EpochRequests = 50
+	}
+	col, err := collectorhttp.New(collectorhttp.Config{
+		Spec:          spec,
+		Dir:           opts.Dir,
+		Mode:          opts.Mode,
+		EpochRequests: opts.EpochRequests,
+		Seed:          opts.Seed,
+		Limits:        opts.Limits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer col.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: col.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	aud, err := New(Config{
+		Dir:        opts.Dir,
+		Spec:       spec,
+		Mode:       opts.Mode,
+		Limits:     opts.Limits,
+		Checkpoint: opts.Checkpoint,
+		Poll:       20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	followCtx, stopFollow := context.WithCancel(ctx)
+	defer stopFollow()
+	auditErr := make(chan error, 1)
+	go func() { auditErr <- aud.Run(followCtx) }()
+
+	res := &PipelineResult{Addr: base}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for _, r := range reqs {
+		body, err := json.Marshal(map[string]any{"input": r.Input})
+		if err != nil {
+			return res, err
+		}
+		resp, err := client.Post(base+"/invoke", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return res, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return res, fmt.Errorf("auditd: pipeline invoke: status %d", resp.StatusCode)
+		}
+		res.Served++
+	}
+	if err := col.Close(); err != nil {
+		return res, err
+	}
+
+	sealed, err := epochlog.ListSealed(opts.Dir)
+	if err != nil {
+		return res, err
+	}
+	res.Sealed = len(sealed)
+	var lastSeq uint64
+	if len(sealed) > 0 {
+		lastSeq = sealed[len(sealed)-1].Seq
+	}
+
+	// Wait for the follower to drain the log (or fail trying).
+	for aud.Status().LastAccepted < lastSeq {
+		select {
+		case err := <-auditErr:
+			res.Status = aud.Status()
+			if err == nil {
+				err = fmt.Errorf("auditd: follower exited at epoch %d of %d", res.Status.LastAccepted, lastSeq)
+			}
+			return res, err
+		case <-ctx.Done():
+			res.Status = aud.Status()
+			return res, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	stopFollow()
+	if err := <-auditErr; err != nil {
+		res.Status = aud.Status()
+		return res, err
+	}
+	res.Status = aud.Status()
+	res.Accepted = res.Status.Accepted
+	return res, nil
+}

@@ -1,0 +1,367 @@
+// Package collectorhttp serves an auditable application as a real network
+// endpoint and records the audit's ground truth as it serves.
+//
+// The trust split mirrors the paper's deployment (§2.1): the trace — which
+// requests arrived and which responses left — is recorded by the collector
+// itself on the trusted path, appended to a durable epoch log before and
+// after each invocation. The advice is untrusted: the serving runtime
+// produces it, and nothing the advice says can change what the trace
+// records. A separate endpoint accepts (re-)uploaded advice blobs for the
+// active epoch, so a deployment where the server process is distinct from
+// the collector uses the same wire path our in-process pipeline does.
+//
+// Epochs seal on a request-count threshold, on age, or on demand; sealing
+// drains the server's accumulated advice (rebasing its in-memory state onto
+// carry identities, see server.DrainAdvice) and makes the epoch visible to
+// the incremental auditor.
+package collectorhttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// Config describes one collector instance.
+type Config struct {
+	// Spec is the application to serve.
+	Spec harness.AppSpec
+	// Dir is the epoch log directory; created if absent.
+	Dir string
+	// Mode selects which advice the runtime collects. Defaults to Karousos.
+	Mode advice.Mode
+	// EpochRequests seals the active epoch once it holds this many
+	// requests. 0 disables count-based sealing.
+	EpochRequests int
+	// EpochMaxAge seals a non-empty active epoch older than this. 0
+	// disables age-based sealing.
+	EpochMaxAge time.Duration
+	// Seed seeds the dispatch loop's scheduler.
+	Seed int64
+	// Limits clamps the advice size accepted into the log; its
+	// MaxAdviceBytes is enforced on upload and again on replay.
+	Limits verifier.Limits
+}
+
+// Meta is the sidecar record written next to the epoch log so offline tools
+// (karousos-audit, karousos-auditd) know how to re-execute the epochs.
+type Meta struct {
+	App  string      `json:"app"`
+	Mode advice.Mode `json:"mode"`
+}
+
+// MetaFile is the name of the sidecar inside the epoch log directory.
+const MetaFile = "meta.json"
+
+// Collector is the HTTP front-end plus its serving runtime and epoch log.
+type Collector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	srv       *server.Server
+	log       *epochlog.Log
+	nextRID   uint64
+	served    int
+	lastSeal  time.Time
+	closed    bool
+	ageTicker *time.Ticker
+	ageDone   chan struct{}
+}
+
+// New opens (or creates) the epoch log and boots a fresh application
+// instance behind it.
+func New(cfg Config) (*Collector, error) {
+	if cfg.Mode == "" {
+		cfg.Mode = advice.ModeKarousos
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeMeta(cfg.Dir, Meta{App: cfg.Spec.Name, Mode: cfg.Mode}); err != nil {
+		return nil, err
+	}
+	l, err := epochlog.Open(cfg.Dir, epochlog.Options{MaxAdviceBytes: cfg.Limits.MaxAdviceBytes})
+	if err != nil {
+		return nil, err
+	}
+	app, store := cfg.Spec.New()
+	srv := server.New(server.Config{
+		App:             app,
+		Store:           store,
+		Seed:            cfg.Seed,
+		CollectKarousos: cfg.Mode == advice.ModeKarousos,
+		CollectOrochi:   cfg.Mode == advice.ModeOrochiJS,
+	})
+	c := &Collector{cfg: cfg, srv: srv, log: l, lastSeal: time.Now()}
+	if cfg.EpochMaxAge > 0 {
+		c.ageTicker = time.NewTicker(cfg.EpochMaxAge / 2)
+		c.ageDone = make(chan struct{})
+		go c.ageLoop()
+	}
+	return c, nil
+}
+
+func writeMeta(dir string, m Meta) error {
+	blob, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, MetaFile), blob, 0o644)
+}
+
+// ReadMeta loads the sidecar record from an epoch log directory.
+func ReadMeta(dir string) (Meta, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return Meta{}, fmt.Errorf("collectorhttp: bad %s: %w", MetaFile, err)
+	}
+	return m, nil
+}
+
+func (c *Collector) ageLoop() {
+	for {
+		select {
+		case <-c.ageDone:
+			return
+		case <-c.ageTicker.C:
+			c.mu.Lock()
+			if !c.closed && time.Since(c.lastSeal) >= c.cfg.EpochMaxAge {
+				_, _ = c.sealLocked()
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Handler returns the collector's HTTP mux:
+//
+//	POST /invoke  {"input": <value>} → {"rid": "...", "output": <value>}
+//	POST /advice  raw advice blob for the active epoch (untrusted)
+//	POST /seal    force-seal the active epoch → manifest (204 when empty)
+//	GET  /status  counters and epoch positions
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke", c.handleInvoke)
+	mux.HandleFunc("POST /advice", c.handleAdvice)
+	mux.HandleFunc("POST /seal", c.handleSeal)
+	mux.HandleFunc("GET /status", c.handleStatus)
+	return mux
+}
+
+func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Input json.RawMessage `json:"input"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var input value.V
+	if len(body.Input) > 0 {
+		if err := json.Unmarshal(body.Input, &input); err != nil {
+			http.Error(w, "bad input value: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	input = value.Normalize(input)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		http.Error(w, "collector closed", http.StatusServiceUnavailable)
+		return
+	}
+	c.nextRID++
+	rid := core.RID(fmt.Sprintf("r%08d", c.nextRID))
+
+	// Trusted path: the request is ground truth the moment it is admitted,
+	// before any untrusted execution runs.
+	if err := c.log.AppendEvent(trace.Event{Kind: trace.Req, RID: string(rid), Data: input}); err != nil {
+		http.Error(w, "epoch log: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	out, serveErr := c.srv.ServeOne(server.Request{RID: rid, Input: input})
+	if serveErr != nil {
+		// The request was admitted, so the trace must still balance: record
+		// the failure as the response the client observed. An audit of this
+		// epoch will reject — correctly, since re-execution cannot
+		// reproduce a response the handler never produced.
+		out = value.Normalize(value.Map("error", serveErr.Error()))
+	}
+	if err := c.log.AppendEvent(trace.Event{Kind: trace.Resp, RID: string(rid), Data: out}); err != nil {
+		http.Error(w, "epoch log: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The internal collector recorded the same pair; drain it so a
+	// long-running collector's memory stays bounded. The epoch log copy is
+	// the ground truth the auditor reads.
+	_ = c.srv.TakeTrace()
+	c.served++
+
+	if c.cfg.EpochRequests > 0 {
+		if _, reqs := c.log.ActiveEvents(); reqs >= c.cfg.EpochRequests {
+			if _, err := c.sealLocked(); err != nil {
+				http.Error(w, "seal: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+	}
+
+	status := http.StatusOK
+	if serveErr != nil {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, map[string]any{"rid": string(rid), "output": out})
+}
+
+func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	max := int64(c.cfg.Limits.MaxAdviceBytes)
+	if max <= 0 {
+		max = 1 << 30
+	}
+	blob := make([]byte, 0, 4096)
+	buf := make([]byte, 32<<10)
+	var total int64
+	for {
+		n, err := r.Body.Read(buf)
+		total += int64(n)
+		if total > max {
+			http.Error(w, "advice exceeds byte limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		blob = append(blob, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		http.Error(w, "collector closed", http.StatusServiceUnavailable)
+		return
+	}
+	if err := c.log.AppendAdvice(blob); err != nil {
+		http.Error(w, "epoch log: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Collector) handleSeal(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	m, err := c.sealLocked()
+	c.mu.Unlock()
+	if err != nil {
+		http.Error(w, "seal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if m == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Status is the collector's observable state.
+type Status struct {
+	App            string `json:"app"`
+	Mode           string `json:"mode"`
+	Served         int    `json:"served"`
+	ActiveSeq      uint64 `json:"activeSeq"`
+	ActiveEvents   int    `json:"activeEvents"`
+	ActiveRequests int    `json:"activeRequests"`
+	SealedEpochs   int    `json:"sealedEpochs"`
+}
+
+func (c *Collector) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// Status reports the collector's counters.
+func (c *Collector) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	events, reqs := c.log.ActiveEvents()
+	return Status{
+		App:            c.cfg.Spec.Name,
+		Mode:           string(c.cfg.Mode),
+		Served:         c.served,
+		ActiveSeq:      c.log.ActiveSeq(),
+		ActiveEvents:   events,
+		ActiveRequests: reqs,
+		SealedEpochs:   len(c.log.Sealed()),
+	}
+}
+
+// Seal drains the runtime's advice into the active epoch and seals it.
+// Sealing an empty epoch is a no-op returning (nil, nil).
+func (c *Collector) Seal() (*epochlog.Manifest, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sealLocked()
+}
+
+func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
+	if events, _ := c.log.ActiveEvents(); events == 0 {
+		return nil, nil
+	}
+	kar, oro := c.srv.DrainAdvice()
+	adv := kar
+	if c.cfg.Mode == advice.ModeOrochiJS {
+		adv = oro
+	}
+	if adv != nil {
+		if err := c.log.AppendAdvice(adv.MarshalBinary()); err != nil {
+			return nil, err
+		}
+	}
+	m, err := c.log.Seal()
+	if err == nil {
+		c.lastSeal = time.Now()
+	}
+	return m, err
+}
+
+// Close seals any partial epoch and releases the log. Safe to call once.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.ageTicker != nil {
+		c.ageTicker.Stop()
+		close(c.ageDone)
+	}
+	_, sealErr := c.sealLocked()
+	logErr := c.log.Close()
+	c.mu.Unlock()
+	if sealErr != nil {
+		return sealErr
+	}
+	return logErr
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

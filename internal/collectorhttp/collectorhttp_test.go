@@ -1,0 +1,215 @@
+package collectorhttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func invoke(t *testing.T, base string, input any) map[string]any {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"input": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := post(t, base+"/invoke", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke: status %d: %s", resp.StatusCode, out)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("invoke response not JSON: %v (%s)", err, out)
+	}
+	return decoded
+}
+
+// TestInvokeRecordsAndSeals drives MOTD requests over HTTP, checks the
+// responses flow back, and checks the count threshold seals epochs whose
+// recorded trace matches what the client observed.
+func TestInvokeRecordsAndSeals(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	set := map[string]any{"op": "set", "scope": "always", "msg": "over-http"}
+	get := map[string]any{"op": "get", "day": "mon"}
+	invoke(t, ts.URL, set)
+	invoke(t, ts.URL, get) // epoch 1 seals here
+	out := invoke(t, ts.URL, get)
+	msg, _ := out["output"].(map[string]any)
+	if msg["msg"] != "over-http" {
+		t.Fatalf("cross-epoch read returned %v, want over-http", out["output"])
+	}
+
+	st := c.Status()
+	if st.SealedEpochs != 1 || st.ActiveRequests != 1 || st.Served != 3 {
+		t.Fatalf("status after 3 invokes: %+v", st)
+	}
+	if err := c.Close(); err != nil { // seals the partial second epoch
+		t.Fatal(err)
+	}
+
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 2 {
+		t.Fatalf("found %d sealed epochs, want 2", len(sealed))
+	}
+	for _, m := range sealed {
+		tr, blob, _, err := epochlog.ReadSealed(dir, m.Seq, epochlog.Options{})
+		if err != nil {
+			t.Fatalf("epoch %d: %v", m.Seq, err)
+		}
+		if err := tr.CheckBalanced(); err != nil {
+			t.Fatalf("epoch %d trace unbalanced: %v", m.Seq, err)
+		}
+		if _, err := advice.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("epoch %d advice does not decode: %v", m.Seq, err)
+		}
+	}
+	meta, err := ReadMeta(dir)
+	if err != nil || meta.App != "motd" || meta.Mode != advice.ModeKarousos {
+		t.Fatalf("meta = %+v, err %v", meta, err)
+	}
+}
+
+// TestAdviceEndpointLastWins: uploads to /advice land in the active epoch
+// and the last intact record wins over the collector's own drain — the
+// upload path is how an out-of-process server supplies its advice.
+func TestAdviceEndpointLastWins(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Spec: harness.MOTDApp(), Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	invoke(t, ts.URL, map[string]any{"op": "get", "day": "mon"})
+	resp, _ := post(t, ts.URL+"/advice", []byte("not-the-winner"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("advice upload: status %d", resp.StatusCode)
+	}
+	resp, body := post(t, ts.URL+"/seal", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seal: status %d", resp.StatusCode)
+	}
+	var m epochlog.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	_, blob, _, err := epochlog.ReadSealed(dir, m.Seq, epochlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The collector drains its own advice at seal time, after the upload.
+	if adv, err := advice.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("winning record is not the drained advice: %v", err)
+	} else if adv.Mode != advice.ModeKarousos {
+		t.Fatalf("winning advice mode = %s", adv.Mode)
+	}
+}
+
+// TestAdviceByteLimitOverHTTP: an oversized upload is refused with 413 and
+// never reaches the log.
+func TestAdviceByteLimitOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{
+		Spec:   harness.MOTDApp(),
+		Dir:    dir,
+		Limits: verifier.Limits{MaxAdviceBytes: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	defer c.Close()
+
+	resp, _ := post(t, ts.URL+"/advice", bytes.Repeat([]byte("x"), 65))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized advice: status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/advice", []byte("small"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("in-limit advice: status %d", resp.StatusCode)
+	}
+}
+
+// TestAgeBasedSeal: a non-empty epoch older than EpochMaxAge seals without
+// further requests.
+func TestAgeBasedSeal(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Spec: harness.MOTDApp(), Dir: dir, EpochMaxAge: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	invoke(t, ts.URL, map[string]any{"op": "get", "day": "mon"})
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Status().SealedEpochs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("age-based seal never happened")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRIDsMonotonicAcrossEpochs: rids never repeat across epochs (the carry
+// rebasing depends on it).
+func TestRIDsMonotonicAcrossEpochs(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	seen := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		out := invoke(t, ts.URL, map[string]any{"op": "get", "day": fmt.Sprint(i)})
+		rid, _ := out["rid"].(string)
+		if rid == "" || seen[rid] {
+			t.Fatalf("rid %q empty or repeated", rid)
+		}
+		seen[rid] = true
+	}
+	c.Close()
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil || len(sealed) != 5 {
+		t.Fatalf("sealed %d epochs (err %v), want 5", len(sealed), err)
+	}
+}

@@ -33,6 +33,16 @@ type HID string
 // InitHID is the handler id of the initialization activation I.
 const InitHID HID = "@I"
 
+// EpochCarryBase is the first op number used for the synthetic init-level
+// writes that carry verified variable state across epoch boundaries in the
+// continuous-audit pipeline. The server (when rebasing its in-memory
+// variable state at an epoch seal) and the verifier (when injecting carried
+// state after replaying init) must agree on these op identities: carried
+// variables are assigned ops {InitRID, InitHID, EpochCarryBase+i} in sorted
+// VarID order. The base sits far above any op number a real init function
+// issues, and below the codec's MaxInt32 integer clamp.
+const EpochCarryBase = 1 << 30
+
 // FunctionID names a piece of handler code (a closure in the paper; a Go
 // function registered in App.Funcs here).
 type FunctionID string

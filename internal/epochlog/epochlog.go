@@ -1,0 +1,519 @@
+// Package epochlog is the durable evidence store of the continuous-audit
+// pipeline: an on-disk, segmented log of trace events and advice,
+// partitioned into sealed epochs.
+//
+// Layout: each epoch seq owns three files in one directory —
+//
+//	ep%06d.trace    framed trace events (trusted channel)
+//	ep%06d.advice   framed advice blobs (untrusted channel; last wins)
+//	ep%06d.manifest one framed JSON Manifest; its presence seals the epoch
+//
+// Every record is framed as u32le(payload length) | u32le(CRC32C(payload))
+// | payload. Trace frames each carry one canonically-encoded trace event
+// (internal/trace's binary codec), so the manifest's trace digest is
+// recomputable from segment payloads alone. Advice frames each carry one
+// complete serialized advice blob; the server may re-upload (e.g. after a
+// retry), and the last intact record wins. The manifest is written and
+// fsynced only after its data files are fsynced, so a sealed epoch's
+// contents are durable before the seal itself is.
+//
+// Crash recovery (Open) adopts the longest contiguous prefix of validly
+// sealed epochs, truncates torn tails off the successor's data files, and
+// discards anything beyond: appending resumes exactly where the crash
+// interrupted. Sealed epochs are immutable, so a concurrently running
+// auditor reads them (ListSealed/ReadSealed) without coordination.
+package epochlog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"karousos.dev/karousos/internal/trace"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeader = 8 // u32le length + u32le CRC32C
+
+// Manifest describes one sealed epoch. Its valid presence on disk is what
+// seals the epoch.
+type Manifest struct {
+	// Seq is the 1-based epoch sequence number.
+	Seq uint64 `json:"seq"`
+	// Events and Requests count the epoch's trace events and REQ events.
+	Events   int `json:"events"`
+	Requests int `json:"requests"`
+	// TraceDigest is trace.Trace.Digest over the sealed events, recomputed
+	// and checked on every sealed read: it pins the trusted channel.
+	TraceDigest string `json:"traceDigest"`
+	// AdviceBytes is the size of the winning advice record (0 if the
+	// server uploaded none).
+	AdviceBytes int `json:"adviceBytes"`
+}
+
+// Options bound what replaying the log may allocate.
+type Options struct {
+	// MaxAdviceBytes caps a single advice record on append and on replay
+	// (mirror verifier.Limits.MaxAdviceBytes); 0 is unbounded.
+	MaxAdviceBytes int
+}
+
+// Log is the writer handle: one process appends and seals. Reading sealed
+// epochs needs no Log — see ListSealed and ReadSealed.
+type Log struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	sealed []Manifest
+	active uint64 // seq of the epoch being written
+
+	traceF  *os.File
+	adviceF *os.File
+
+	events      int
+	requests    int
+	digest      hash.Hash
+	adviceBytes int // size of the last intact advice record
+	closed      bool
+}
+
+func tracePath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ep%06d.trace", seq))
+}
+func advicePath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ep%06d.advice", seq))
+}
+func manifestPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ep%06d.manifest", seq))
+}
+
+// Open opens (creating if needed) the log in dir and recovers from any
+// torn state: the longest contiguous prefix of validly sealed epochs is
+// adopted, the next epoch becomes active with torn frame tails truncated
+// off its data files, and stray files beyond it are removed.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	sealed, err := ListSealed(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt, sealed: sealed, active: uint64(len(sealed)) + 1}
+
+	// Discard files of epochs beyond the active one (unreachable garbage
+	// from a torn multi-epoch state) and any invalid manifest at or beyond
+	// the active epoch.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	for _, ent := range entries {
+		var seq uint64
+		var kind string
+		if n, _ := fmt.Sscanf(ent.Name(), "ep%d.%s", &seq, &kind); n != 2 {
+			continue
+		}
+		if seq > l.active || (seq == l.active && kind == "manifest") {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return nil, fmt.Errorf("epochlog: discarding %s: %w", ent.Name(), err)
+			}
+		}
+	}
+
+	if err := l.openActive(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openActive recovers the active epoch's data files — truncating torn
+// tails, recomputing counters and the running digest — and opens them for
+// appending. Caller holds no lock (Open) or l.mu (Seal).
+func (l *Log) openActive() error {
+	l.events, l.requests, l.adviceBytes = 0, 0, 0
+	l.digest = sha256.New()
+
+	tp := tracePath(l.dir, l.active)
+	if err := truncateTorn(tp); err != nil {
+		return err
+	}
+	if err := scanFrames(tp, 0, func(payload []byte) error {
+		e, err := trace.DecodeEventBinary(payload)
+		if err != nil {
+			return fmt.Errorf("epochlog: %s: recovered frame undecodable: %w", tp, err)
+		}
+		l.events++
+		if e.Kind == trace.Req {
+			l.requests++
+		}
+		l.digest.Write(payload)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	ap := advicePath(l.dir, l.active)
+	if err := truncateTorn(ap); err != nil {
+		return err
+	}
+	if err := scanFrames(ap, l.opt.MaxAdviceBytes, func(payload []byte) error {
+		l.adviceBytes = len(payload)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	var err error
+	if l.traceF, err = os.OpenFile(tp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	if l.adviceF, err = os.OpenFile(ap, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		l.traceF.Close()
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	return nil
+}
+
+// frame builds length|crc|payload as one buffer, so a torn write can only
+// produce a tail the next Open truncates, never a misparse.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// AppendEvent appends one trace event to the active epoch (trusted
+// channel: only the collector in front of the server calls this).
+func (l *Log) AppendEvent(e trace.Event) error {
+	payload := trace.AppendEventBinary(nil, e)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("epochlog: log is closed")
+	}
+	if _, err := l.traceF.Write(frame(payload)); err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	l.events++
+	if e.Kind == trace.Req {
+		l.requests++
+	}
+	l.digest.Write(payload)
+	return nil
+}
+
+// AppendAdvice appends one complete advice blob to the active epoch
+// (untrusted channel: the server uploads here). Re-uploads are allowed;
+// the last intact record wins at seal time.
+func (l *Log) AppendAdvice(blob []byte) error {
+	if l.opt.MaxAdviceBytes > 0 && len(blob) > l.opt.MaxAdviceBytes {
+		return fmt.Errorf("epochlog: advice record of %d bytes exceeds limit %d", len(blob), l.opt.MaxAdviceBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("epochlog: log is closed")
+	}
+	if _, err := l.adviceF.Write(frame(blob)); err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	l.adviceBytes = len(blob)
+	return nil
+}
+
+// ActiveEvents returns the number of events (and REQ events) accumulated
+// in the active epoch.
+func (l *Log) ActiveEvents() (events, requests int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events, l.requests
+}
+
+// ActiveSeq returns the active epoch's sequence number.
+func (l *Log) ActiveSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active
+}
+
+// Seal durably closes the active epoch: data files are fsynced, the
+// manifest (carrying the trace digest) is written and fsynced, and a fresh
+// active epoch begins. Sealing an epoch with no events is a no-op.
+func (l *Log) Seal() (*Manifest, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("epochlog: log is closed")
+	}
+	if l.events == 0 {
+		return nil, nil
+	}
+	for _, f := range []*os.File{l.traceF, l.adviceF} {
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("epochlog: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("epochlog: %w", err)
+		}
+	}
+	m := Manifest{
+		Seq:         l.active,
+		Events:      l.events,
+		Requests:    l.requests,
+		TraceDigest: fmt.Sprintf("%x", l.digest.Sum(nil)),
+		AdviceBytes: l.adviceBytes,
+	}
+	mj, err := json.Marshal(&m)
+	if err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	mp := manifestPath(l.dir, l.active)
+	mf, err := os.OpenFile(mp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	if _, err := mf.Write(frame(mj)); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	if err := mf.Sync(); err != nil {
+		mf.Close()
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	syncDir(l.dir)
+
+	l.sealed = append(l.sealed, m)
+	l.active++
+	if err := l.openActive(); err != nil {
+		l.closed = true
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Sealed returns the manifests of all sealed epochs in order.
+func (l *Log) Sealed() []Manifest {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Manifest(nil), l.sealed...)
+}
+
+// Close releases the active epoch's file handles without sealing; the
+// unsealed tail is recovered by the next Open.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err1 := l.traceF.Close()
+	err2 := l.adviceF.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// syncDir best-effort fsyncs a directory so a freshly created manifest's
+// directory entry is durable (not all filesystems support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// truncateTorn cuts a data file back to its longest prefix of intact
+// frames. A missing file is fine (zero-length epoch so far).
+func truncateTorn(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	good := 0
+	off := 0
+	for {
+		n, payload := nextFrame(data, off, 0)
+		if payload == nil {
+			break
+		}
+		off += n
+		good = off
+	}
+	if good == len(data) {
+		return nil
+	}
+	return os.Truncate(path, int64(good))
+}
+
+// nextFrame parses one frame at off. It returns the frame's total size and
+// payload, or (0, nil) when the remainder is empty, torn, or corrupt. A
+// positive maxPayload also rejects over-large declared lengths before any
+// allocation (untrusted-channel clamp).
+func nextFrame(data []byte, off, maxPayload int) (int, []byte) {
+	rest := data[off:]
+	if len(rest) < frameHeader {
+		return 0, nil
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	if maxPayload > 0 && n > maxPayload {
+		return 0, nil
+	}
+	if n > len(rest)-frameHeader {
+		return 0, nil
+	}
+	payload := rest[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[4:]) {
+		return 0, nil
+	}
+	return frameHeader + n, payload
+}
+
+// scanFrames streams every intact frame of a file to fn, stopping at the
+// first torn or corrupt one. A missing file yields no frames.
+func scanFrames(path string, maxPayload int, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	off := 0
+	for {
+		n, payload := nextFrame(data, off, maxPayload)
+		if payload == nil {
+			return nil
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += n
+	}
+}
+
+// readManifest loads and validates one epoch's manifest; ok is false when
+// the file is missing, torn, or inconsistent with its name.
+func readManifest(dir string, seq uint64) (Manifest, bool) {
+	data, err := os.ReadFile(manifestPath(dir, seq))
+	if err != nil {
+		return Manifest{}, false
+	}
+	n, payload := nextFrame(data, 0, 0)
+	if payload == nil || n != len(data) {
+		return Manifest{}, false
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil || m.Seq != seq || m.Events <= 0 {
+		return Manifest{}, false
+	}
+	return m, true
+}
+
+// ListSealed returns the longest contiguous prefix (seq 1, 2, ...) of
+// validly sealed epochs in dir. It takes no lock and mutates nothing, so a
+// tailing auditor may call it while a collector owns the writer handle.
+func ListSealed(dir string) ([]Manifest, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("epochlog: %w", err)
+	}
+	var seqs []uint64
+	for _, ent := range entries {
+		var seq uint64
+		var kind string
+		if n, _ := fmt.Sscanf(ent.Name(), "ep%d.%s", &seq, &kind); n == 2 && kind == "manifest" {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var out []Manifest
+	for i, seq := range seqs {
+		if seq != uint64(i)+1 {
+			break
+		}
+		m, ok := readManifest(dir, seq)
+		if !ok {
+			break
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ReadSealed loads one sealed epoch: the trace (every frame must be intact
+// and the recomputed digest must match the manifest — the trusted channel
+// does not tolerate corruption) and the winning advice blob (nil when none
+// was uploaded; undecodable contents are the audit's concern, not ours).
+func ReadSealed(dir string, seq uint64, opt Options) (*trace.Trace, []byte, *Manifest, error) {
+	m, ok := readManifest(dir, seq)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("epochlog: epoch %d is not sealed in %s", seq, dir)
+	}
+	tr := &trace.Trace{}
+	h := sha256.New()
+	if err := scanFrames(tracePath(dir, seq), 0, func(payload []byte) error {
+		e, err := trace.DecodeEventBinary(payload)
+		if err != nil {
+			return fmt.Errorf("epochlog: epoch %d trace frame undecodable: %w", seq, err)
+		}
+		tr.Events = append(tr.Events, e)
+		h.Write(payload)
+		return nil
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(tr.Events) != m.Events {
+		return nil, nil, nil, fmt.Errorf("epochlog: epoch %d trace has %d intact events, manifest says %d (trusted channel corrupt)",
+			seq, len(tr.Events), m.Events)
+	}
+	if digest := fmt.Sprintf("%x", h.Sum(nil)); digest != m.TraceDigest {
+		return nil, nil, nil, fmt.Errorf("epochlog: epoch %d trace digest %s does not match manifest %s (trusted channel corrupt)",
+			seq, digest, m.TraceDigest)
+	}
+	var blob []byte
+	if err := scanFrames(advicePath(dir, seq), opt.MaxAdviceBytes, func(payload []byte) error {
+		blob = payload
+		return nil
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+	if blob == nil && m.AdviceBytes > 0 {
+		// The sealed advice file lost its intact records (on-disk
+		// corruption of the untrusted channel). Surface whatever bytes
+		// remain so the audit can reject them with a coded verdict instead
+		// of us swallowing the epoch.
+		raw, err := os.ReadFile(advicePath(dir, seq))
+		if err == nil && len(raw) > frameHeader {
+			limit := len(raw)
+			if opt.MaxAdviceBytes > 0 && limit > frameHeader+opt.MaxAdviceBytes {
+				limit = frameHeader + opt.MaxAdviceBytes
+			}
+			blob = raw[frameHeader:limit]
+		}
+	}
+	return tr, blob, &m, nil
+}

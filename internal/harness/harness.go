@@ -68,6 +68,21 @@ func WikiApp() AppSpec {
 	}
 }
 
+// SpecByName resolves an application by its recorded name — the inverse of
+// AppSpec.Name, used by tools that rediscover the app from a run directory
+// or epoch log sidecar.
+func SpecByName(name string) (AppSpec, error) {
+	switch name {
+	case "motd":
+		return MOTDApp(), nil
+	case "stacks":
+		return StacksApp(), nil
+	case "wiki":
+		return WikiApp(), nil
+	}
+	return AppSpec{}, fmt.Errorf("harness: unknown app %q (motd, stacks, wiki)", name)
+}
+
 // Collect selects which advice the serving run produces.
 type Collect uint8
 

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/value"
+)
+
+// This file is the server side of the continuous-audit pipeline: instead of
+// serving one finite workload and materializing the whole trace and advice
+// at the end (Run), an HTTP front-end serves requests one at a time
+// (ServeOne) and periodically seals an epoch by draining the advice
+// accumulated so far (DrainAdvice). The two modes must not be mixed on one
+// Server: Run snapshots the store's full binlog, DrainAdvice tracks deltas.
+
+// ServeOne serves a single request to completion on the single-threaded
+// dispatch loop and returns its normalized response payload. The request is
+// recorded through the trusted collector exactly as under Run.
+func (s *Server) ServeOne(r Request) (value.V, error) {
+	if s.parallel {
+		return nil, fmt.Errorf("server: ServeOne requires the single-threaded loop (Workers ≤ 1)")
+	}
+	s.admit(r)
+	for len(s.pending) > 0 {
+		i := s.rng.Intn(len(s.pending))
+		act := s.pending[i]
+		s.pending[i] = s.pending[len(s.pending)-1]
+		s.pending = s.pending[:len(s.pending)-1]
+		s.runActivation(act)
+		rs := s.requests[act.rid]
+		rs.outstanding--
+		if rs.outstanding == 0 {
+			if !rs.responded {
+				return nil, fmt.Errorf("server: request %s finished without responding", act.rid)
+			}
+			s.finishRequest(act.rid, rs)
+		}
+	}
+	return s.requests[r.RID].respVal, nil
+}
+
+// TakeTrace drains the events recorded by the server's internal collector
+// since the previous call. An external front-end that records its own
+// ground truth uses this to keep the internal collector's buffer empty.
+func (s *Server) TakeTrace() *trace.Trace {
+	return s.collector.Trace()
+}
+
+// DrainAdvice seals the server side of an epoch: it hands back the advice
+// collected since the previous drain and rebases the in-memory runtime
+// state so the next epoch's advice is self-contained.
+//
+// Rebasing is the heart of cross-epoch auditing. Each variable's
+// most-recent-write marker is reassigned to a synthetic init-level op
+// {InitRID, InitHID, EpochCarryBase+i} (variables in sorted id order —
+// the identity the verifier reconstructs when it injects carried state, see
+// verifier.CarryState). Because init-labeled ops R-precede every request
+// op, the first accesses of the next epoch are not R-concurrent with the
+// carried write and therefore go unlogged, exactly like first accesses
+// after a real init; the verifier resolves them through the carried version
+// dictionary. No op identity from a drained epoch ever appears in a later
+// epoch's advice, which would otherwise reject as referencing a request
+// absent from that epoch's trace.
+//
+// The store's write order and transaction order are emitted as deltas:
+// only binlog installations and tx events since the previous drain.
+func (s *Server) DrainAdvice() (kar, oro *advice.Advice) {
+	s.lock()
+	defer s.unlock()
+	kar, oro = s.kar, s.oro
+	if s.kar != nil {
+		s.kar = advice.New(advice.ModeKarousos)
+	}
+	if s.oro != nil {
+		s.oro = advice.New(advice.ModeOrochiJS)
+	}
+	s.wireKar, s.wireOro = nil, nil
+
+	if s.cfg.Store != nil {
+		binlog := s.cfg.Store.Binlog()
+		var wo []advice.TxPos
+		for _, ref := range binlog[s.binlogDrained:] {
+			wo = append(wo, advice.TxPos{RID: ref.RID, TID: ref.TID, Index: ref.Index})
+		}
+		s.binlogDrained = len(binlog)
+		events := s.cfg.Store.TxEvents()
+		var to []advice.TxOrderEvent
+		for _, ev := range events[s.txEventsDrained:] {
+			to = append(to, advice.TxOrderEvent{Kind: uint8(ev.Kind), RID: ev.RID, TID: ev.TID})
+		}
+		s.txEventsDrained = len(events)
+		if kar != nil {
+			kar.WriteOrder, kar.TxOrder = wo, to
+		}
+		if oro != nil {
+			oro.WriteOrder = append([]advice.TxPos(nil), wo...)
+			oro.TxOrder = append([]advice.TxOrderEvent(nil), to...)
+		}
+	}
+
+	// Rebase every variable's last-write marker onto its carry identity.
+	ids := make([]string, 0, len(s.vars))
+	for id := range s.vars {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for i, id := range ids {
+		vs := s.vars[core.VarID(id)]
+		op := core.Op{RID: core.InitRID, HID: core.InitHID, Num: core.EpochCarryBase + i}
+		vs.last = core.TaggedOp{Op: op, Label: core.InitLabel}
+		vs.karLogged = map[core.Op]bool{op: true}
+		vs.oroLogged = map[core.Op]bool{op: true}
+	}
+
+	// Served requests' per-request state was already folded into the drained
+	// advice; drop it so a long-running server's memory stays bounded. Rids
+	// must never repeat across epochs (the HTTP collector assigns them
+	// monotonically).
+	for rid, rs := range s.requests {
+		if rs.outstanding == 0 {
+			delete(s.requests, rid)
+		}
+	}
+	return kar, oro
+}

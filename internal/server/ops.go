@@ -371,6 +371,7 @@ func (s *Server) Respond(ctx *core.Context, opsIssued int, payload *mv.MV) {
 	}
 	rs.responded = true
 	rs.response = advice.OpAt{HID: ctx.HID(), OpNum: opsIssued}
+	rs.respVal = value.Clone(value.Normalize(payload.At(0)))
 	s.collector.Response(string(rid), payload.At(0))
 }
 

@@ -110,6 +110,11 @@ type Server struct {
 	// its context (one context per activation).
 	states map[*core.Context]*runState
 
+	// binlogDrained/txEventsDrained are the store cursors of the epoch
+	// pipeline: DrainAdvice emits write-order and tx-order deltas past them.
+	binlogDrained   int
+	txEventsDrained int
+
 	initDone bool
 }
 
@@ -140,6 +145,9 @@ type reqState struct {
 	// childCounters assigns activation labels: children per parent hid.
 	childCounters map[core.HID]int
 	response      advice.OpAt
+	// respVal is the normalized response payload, kept so ServeOne can
+	// return it to an HTTP front-end.
+	respVal value.V
 }
 
 type tagPart struct {

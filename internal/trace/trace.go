@@ -9,6 +9,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"karousos.dev/karousos/internal/value"
 )
@@ -46,7 +47,12 @@ type Trace struct {
 // calls Request and Response exactly when bytes would cross the wire; in a
 // deployment this component sits outside the untrusted server (§2.2), and in
 // tests it is what an adversarial server cannot forge.
+//
+// Collectors are safe for concurrent use: an HTTP front-end records from
+// concurrent connections, and whichever event wins the lock is the
+// chronological truth the audit holds the server to.
 type Collector struct {
+	mu sync.Mutex
 	tr Trace
 }
 
@@ -55,19 +61,28 @@ func NewCollector() *Collector { return &Collector{} }
 
 // Request records the arrival of request rid with input x.
 func (c *Collector) Request(rid string, x value.V) {
-	c.tr.Events = append(c.tr.Events, Event{Kind: Req, RID: rid, Data: value.Clone(value.Normalize(x))})
+	e := Event{Kind: Req, RID: rid, Data: value.Clone(value.Normalize(x))}
+	c.mu.Lock()
+	c.tr.Events = append(c.tr.Events, e)
+	c.mu.Unlock()
 }
 
 // Response records the delivery of the response for rid with output y.
 func (c *Collector) Response(rid string, y value.V) {
-	c.tr.Events = append(c.tr.Events, Event{Kind: Resp, RID: rid, Data: value.Clone(value.Normalize(y))})
+	e := Event{Kind: Resp, RID: rid, Data: value.Clone(value.Normalize(y))}
+	c.mu.Lock()
+	c.tr.Events = append(c.tr.Events, e)
+	c.mu.Unlock()
 }
 
-// Trace returns the collected trace. The caller takes ownership; the
-// collector must not be used afterwards.
+// Trace drains the collected events, resetting the collector. Successive
+// calls partition the observed history, which is how an epoch-based
+// front-end slices one serving run into per-epoch traces.
 func (c *Collector) Trace() *Trace {
+	c.mu.Lock()
 	t := c.tr
 	c.tr = Trace{}
+	c.mu.Unlock()
 	return &t
 }
 

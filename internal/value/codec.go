@@ -1,0 +1,196 @@
+package value
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the canonical binary encoding of values. It is the
+// single wire form shared by the advice codec (internal/advice) and the
+// epoch log's trace segments (internal/epochlog): one encoding means the
+// trace digest recorded in an epoch manifest can be recomputed from segment
+// payloads byte-for-byte, and the advice codec's hostile-input hardening
+// (length clamps) protects every consumer.
+//
+// The format is tag bytes, unsigned varints, explicit lengths. Maps encode
+// in sorted key order, so Equal values encode to equal bytes. The decoder
+// treats its input as untrusted: every declared length is clamped against
+// the remaining input divided by the element's minimum wire size, so a few
+// declared bytes cannot preallocate hundreds of megabytes.
+
+// Value tags of the canonical binary encoding.
+const (
+	tagNil   byte = 0
+	tagFalse byte = 1
+	tagTrue  byte = 2
+	tagNum   byte = 3
+	tagStr   byte = 4
+	tagList  byte = 5
+	tagMap   byte = 6
+)
+
+// AppendBinary appends the canonical binary encoding of v to dst and
+// returns the extended slice. v must be canonical (see Normalize); an
+// unencodable kind panics, as it can only arise from a bug in our own
+// runtime, never from untrusted input.
+func AppendBinary(dst []byte, v V) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, tagNil)
+	case bool:
+		if x {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case float64:
+		dst = append(dst, tagNum)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	case string:
+		dst = append(dst, tagStr)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case []V:
+		dst = append(dst, tagList)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, el := range x {
+			dst = AppendBinary(dst, el)
+		}
+		return dst
+	case map[string]V:
+		dst = append(dst, tagMap)
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = binary.AppendUvarint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
+			dst = AppendBinary(dst, x[k])
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("value: unencodable value kind %T", v))
+	}
+}
+
+// ErrTruncated is returned when the decoder runs out of input.
+var ErrTruncated = errors.New("value: truncated input")
+
+// DecodeBinary decodes one canonically-encoded value from the front of buf,
+// returning the value and the number of bytes consumed. Trailing bytes are
+// the caller's concern.
+func DecodeBinary(buf []byte) (V, int, error) {
+	d := &binDecoder{buf: buf}
+	v, err := d.value()
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.off, nil
+}
+
+type binDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *binDecoder) byteAt() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *binDecoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return x, nil
+}
+
+// lengthElems reads a collection length whose elements each encode to at
+// least minElemSize bytes and clamps the declared count against the
+// remaining input, keeping decode-side allocation proportional to input.
+func (d *binDecoder) lengthElems(minElemSize int) (int, error) {
+	x, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if x > uint64(len(d.buf)-d.off)/uint64(minElemSize) {
+		return 0, fmt.Errorf("value: declared length %d exceeds remaining input", x)
+	}
+	return int(x), nil
+}
+
+func (d *binDecoder) str() (string, error) {
+	n, err := d.lengthElems(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s, nil
+}
+
+func (d *binDecoder) value() (V, error) {
+	tag, err := d.byteAt()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagFalse:
+		return false, nil
+	case tagTrue:
+		return true, nil
+	case tagNum:
+		if len(d.buf)-d.off < 8 {
+			return nil, ErrTruncated
+		}
+		bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return math.Float64frombits(bits), nil
+	case tagStr:
+		return d.str()
+	case tagList:
+		n, err := d.lengthElems(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]V, n)
+		for i := range out {
+			if out[i], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case tagMap:
+		// A key is at least its length varint; a value at least its tag.
+		n, err := d.lengthElems(2)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]V, n)
+		for i := 0; i < n; i++ {
+			k, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			if out[k], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("value: unknown value tag %d", tag)
+	}
+}

@@ -1,0 +1,82 @@
+package value
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []V{
+		nil,
+		true,
+		false,
+		float64(0),
+		float64(-3.75),
+		"",
+		"hello",
+		List(),
+		List(float64(1), "two", nil, true),
+		Map(),
+		Map("b", float64(2), "a", List("x", Map("deep", nil))),
+	}
+	for i, v := range cases {
+		enc := AppendBinary(nil, v)
+		got, n, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		if !Equal(got, v) {
+			t.Fatalf("case %d: round trip mismatch: %v vs %v", i, got, v)
+		}
+	}
+}
+
+func TestBinaryDeterministicMapOrder(t *testing.T) {
+	a := AppendBinary(nil, Map("x", float64(1), "y", float64(2), "z", float64(3)))
+	b := AppendBinary(nil, Map("z", float64(3), "y", float64(2), "x", float64(1)))
+	if string(a) != string(b) {
+		t.Error("equal maps encode to different bytes")
+	}
+}
+
+func TestBinaryRejectsHostileLengths(t *testing.T) {
+	// A declared list length far beyond the input must error, not allocate.
+	hostile := []byte{5}
+	hostile = binary.AppendUvarint(hostile, 1<<40)
+	if _, _, err := DecodeBinary(hostile); err == nil {
+		t.Error("inflated list length accepted")
+	}
+	// Same for maps and strings.
+	hostile = []byte{6}
+	hostile = binary.AppendUvarint(hostile, 1<<40)
+	if _, _, err := DecodeBinary(hostile); err == nil {
+		t.Error("inflated map length accepted")
+	}
+	hostile = []byte{4}
+	hostile = binary.AppendUvarint(hostile, 1<<40)
+	if _, _, err := DecodeBinary(hostile); err == nil {
+		t.Error("inflated string length accepted")
+	}
+	// Truncations at every prefix error rather than panic.
+	full := AppendBinary(nil, Map("k", List("a", float64(1), true)))
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeBinary(full[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes accepted", i)
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{42}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+}
+
+func TestAppendBinaryPanicsOnUnencodable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unencodable kind")
+		}
+	}()
+	AppendBinary(nil, struct{}{})
+}

@@ -143,10 +143,17 @@ func (v *Verifier) checkTxWellFormed(tl *advice.TxLog) {
 	}
 }
 
-// txOpAt resolves a TxPos into its log entry, or nil if out of range.
+// txOpAt resolves a TxPos into its log entry — this epoch's transaction
+// logs first, then the carried prior-epoch writes — or nil if unknown.
+// No ambiguity arises: carried positions name prior-epoch rids, and a
+// transaction log for a rid absent from this epoch's trace is rejected
+// before any resolution happens.
 func (v *Verifier) txOpAt(p advice.TxPos) *advice.TxOp {
 	tl, ok := v.txIndex[txRef{rid: p.RID, tid: p.TID}]
 	if !ok || p.Index < 1 || p.Index > len(tl.Ops) {
+		if op, carried := v.carryTx[p]; carried {
+			return op
+		}
 		return nil
 	}
 	return &tl.Ops[p.Index-1]
@@ -158,13 +165,16 @@ func (v *Verifier) txOpAt(p advice.TxPos) *advice.TxOp {
 // the committed-reads rule, and running Adya's cycle tests.
 func (v *Verifier) isolationLevelVerification() {
 	writeOrderPerKey := v.extractWriteOrderPerKey()
+	v.woPerKey = writeOrderPerKey
 
 	// Committed transactions may only read versions that were installed
 	// (Figure 17's AddReadDependencyEdges line 33–36, applicable to levels
 	// that exclude G1b: read committed and serializability).
 	if v.cfg.Isolation != adya.ReadUncommitted {
 		for w, readers := range v.readMap {
-			if v.inWO[w] {
+			// A carried write was installed in a prior accepted epoch; it
+			// is readable without appearing in this epoch's write order.
+			if v.inWO[w] || v.isCarried(w) {
 				continue
 			}
 			for _, r := range readers {
@@ -187,6 +197,14 @@ func (v *Verifier) isolationLevelVerification() {
 		h.WriteOrderPerKey[key] = ws
 	}
 	for w, readers := range v.readMap {
+		// Reads from carried writes stay out of the Adya history: the epoch
+		// seal happens between requests, so every prior-epoch transaction
+		// committed before any in-epoch transaction began — cross-boundary
+		// anti-dependencies all point forward in time and cannot close an
+		// in-epoch cycle (see DESIGN.md §10 for this boundary argument).
+		if v.isCarried(w) {
+			continue
+		}
 		for _, r := range readers {
 			h.Reads = append(h.Reads, adya.Read{
 				From:  adya.Write{Tx: adya.TxKey{RID: string(w.RID), TID: string(w.TID)}, Pos: w.Index},

@@ -59,6 +59,13 @@ type Config struct {
 	// unbounded (see DefaultLimits for production bounds). Exceeding a
 	// bound rejects with ResourceLimit.
 	Limits Limits
+	// Carry is the verified server state at the start of this epoch (nil
+	// for a whole-history audit or the first epoch). It comes from the
+	// auditor's own previous accepting audit — trusted input, like the
+	// trace — and is injected as synthetic init-level state so this epoch's
+	// unlogged reads and reads-from references resolve against prior
+	// epochs. See CarryState.
+	Carry *CarryState
 }
 
 // node kinds of the execution graph G.
@@ -146,6 +153,11 @@ type Verifier struct {
 	rawVarLogs map[core.VarID]map[core.Op]*advice.VarLogEntry
 	nondet     map[core.Op]value.V
 
+	// carryTx resolves TxPos references into carried prior-epoch writes;
+	// woPerKey keeps the verified per-key write order for carryOut.
+	carryTx  map[advice.TxPos]*advice.TxOp
+	woPerKey map[string][]advice.TxPos
+
 	// consumption tracking: re-execution must account for every log entry.
 	opConsumed map[core.Op]bool
 
@@ -199,7 +211,20 @@ func Audit(cfg Config, tr *trace.Trace, adv *advice.Advice) (Stats, error) {
 // AuditContext is Audit under a caller-supplied context: the audit rejects
 // with ResourceLimit at its next cancellation check once ctx is done. When
 // cfg.Limits.Deadline is set, it is applied on top of ctx.
-func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Advice) (st Stats, err error) {
+func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Advice) (Stats, error) {
+	st, _, err := auditFull(ctx, cfg, tr, adv, false)
+	return st, err
+}
+
+// AuditCarry audits one epoch and, when it accepts, additionally returns
+// the verified end-state to thread into the next epoch's Config.Carry. It
+// is AuditContext plus carry extraction; the extraction runs inside the
+// same panic-containment boundary.
+func AuditCarry(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Advice) (Stats, *CarryState, error) {
+	return auditFull(ctx, cfg, tr, adv, true)
+}
+
+func auditFull(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Advice, wantCarry bool) (st Stats, carry *CarryState, err error) {
 	if cfg.Limits.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Limits.Deadline)
@@ -209,7 +234,7 @@ func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.
 	v.ctx = ctx
 	defer func() {
 		if r := recover(); r != nil {
-			st = v.Stats
+			st, carry = v.Stats, nil
 			if rej, ok := r.(core.Reject); ok {
 				err = rej
 				return
@@ -225,7 +250,7 @@ func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.
 		}
 	}()
 	if adv.Mode != cfg.Mode {
-		return v.Stats, core.Reject{
+		return v.Stats, nil, core.Reject{
 			Code:   core.RejectMalformedAdvice,
 			Reason: fmt.Sprintf("advice mode %q does not match configured mode %q", adv.Mode, cfg.Mode),
 		}
@@ -235,7 +260,10 @@ func AuditContext(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.
 	v.preprocess()
 	v.reExec()
 	v.postprocess()
-	return v.Stats, nil
+	if wantCarry {
+		carry = v.carryOut()
+	}
+	return v.Stats, carry, nil
 }
 
 // preprocess implements Figure 14's Preprocess.
@@ -256,6 +284,7 @@ func (v *Verifier) preprocess() {
 
 	v.buildVarLogIndex()
 	v.runInit()
+	v.injectCarry()
 	v.checkVarLogsKnown()
 	v.buildNondetIndex()
 	v.addTimePrecedenceEdges()

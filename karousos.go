@@ -46,13 +46,16 @@
 package karousos
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/adya"
 	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/auditd"
 	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/faultinject"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/kvstore"
@@ -334,3 +337,54 @@ func ApplyFault(spec string, wire []byte) ([]byte, error) {
 	}
 	return op.Apply(seed, wire)
 }
+
+// Continuous auditing (the epoch pipeline): a collector serves an
+// application over HTTP, recording the trusted trace into a durable epoch
+// log; an incremental auditor tails the log and audits each sealed epoch
+// with the dictionary state carried from the previous one. See
+// cmd/karousos-auditd and DESIGN.md §10.
+type (
+	// CarryState is the trusted cross-epoch dictionary state an accepting
+	// audit produces for the next epoch's audit.
+	CarryState = verifier.CarryState
+	// AuditorStatus is the incremental auditor's counters.
+	AuditorStatus = auditd.Status
+	// EpochReject is the machine-readable per-epoch rejection.
+	EpochReject = auditd.Reject
+	// PipelineOptions configures RunPipeline.
+	PipelineOptions = auditd.PipelineOptions
+	// PipelineResult summarizes a pipeline run.
+	PipelineResult = auditd.PipelineResult
+	// EpochManifest describes one sealed epoch on disk.
+	EpochManifest = epochlog.Manifest
+)
+
+// AuditCarry audits one epoch like Audit but additionally takes the carry
+// produced by the previous epoch's audit (nil for the first epoch) and
+// returns the next epoch's carry.
+func AuditCarry(ctx context.Context, cfg verifier.Config, tr *Trace, adv *Advice) (verifier.Stats, *CarryState, error) {
+	return verifier.AuditCarry(ctx, cfg, tr, adv)
+}
+
+// AuditEpochDir audits every sealed epoch of an epoch log directory in
+// order, resolving the application from the directory's sidecar. The error,
+// if any, is an *EpochReject for server misbehavior and an ordinary error
+// for infrastructure failure.
+func AuditEpochDir(ctx context.Context, dir string, lim Limits) (AuditorStatus, error) {
+	aud, err := auditd.New(auditd.Config{Dir: dir, Limits: lim})
+	if err != nil {
+		return AuditorStatus{}, err
+	}
+	_, err = aud.RunOnce(ctx)
+	return aud.Status(), err
+}
+
+// RunPipeline serves the workload through the HTTP collector on a loopback
+// listener while the incremental auditor follows the epoch log, and returns
+// once every sealed epoch is audited (or the first epoch rejects).
+func RunPipeline(ctx context.Context, spec AppSpec, reqs []Request, opts PipelineOptions) (*PipelineResult, error) {
+	return auditd.RunPipeline(ctx, spec, reqs, opts)
+}
+
+// ListSealedEpochs lists an epoch log directory's sealed manifests.
+func ListSealedEpochs(dir string) ([]EpochManifest, error) { return epochlog.ListSealed(dir) }
