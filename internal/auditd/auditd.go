@@ -176,19 +176,29 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 	}
 
 	// Prefetch pending epochs with the worker pool; audit strictly in
-	// order as each becomes available.
+	// order as each becomes available. The look-ahead window bounds how
+	// many fetched epochs can sit in memory waiting for the in-order
+	// audit — without it, a large backlog (auditor restarted without its
+	// checkpoint, long outage) would hold every pending epoch's trace and
+	// advice resident at once.
 	opt := epochlog.Options{MaxAdviceBytes: a.cfg.Limits.MaxAdviceBytes}
+	window := 2 * a.cfg.Workers
 	sem := make(chan struct{}, a.cfg.Workers)
 	results := make([]chan fetched, len(pending))
-	for i, m := range pending {
-		ch := make(chan fetched, 1)
-		results[i] = ch
-		go func(seq uint64) {
+	for i := range pending {
+		results[i] = make(chan fetched, 1)
+	}
+	prefetch := func(i int) {
+		go func(seq uint64, ch chan fetched) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			tr, blob, _, err := epochlog.ReadSealed(a.cfg.Dir, seq, opt)
 			ch <- fetched{tr: tr, blob: blob, err: err}
-		}(m.Seq)
+		}(pending[i].Seq, results[i])
+	}
+	next := 0
+	for ; next < len(pending) && next < window; next++ {
+		prefetch(next)
 	}
 
 	accepted := 0
@@ -197,6 +207,10 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 			return accepted, err
 		}
 		f := <-results[i]
+		if next < len(pending) {
+			prefetch(next)
+			next++
+		}
 		if f.err != nil {
 			return accepted, fmt.Errorf("auditd: epoch %d: %w", m.Seq, f.err)
 		}
@@ -226,6 +240,16 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		// decode — whether the server sent garbage or the disk lost the
 		// frame — is a coded rejection, not an infrastructure error.
 		return reject(core.RejectMalformedAdvice, err.Error())
+	}
+
+	if m.Fresh {
+		// Trusted restart boundary, recorded by the collector itself: the
+		// serving runtime began this epoch with fresh application state, so
+		// carried prior-epoch state no longer describes the server and must
+		// not be threaded into this or any later epoch's audit.
+		a.mu.Lock()
+		a.carry = nil
+		a.mu.Unlock()
 	}
 
 	app, _ := a.cfg.Spec.New()

@@ -17,6 +17,7 @@ import (
 	"karousos.dev/karousos/internal/faultinject"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
 	"karousos.dev/karousos/internal/workload"
 )
 
@@ -158,6 +159,98 @@ func TestCorruptedAdviceRejectsWithCode(t *testing.T) {
 				t.Errorf("accepted %d epochs before the reject, want 1", accepted)
 			}
 		})
+	}
+}
+
+// TestCollectorRestartAuditsAccept: restarting the collector rebuilds the
+// application from scratch. The restart boundary is recorded on the trusted
+// channel (Manifest.Fresh), and the auditor must drop carried prior-epoch
+// state there: with stale carry, the post-restart epochs — whose responses
+// reflect the rebuilt state, not the pre-restart writes — would falsely
+// reject.
+func TestCollectorRestartAuditsAccept(t *testing.T) {
+	dir := t.TempDir()
+	spec := harness.MOTDApp()
+	in := func(kv ...any) server.Request { return server.Request{Input: value.Map(kv...)} }
+
+	col1, err := collectorhttp.New(collectorhttp.Config{Spec: spec, Dir: dir, EpochRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newLoopback(t, col1)
+	driveHTTP(t, ts1, []server.Request{
+		in("op", "set", "scope", "always", "msg", "pre-restart"),
+		in("op", "get", "day", "mon"), // epoch 1 seals
+		in("op", "get", "day", "tue"),
+	})
+	if err := col1.Close(); err != nil { // seals epoch 2
+		t.Fatal(err)
+	}
+
+	// Restart: the "pre-restart" write lives only in epochs 1–2's history;
+	// the rebuilt server answers from default state.
+	col2, err := collectorhttp.New(collectorhttp.Config{Spec: spec, Dir: dir, EpochRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newLoopback(t, col2)
+	driveHTTP(t, ts2, []server.Request{
+		in("op", "get", "day", "mon"),
+		in("op", "get", "day", "tue"), // epoch 3 seals
+	})
+	if err := col2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 3 || !sealed[2].Fresh {
+		t.Fatalf("sealed %d epochs (fresh flags %v %v %v), want 3 with epoch 3 fresh",
+			len(sealed), sealed[0].Fresh, sealed[1].Fresh, sealed[2].Fresh)
+	}
+	aud, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := aud.RunOnce(context.Background())
+	if err != nil {
+		t.Fatalf("audit across the restart rejected: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("accepted %d epochs, want 3", n)
+	}
+}
+
+// TestManyEpochsSmallWindow: a backlog much larger than the prefetch
+// window still audits completely and in order — the window bounds memory,
+// not coverage.
+func TestManyEpochsSmallWindow(t *testing.T) {
+	dir := t.TempDir()
+	col, err := collectorhttp.New(collectorhttp.Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLoopback(t, col)
+	driveHTTP(t, ts, requestsFor(harness.MOTDApp(), 9, 3))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	aud, err := New(Config{Dir: dir, Workers: 1}) // look-ahead window of 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := aud.RunOnce(context.Background())
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if n != 9 {
+		t.Fatalf("accepted %d epochs, want 9", n)
+	}
+	if got := aud.Status().LastAccepted; got != 9 {
+		t.Fatalf("LastAccepted = %d, want 9", got)
 	}
 }
 

@@ -18,7 +18,9 @@ package collectorhttp
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -82,7 +84,11 @@ type Collector struct {
 }
 
 // New opens (or creates) the epoch log and boots a fresh application
-// instance behind it.
+// instance behind it. Reopening a directory a previous incarnation wrote
+// to is a restart: the recovered partial epoch (if any) is sealed as-is,
+// the RID counter resumes past every RID the log has seen, and the next
+// epoch is marked fresh so the auditor knows the application state was
+// rebuilt (see recoverIncarnation).
 func New(cfg Config) (*Collector, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = advice.ModeKarousos
@@ -97,6 +103,11 @@ func New(cfg Config) (*Collector, error) {
 	if err != nil {
 		return nil, err
 	}
+	nextRID, err := recoverIncarnation(l)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
 	app, store := cfg.Spec.New()
 	srv := server.New(server.Config{
 		App:             app,
@@ -105,13 +116,56 @@ func New(cfg Config) (*Collector, error) {
 		CollectKarousos: cfg.Mode == advice.ModeKarousos,
 		CollectOrochi:   cfg.Mode == advice.ModeOrochiJS,
 	})
-	c := &Collector{cfg: cfg, srv: srv, log: l, lastSeal: time.Now()}
+	c := &Collector{cfg: cfg, srv: srv, log: l, nextRID: nextRID, lastSeal: time.Now()}
 	if cfg.EpochMaxAge > 0 {
 		c.ageTicker = time.NewTicker(cfg.EpochMaxAge / 2)
 		c.ageDone = make(chan struct{})
 		go c.ageLoop()
 	}
 	return c, nil
+}
+
+// recoverIncarnation reconciles a freshly built application instance with
+// an epoch log a previous collector incarnation wrote to. The previous
+// incarnation's in-memory state is gone, so three things must happen before
+// serving resumes: any recovered partial epoch is sealed as-is (its advice,
+// if the crash lost part of it, honestly rejects — it cannot be completed
+// by a runtime that never served those requests); the RID counter is
+// recovered from the sealed manifests so RIDs never repeat across
+// incarnations (server.DrainAdvice's carry rebasing depends on that); and
+// the new active epoch is marked fresh on the trusted channel so the
+// auditor drops prior-epoch carry instead of falsely rejecting the rebuilt
+// state. On a pristine directory it returns 0 and marks nothing.
+func recoverIncarnation(l *epochlog.Log) (uint64, error) {
+	if events, _ := l.ActiveEvents(); events > 0 {
+		if _, err := l.Seal(); err != nil {
+			return 0, fmt.Errorf("collectorhttp: sealing recovered partial epoch: %w", err)
+		}
+	}
+	sealed := l.Sealed()
+	if len(sealed) == 0 {
+		return 0, nil
+	}
+	var next uint64
+	for _, m := range sealed {
+		if m.LastRID == "" {
+			continue
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(m.LastRID, "r%d", &n); err != nil {
+			return 0, fmt.Errorf("collectorhttp: cannot recover request counter: epoch %d last rid %q: %v", m.Seq, m.LastRID, err)
+		}
+		if n > next {
+			next = n
+		}
+	}
+	if next == 0 {
+		return 0, fmt.Errorf("collectorhttp: cannot recover request counter: none of the %d sealed epochs records a last rid", len(sealed))
+	}
+	if err := l.MarkFresh(); err != nil {
+		return 0, err
+	}
+	return next, nil
 }
 
 func writeMeta(dir string, m Meta) error {
@@ -236,20 +290,18 @@ func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
 	if max <= 0 {
 		max = 1 << 30
 	}
-	blob := make([]byte, 0, 4096)
-	buf := make([]byte, 32<<10)
-	var total int64
-	for {
-		n, err := r.Body.Read(buf)
-		total += int64(n)
-		if total > max {
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, max))
+	if err != nil {
+		// A partial body (client disconnect mid-upload) must never land in
+		// the log as a complete record: the last intact record wins at
+		// seal, so a truncated re-upload would clobber good advice.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
 			http.Error(w, "advice exceeds byte limit", http.StatusRequestEntityTooLarge)
 			return
 		}
-		blob = append(blob, buf[:n]...)
-		if err != nil {
-			break
-		}
+		http.Error(w, "reading advice body: "+err.Error(), http.StatusBadRequest)
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -258,7 +310,11 @@ func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := c.log.AppendAdvice(blob); err != nil {
-		http.Error(w, "epoch log: "+err.Error(), http.StatusRequestEntityTooLarge)
+		status := http.StatusInternalServerError
+		if errors.Is(err, epochlog.ErrAdviceTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, "epoch log: "+err.Error(), status)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -333,7 +389,9 @@ func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
 		}
 	}
 	m, err := c.log.Seal()
-	if err == nil {
+	if m != nil {
+		// Even when rotation failed (m != nil with an error), the manifest
+		// is durable: the epoch is sealed and the age clock restarts.
 		c.lastSeal = time.Now()
 	}
 	return m, err

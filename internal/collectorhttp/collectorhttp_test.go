@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -185,6 +187,115 @@ func TestAgeBasedSeal(t *testing.T) {
 			t.Fatal("age-based seal never happened")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRestartResumesRIDsAndMarksFresh: reopening a collector over a
+// directory a previous incarnation wrote to must seal the recovered partial
+// epoch, resume the RID counter past every RID the log has seen (a fresh
+// counter would reuse RIDs across epochs, which the verifier's carry
+// rebasing forbids), and mark the next epoch fresh on the trusted channel.
+func TestRestartResumesRIDsAndMarksFresh(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(c1.Handler())
+	var rids []string
+	for i := 0; i < 3; i++ { // epoch 1 seals after 2; 1 request left active
+		out := invoke(t, ts1.URL, map[string]any{"op": "get", "day": fmt.Sprint(i)})
+		rids = append(rids, out["rid"].(string))
+	}
+	// Crash: drop the file handles without sealing the partial epoch.
+	c1.log.Close()
+	ts1.Close()
+
+	c2, err := New(Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(c2.Handler())
+	defer ts2.Close()
+	for i := 0; i < 2; i++ {
+		out := invoke(t, ts2.URL, map[string]any{"op": "get", "day": fmt.Sprint(i)})
+		rids = append(rids, out["rid"].(string))
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]bool{}
+	for _, rid := range rids {
+		if seen[rid] {
+			t.Fatalf("rid %q repeated across the restart", rid)
+		}
+		seen[rid] = true
+	}
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 (pre-crash), epoch 2 (recovered partial, sealed at boot),
+	// epoch 3 (post-restart).
+	if len(sealed) != 3 {
+		t.Fatalf("sealed %d epochs, want 3", len(sealed))
+	}
+	if sealed[0].Fresh || sealed[1].Fresh {
+		t.Fatal("pre-restart epochs marked fresh")
+	}
+	if !sealed[2].Fresh {
+		t.Fatal("first post-restart epoch not marked fresh")
+	}
+	if sealed[2].LastRID != "r00000005" {
+		t.Fatalf("post-restart epoch LastRID = %q, want r00000005", sealed[2].LastRID)
+	}
+}
+
+// brokenBody yields some bytes, then fails — a client disconnecting
+// mid-upload.
+type brokenBody struct{ sent bool }
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if !b.sent {
+		b.sent = true
+		return copy(p, "partial-advice"), nil
+	}
+	return 0, fmt.Errorf("client disconnected")
+}
+func (b *brokenBody) Close() error { return nil }
+
+// TestAdvicePartialBodyNotAppended: a body-read failure returns 400 and the
+// partial bytes never reach the log — an appended truncation would win over
+// an earlier intact record at seal time.
+func TestAdvicePartialBodyNotAppended(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{Spec: harness.MOTDApp(), Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	good := []byte("good-blob")
+	resp, _ := post(t, ts.URL+"/advice", good)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("intact upload: status %d", resp.StatusCode)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/advice", &brokenBody{})
+	rec := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("partial upload: status %d, want 400", rec.Code)
+	}
+	// Exactly one frame on disk: header + the intact record.
+	data, err := os.ReadFile(filepath.Join(dir, "ep000001.advice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 + len(good); len(data) != want {
+		t.Fatalf("advice file is %d bytes, want %d (partial body appended?)", len(data), want)
 	}
 }
 

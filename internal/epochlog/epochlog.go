@@ -19,9 +19,12 @@
 //
 // Crash recovery (Open) adopts the longest contiguous prefix of validly
 // sealed epochs, truncates torn tails off the successor's data files, and
-// discards anything beyond: appending resumes exactly where the crash
-// interrupted. Sealed epochs are immutable, so a concurrently running
-// auditor reads them (ListSealed/ReadSealed) without coordination.
+// quarantines (renames, never deletes) anything beyond: appending resumes
+// exactly where the crash interrupted. A valid manifest past a gap in the
+// sealed prefix makes Open fail loudly instead — recovery refuses to
+// discard epochs that are still verifiable evidence. Sealed epochs are
+// immutable, so a concurrently running auditor reads them
+// (ListSealed/ReadSealed) without coordination.
 package epochlog
 
 import (
@@ -35,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"karousos.dev/karousos/internal/trace"
@@ -42,7 +46,14 @@ import (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrAdviceTooLarge reports an advice record over Options.MaxAdviceBytes.
+var ErrAdviceTooLarge = errors.New("advice record exceeds byte limit")
+
 const frameHeader = 8 // u32le length + u32le CRC32C
+
+// quarantineSuffix is appended to files Open moves aside instead of
+// deleting: recovery must never destroy bytes it did not itself write.
+const quarantineSuffix = ".quarantined"
 
 // Manifest describes one sealed epoch. Its valid presence on disk is what
 // seals the epoch.
@@ -58,6 +69,15 @@ type Manifest struct {
 	// AdviceBytes is the size of the winning advice record (0 if the
 	// server uploaded none).
 	AdviceBytes int `json:"adviceBytes"`
+	// LastRID is the RID of the epoch's last REQ event. The HTTP collector
+	// assigns RIDs monotonically and recovers its counter from this field
+	// on restart, so RIDs never repeat across epochs or incarnations.
+	LastRID string `json:"lastRid,omitempty"`
+	// Fresh marks an epoch whose serving runtime began with fresh
+	// application state (a collector restart). It is recorded on the
+	// trusted channel by the collector itself; an auditor must drop any
+	// carried prior-epoch state before auditing a fresh epoch.
+	Fresh bool `json:"fresh,omitempty"`
 }
 
 // Options bound what replaying the log may allocate.
@@ -83,7 +103,9 @@ type Log struct {
 	events      int
 	requests    int
 	digest      hash.Hash
-	adviceBytes int // size of the last intact advice record
+	adviceBytes int    // size of the last intact advice record
+	lastRID     string // RID of the active epoch's last REQ event
+	fresh       bool   // active epoch began with fresh application state
 	closed      bool
 }
 
@@ -95,6 +117,9 @@ func advicePath(dir string, seq uint64) string {
 }
 func manifestPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("ep%06d.manifest", seq))
+}
+func freshPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ep%06d.fresh", seq))
 }
 
 // Open opens (creating if needed) the log in dir and recovers from any
@@ -111,23 +136,41 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opt: opt, sealed: sealed, active: uint64(len(sealed)) + 1}
 
-	// Discard files of epochs beyond the active one (unreachable garbage
-	// from a torn multi-epoch state) and any invalid manifest at or beyond
-	// the active epoch.
+	// Recovery must never destroy audit evidence. A *valid* manifest past
+	// the contiguous sealed prefix means a gap — one corrupted manifest in
+	// the middle of otherwise-intact history — so refuse to open rather
+	// than touch the still-verifiable epochs beyond it. Everything else
+	// past the prefix (data files of epochs beyond the active one, a torn
+	// manifest at the active epoch) is unreachable garbage from a crashed
+	// seal: move it aside with a .quarantined suffix, never delete it.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
+	var strays []string
 	for _, ent := range entries {
-		var seq uint64
-		var kind string
-		if n, _ := fmt.Sscanf(ent.Name(), "ep%d.%s", &seq, &kind); n != 2 {
+		name := ent.Name()
+		if strings.HasSuffix(name, quarantineSuffix) {
 			continue
 		}
-		if seq > l.active || (seq == l.active && kind == "manifest") {
-			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
-				return nil, fmt.Errorf("epochlog: discarding %s: %w", ent.Name(), err)
+		var seq uint64
+		var kind string
+		if n, _ := fmt.Sscanf(name, "ep%d.%s", &seq, &kind); n != 2 {
+			continue
+		}
+		if kind == "manifest" && seq > l.active {
+			if _, ok := readManifest(dir, seq); ok {
+				return nil, fmt.Errorf("epochlog: sealed epoch %d exists beyond a gap at epoch %d; refusing to open rather than discard audit evidence", seq, l.active)
 			}
+		}
+		if seq > l.active || (seq == l.active && kind == "manifest") {
+			strays = append(strays, name)
+		}
+	}
+	for _, name := range strays {
+		from := filepath.Join(dir, name)
+		if err := os.Rename(from, from+quarantineSuffix); err != nil {
+			return nil, fmt.Errorf("epochlog: quarantining %s: %w", name, err)
 		}
 	}
 
@@ -141,8 +184,10 @@ func Open(dir string, opt Options) (*Log, error) {
 // tails, recomputing counters and the running digest — and opens them for
 // appending. Caller holds no lock (Open) or l.mu (Seal).
 func (l *Log) openActive() error {
-	l.events, l.requests, l.adviceBytes = 0, 0, 0
+	l.events, l.requests, l.adviceBytes, l.lastRID = 0, 0, 0, ""
 	l.digest = sha256.New()
+	_, statErr := os.Stat(freshPath(l.dir, l.active))
+	l.fresh = statErr == nil
 
 	tp := tracePath(l.dir, l.active)
 	if err := truncateTorn(tp); err != nil {
@@ -156,6 +201,7 @@ func (l *Log) openActive() error {
 		l.events++
 		if e.Kind == trace.Req {
 			l.requests++
+			l.lastRID = e.RID
 		}
 		l.digest.Write(payload)
 		return nil
@@ -210,6 +256,7 @@ func (l *Log) AppendEvent(e trace.Event) error {
 	l.events++
 	if e.Kind == trace.Req {
 		l.requests++
+		l.lastRID = e.RID
 	}
 	l.digest.Write(payload)
 	return nil
@@ -220,7 +267,7 @@ func (l *Log) AppendEvent(e trace.Event) error {
 // the last intact record wins at seal time.
 func (l *Log) AppendAdvice(blob []byte) error {
 	if l.opt.MaxAdviceBytes > 0 && len(blob) > l.opt.MaxAdviceBytes {
-		return fmt.Errorf("epochlog: advice record of %d bytes exceeds limit %d", len(blob), l.opt.MaxAdviceBytes)
+		return fmt.Errorf("epochlog: record of %d bytes, limit %d: %w", len(blob), l.opt.MaxAdviceBytes, ErrAdviceTooLarge)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -249,9 +296,39 @@ func (l *Log) ActiveSeq() uint64 {
 	return l.active
 }
 
+// ActiveLastRID returns the RID of the active epoch's last REQ event,
+// recovered events included; "" when the epoch has none.
+func (l *Log) ActiveLastRID() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastRID
+}
+
+// MarkFresh records that the active epoch's serving runtime started from
+// fresh application state; the flag lands in the epoch's manifest at seal
+// and clears once the next epoch begins. The mark is made durable as a
+// per-epoch marker file, so a crash before the seal cannot lose it — a
+// lost mark would make the auditor carry stale prior-epoch state into an
+// epoch that was actually served fresh.
+func (l *Log) MarkFresh() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("epochlog: log is closed")
+	}
+	if err := os.WriteFile(freshPath(l.dir, l.active), nil, 0o644); err != nil {
+		return fmt.Errorf("epochlog: %w", err)
+	}
+	syncDir(l.dir)
+	l.fresh = true
+	return nil
+}
+
 // Seal durably closes the active epoch: data files are fsynced, the
 // manifest (carrying the trace digest) is written and fsynced, and a fresh
-// active epoch begins. Sealing an epoch with no events is a no-op.
+// active epoch begins. Sealing an epoch with no events is a no-op. When the
+// manifest is durable but rotating to the next epoch fails, Seal returns
+// the manifest *and* an error: the epoch is sealed, the log is closed.
 func (l *Log) Seal() (*Manifest, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -275,6 +352,8 @@ func (l *Log) Seal() (*Manifest, error) {
 		Requests:    l.requests,
 		TraceDigest: fmt.Sprintf("%x", l.digest.Sum(nil)),
 		AdviceBytes: l.adviceBytes,
+		LastRID:     l.lastRID,
+		Fresh:       l.fresh,
 	}
 	mj, err := json.Marshal(&m)
 	if err != nil {
@@ -297,12 +376,18 @@ func (l *Log) Seal() (*Manifest, error) {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
 	syncDir(l.dir)
+	// The manifest durably records Fresh now; the marker has served its
+	// purpose (a leftover one for a sealed epoch would be ignored anyway).
+	_ = os.Remove(freshPath(l.dir, m.Seq))
 
 	l.sealed = append(l.sealed, m)
 	l.active++
 	if err := l.openActive(); err != nil {
+		// The manifest is durable: the epoch IS sealed even though the log
+		// cannot rotate to the next one. Return the manifest with the error
+		// so callers don't mistake a rotation failure for a failed seal.
 		l.closed = true
-		return nil, err
+		return &m, fmt.Errorf("epochlog: epoch %d sealed but rotating to epoch %d failed (log closed): %w", m.Seq, l.active, err)
 	}
 	return &m, nil
 }

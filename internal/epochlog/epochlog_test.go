@@ -187,6 +187,133 @@ func TestReopenResumesActiveEpoch(t *testing.T) {
 	}
 }
 
+// TestManifestLastRIDAndFresh: the manifest records the epoch's last REQ
+// rid and a durable fresh mark; both survive a crash-reopen before the
+// seal, and the fresh mark does not leak into the following epoch.
+func TestManifestLastRIDAndFresh(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.MarkFresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEvent(ev(trace.Req, "r00000007", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendEvent(ev(trace.Resp, "r00000007", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ActiveLastRID(); got != "r00000007" {
+		t.Fatalf("ActiveLastRID = %q", got)
+	}
+	// Crash before the seal: the reopened log must still know the epoch is
+	// fresh (the mark is durable, not in-memory) and what its last rid was.
+	l.Close()
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ActiveLastRID(); got != "r00000007" {
+		t.Fatalf("recovered ActiveLastRID = %q", got)
+	}
+	m1, err := l.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m1.Fresh || m1.LastRID != "r00000007" {
+		t.Fatalf("sealed manifest = %+v, want Fresh with LastRID r00000007", m1)
+	}
+	m2 := fillEpoch(t, l, 1, nil)
+	if m2.Fresh {
+		t.Fatal("fresh mark leaked into the next epoch")
+	}
+	l.Close()
+}
+
+// TestOpenRefusesGapBeyondSealed: a corrupted manifest in the middle of
+// otherwise intact history must fail Open loudly, not silently destroy the
+// validly sealed epochs beyond the gap.
+func TestOpenRefusesGapBeyondSealed(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEpoch(t, l, 1, []byte("one"))
+	fillEpoch(t, l, 1, []byte("two"))
+	fillEpoch(t, l, 1, []byte("three"))
+	l.Close()
+
+	// Corrupt epoch 2's manifest: epochs 1 and 3 remain validly sealed.
+	if err := os.WriteFile(filepath.Join(dir, "ep000002.manifest"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open adopted a gapped log instead of failing")
+	}
+	// Epoch 3 must be untouched and still independently verifiable.
+	if _, err := os.Stat(filepath.Join(dir, "ep000003.manifest")); err != nil {
+		t.Fatalf("epoch 3 manifest gone after failed Open: %v", err)
+	}
+	tr, blob, m, err := ReadSealed(dir, 3, Options{})
+	if err != nil {
+		t.Fatalf("epoch 3 unreadable after failed Open: %v", err)
+	}
+	if tr.Digest() != m.TraceDigest || string(blob) != "three" {
+		t.Fatal("epoch 3 contents changed after failed Open")
+	}
+}
+
+// TestRecoveryQuarantinesInsteadOfDeleting: stray files beyond the active
+// epoch and a torn manifest at it are renamed aside, not removed — the
+// bytes stay on disk for post-mortem inspection.
+func TestRecoveryQuarantinesInsteadOfDeleting(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillEpoch(t, l, 1, nil)
+	l.Close()
+
+	// A torn manifest at the next epoch plus a stray data file beyond it.
+	torn := []byte("torn-manifest-bytes")
+	if err := os.WriteFile(filepath.Join(dir, "ep000002.manifest"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := []byte("stray-trace-bytes")
+	if err := os.WriteFile(filepath.Join(dir, "ep000005.trace"), stray, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := len(l.Sealed()); got != 1 {
+		t.Fatalf("sealed = %d, want 1", got)
+	}
+	for name, want := range map[string][]byte{
+		"ep000002.manifest.quarantined": torn,
+		"ep000005.trace.quarantined":    stray,
+	} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("quarantined file missing: %v", err)
+		} else if !bytes.Equal(data, want) {
+			t.Errorf("%s contents changed", name)
+		}
+	}
+	// The log still seals epoch 2 normally after quarantining the torn
+	// manifest (O_EXCL would fail if the name were still taken).
+	if m := fillEpoch(t, l, 1, nil); m.Seq != 2 {
+		t.Fatalf("sealed seq = %d, want 2", m.Seq)
+	}
+}
+
 // TestCrashRecoveryProperty kills writes at arbitrary byte offsets of the
 // active epoch's files (plus faultinject's byte operators over the tails)
 // and asserts the log reopens to the last sealed epoch with no panic.
