@@ -14,10 +14,16 @@
 //
 //	karousos-auditd pipeline -app wiki -n 200 -epoch-requests 50 -dir epochs
 //	    runs the whole loop in one process — serve over loopback HTTP,
-//	    seal mid-workload, audit concurrently — and exits by verdict.
+//	    seal mid-workload, audit concurrently — and exits by verdict;
+//
+//	karousos-auditd chaos -app motd -seed 11
+//	    runs the fault-injection acceptance scenario (collector crash,
+//	    transient EIO on auditor reads, one-epoch advice outage) and
+//	    exits 0 only if every robustness invariant held.
 //
 // Exit codes are scriptable like karousos-audit's: 0 every audited epoch
-// accepted, 2 an epoch rejected (the epoch and reason code are printed),
+// accepted (chaos: every invariant held), 2 an epoch rejected or an
+// invariant violated (the epoch and reason code are printed),
 // 1 infrastructure error.
 package main
 
@@ -31,9 +37,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"karousos.dev/karousos/internal/auditd"
+	"karousos.dev/karousos/internal/chaos"
 	"karousos.dev/karousos/internal/collectorhttp"
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/harness"
@@ -62,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return statusCmd(args[1:], stdout, stderr)
 	case "pipeline":
 		return pipelineCmd(args[1:], stdout, stderr)
+	case "chaos":
+		return chaosCmd(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 1
@@ -69,12 +79,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: karousos-auditd serve|audit|status|pipeline [flags]
+	fmt.Fprintln(w, `usage: karousos-auditd serve|audit|status|pipeline|chaos [flags]
 
   serve     serve an app over HTTP, recording a durable epoch log
   audit     audit sealed epochs in order; exits 0 ACCEPT, 2 REJECT, 1 error
   status    print the epoch log's manifests and the audit cursor
-  pipeline  serve + seal + audit in one process (exit code is the verdict)`)
+  pipeline  serve + seal + audit in one process (exit code is the verdict)
+  chaos     run the fault-injection acceptance scenario; exits 0 if every
+            robustness invariant held`)
 }
 
 func fail(stderr io.Writer, err error) int {
@@ -102,6 +114,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	epochReqs := fs.Int("epoch-requests", 50, "seal after this many requests (0 = manual/seal endpoint only)")
 	maxAge := fs.Duration("epoch-max-age", 0, "seal non-empty epochs older than this (0 = disabled)")
 	seed := fs.Int64("seed", 42, "scheduler seed")
+	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -120,16 +133,33 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
-	hs := &http.Server{Addr: *addr, Handler: col.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Header/read/idle timeouts keep a stalled or malicious client from
+	// pinning a connection (and its goroutine) forever; no WriteTimeout
+	// because audited handlers are already bounded by the verifier limits.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           col.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		hs.Close()
+		// Drain in-flight requests so their trace events land in the log,
+		// then force-close whatever is still hanging past the grace period.
+		shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			hs.Close()
+		}
 	}()
 	fmt.Fprintf(stdout, "serving %s on %s, epoch log %s (seal every %d requests)\n",
 		*app, *addr, *dir, *epochReqs)
 	err = hs.ListenAndServe()
+	// Close seals the open epoch — a SIGTERM must not strand recorded
+	// requests in an unsealed (hence unauditable-by-absence) epoch.
 	if closeErr := col.Close(); closeErr != nil {
 		return fail(stderr, closeErr)
 	}
@@ -258,7 +288,67 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 		}
 		return fail(stderr, err)
 	}
-	fmt.Fprintf(stdout, "PIPELINE ACCEPTED: served %d requests over %s, sealed %d epochs, all audited in %v\n",
-		res.Served, res.Addr, res.Sealed, res.Status.TotalAudit)
+	fmt.Fprintf(stdout, "PIPELINE ACCEPTED: served %d requests over %s, sealed %d epochs (%d accepted, %d unauditable), %d auditor restarts, audited in %v\n",
+		res.Served, res.Addr, res.Sealed, res.Accepted, res.Unauditable, res.Restarts, res.Status.TotalAudit)
+	return 0
+}
+
+func chaosCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	app := fs.String("app", "motd", "application: motd, stacks, wiki")
+	seed := fs.Int64("seed", 11, "fault-schedule and workload seed")
+	dir := fs.String("dir", "", "scenario scratch directory (default: a fresh temp dir)")
+	file := fs.String("scenario", "", "JSON scenario file (default: the built-in acceptance scenario)")
+	verbose := fs.Bool("v", false, "print the full result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	var sc chaos.Scenario
+	if *file != "" {
+		// A scripted scenario replaces the built-in one wholesale — its
+		// absent fields mean "none", not "inherit the acceptance faults".
+		blob, err := os.ReadFile(*file)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := json.Unmarshal(blob, &sc); err != nil {
+			return fail(stderr, fmt.Errorf("scenario %s: %w", *file, err))
+		}
+	} else {
+		sc = chaos.AcceptanceScenario(*app, *seed)
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "karousos-chaos-")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	res, err := chaos.Run(*dir, sc)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *verbose {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	fmt.Fprintf(stdout, "CHAOS %s seed=%d: served=%d refused=%d sealed=%d accepted=%d unauditable=%d rejected=%d auditor-restarts=%d collector-crashes=%d\n",
+		sc.App, sc.Seed, res.Served, res.Refused, res.Sealed, res.Accepted, res.Unauditable, res.Rejected, res.AuditorRestarts, res.CollectorCrashes)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(stderr, "CHAOS INVARIANT VIOLATED:", v)
+		}
+		return 2
+	}
+	if res.Rejected > 0 {
+		fmt.Fprintln(stderr, "CHAOS FALSE REJECT: an infrastructure-faulted honest run was rejected")
+		return 2
+	}
+	fmt.Fprintln(stdout, "CHAOS OK: all invariants held")
 	return 0
 }

@@ -95,6 +95,35 @@ func TestAuditRejectsCorruptEpoch(t *testing.T) {
 	}
 }
 
+// TestChaosCmd: the built-in acceptance scenario passes (exit 0) and its
+// verdict summary is printed; a scripted scenario file is accepted too.
+func TestChaosCmd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"chaos", "-app", "motd", "-seed", "11", "-dir", filepath.Join(t.TempDir(), "chaos")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("chaos exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "CHAOS OK") || !strings.Contains(out.String(), "unauditable=1") {
+		t.Fatalf("chaos output: %s", out.String())
+	}
+
+	// A scripted scenario from a JSON file: honest run, no faults.
+	sc := filepath.Join(t.TempDir(), "sc.json")
+	blob := `{"app":"motd","seed":3,"requests":20,"epochRequests":10}`
+	if err := os.WriteFile(sc, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"chaos", "-scenario", sc, "-v"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("scripted chaos exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), `"rejected": 0`) || !strings.Contains(out.String(), "unauditable=0") {
+		t.Fatalf("scripted chaos output: %s", out.String())
+	}
+}
+
 // TestBadArgs: unknown subcommands and apps are infrastructure errors.
 func TestBadArgs(t *testing.T) {
 	var out, errb bytes.Buffer

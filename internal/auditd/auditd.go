@@ -30,6 +30,7 @@ import (
 	"karousos.dev/karousos/internal/core"
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/verifier"
 )
@@ -53,6 +54,22 @@ type Config struct {
 	Workers int
 	// Poll is the follow-mode polling interval. Defaults to 200ms.
 	Poll time.Duration
+	// FS is the filesystem the auditor reads epochs and writes checkpoints
+	// through. nil means the real OS.
+	FS iofault.FS
+	// Backoff bounds the retry loops around epoch reads and checkpoint
+	// writes. Zero-valued fields take iofault's defaults.
+	Backoff iofault.Backoff
+	// OnVerdict, when set, is called with every verdict as it is reached —
+	// accepted, rejected, or unauditable. Called without the auditor's lock.
+	OnVerdict func(Verdict)
+}
+
+func (cfg Config) fs() iofault.FS {
+	if cfg.FS == nil {
+		return iofault.OS
+	}
+	return cfg.FS
 }
 
 // Reject is a machine-readable audit rejection: which epoch failed, the
@@ -67,30 +84,57 @@ func (r *Reject) Error() string {
 	return fmt.Sprintf("auditd: epoch %d rejected: %s: %s", r.Epoch, r.Code, r.Reason)
 }
 
+// Verdict is one graded epoch. Code "" means accepted,
+// core.RejectUnauditable means the epoch could not be graded either way,
+// and any other code is a rejection the server must answer for.
+type Verdict struct {
+	Epoch  uint64          `json:"epoch"`
+	Code   core.RejectCode `json:"code,omitempty"`
+	Reason string          `json:"reason,omitempty"`
+}
+
+// Accepted reports whether this verdict cleared the epoch.
+func (v Verdict) Accepted() bool { return v.Code == "" }
+
 // Status is the auditor's observable state.
 type Status struct {
-	LastAccepted uint64        `json:"lastAccepted"`
-	Accepted     int           `json:"accepted"`
-	Rejected     int           `json:"rejected"`
-	LastAudit    time.Duration `json:"lastAuditNanos"`
-	TotalAudit   time.Duration `json:"totalAuditNanos"`
+	// LastAccepted is the newest epoch whose audit accepted.
+	LastAccepted uint64 `json:"lastAccepted"`
+	// LastProcessed is the newest epoch graded at all — accepted or
+	// unauditable. A rejection halts the auditor, so processing never
+	// advances past a rejected epoch.
+	LastProcessed uint64        `json:"lastProcessed"`
+	Accepted      int           `json:"accepted"`
+	Rejected      int           `json:"rejected"`
+	Unauditable   int           `json:"unauditable"`
+	LastAudit     time.Duration `json:"lastAuditNanos"`
+	TotalAudit    time.Duration `json:"totalAuditNanos"`
 }
 
 // checkpoint is the resume file's schema. The carry is the dictionary state
 // the next epoch's audit starts from; it came out of this auditor's own
-// accepting audit, so it shares the trace's trust level.
+// accepting audit, so it shares the trace's trust level. Files written
+// before LastProcessed/Unauditable existed decode with both zero; loading
+// normalizes LastProcessed up to LastAccepted.
 type checkpoint struct {
-	LastAccepted uint64               `json:"lastAccepted"`
-	Carry        *verifier.CarryState `json:"carry,omitempty"`
+	LastAccepted  uint64               `json:"lastAccepted"`
+	LastProcessed uint64               `json:"lastProcessed,omitempty"`
+	Unauditable   bool                 `json:"unauditable,omitempty"`
+	Carry         *verifier.CarryState `json:"carry,omitempty"`
 }
 
 // Auditor tails one epoch log.
 type Auditor struct {
 	cfg Config
 
-	mu     sync.Mutex
-	carry  *verifier.CarryState
-	status Status
+	mu    sync.Mutex
+	carry *verifier.CarryState
+	// unauditable marks the carry as unanchored: an earlier epoch graded
+	// Unauditable, so epochs are graded Unauditable without auditing until
+	// a Fresh manifest re-anchors at rebuilt state.
+	unauditable bool
+	status      Status
+	verdicts    []Verdict
 }
 
 // New resolves the application, loads the checkpoint if one exists, and
@@ -121,7 +165,12 @@ func New(cfg Config) (*Auditor, error) {
 	}
 	a := &Auditor{cfg: cfg}
 	if cfg.Checkpoint != "" {
-		blob, err := os.ReadFile(cfg.Checkpoint)
+		var blob []byte
+		err := iofault.Retry(context.Background(), cfg.Backoff, func() error {
+			var rerr error
+			blob, rerr = cfg.fs().ReadFile(cfg.Checkpoint)
+			return rerr
+		})
 		switch {
 		case os.IsNotExist(err):
 		case err != nil:
@@ -129,13 +178,25 @@ func New(cfg Config) (*Auditor, error) {
 		default:
 			var cp checkpoint
 			if err := json.Unmarshal(blob, &cp); err != nil {
-				return nil, fmt.Errorf("auditd: corrupt checkpoint %s: %w", cfg.Checkpoint, err)
+				// A checkpoint is only a cache of this auditor's own prior
+				// verdicts: losing it costs re-auditing, never correctness.
+				// Quarantine the corpse for diagnosis and start from zero —
+				// crashing here would wedge the pipeline on a torn write.
+				if qerr := cfg.fs().Rename(cfg.Checkpoint, cfg.Checkpoint+".corrupt"); qerr != nil {
+					return nil, fmt.Errorf("auditd: corrupt checkpoint %s (quarantine also failed: %v): %w", cfg.Checkpoint, qerr, err)
+				}
+			} else {
+				if cp.Carry != nil {
+					cp.Carry.Normalize()
+				}
+				if cp.LastProcessed < cp.LastAccepted {
+					cp.LastProcessed = cp.LastAccepted
+				}
+				a.status.LastAccepted = cp.LastAccepted
+				a.status.LastProcessed = cp.LastProcessed
+				a.unauditable = cp.Unauditable
+				a.carry = cp.Carry
 			}
-			if cp.Carry != nil {
-				cp.Carry.Normalize()
-			}
-			a.status.LastAccepted = cp.LastAccepted
-			a.carry = cp.Carry
 		}
 	}
 	return a, nil
@@ -148,6 +209,25 @@ func (a *Auditor) Status() Status {
 	return a.status
 }
 
+// Verdicts returns a copy of every verdict this auditor instance reached,
+// in grading order. Verdicts resumed past via checkpoint are not replayed.
+func (a *Auditor) Verdicts() []Verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Verdict(nil), a.verdicts...)
+}
+
+// recordVerdict appends the verdict under the lock and fires OnVerdict
+// outside it.
+func (a *Auditor) recordVerdict(v Verdict) {
+	a.mu.Lock()
+	a.verdicts = append(a.verdicts, v)
+	a.mu.Unlock()
+	if a.cfg.OnVerdict != nil {
+		a.cfg.OnVerdict(v)
+	}
+}
+
 // fetched is one prefetched epoch, integrity-checked against its manifest.
 type fetched struct {
 	tr   *trace.Trace
@@ -155,16 +235,22 @@ type fetched struct {
 	err  error
 }
 
-// RunOnce audits every sealed epoch past the checkpoint, in order, and
-// returns how many it accepted. A rejection returns a *Reject error; an
-// unreadable trusted channel (trace or manifest) returns an ordinary error,
-// since that is infrastructure failure, not server misbehavior.
+// RunOnce grades every sealed epoch past the checkpoint, in order, and
+// returns how many it processed (accepted or unauditable). A rejection
+// returns a *Reject error; an unreadable trusted channel (trace or
+// manifest) returns an ordinary error after bounded retries, since that is
+// infrastructure failure, not server misbehavior.
 func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
-	sealed, err := epochlog.ListSealed(a.cfg.Dir)
+	var sealed []epochlog.Manifest
+	err := iofault.Retry(ctx, a.cfg.Backoff, func() error {
+		var lerr error
+		sealed, lerr = epochlog.ListSealedFS(a.cfg.fs(), a.cfg.Dir)
+		return lerr
+	})
 	if err != nil {
 		return 0, err
 	}
-	last := a.Status().LastAccepted
+	last := a.Status().LastProcessed
 	var pending []epochlog.Manifest
 	for _, m := range sealed {
 		if m.Seq > last {
@@ -181,7 +267,7 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 	// audit — without it, a large backlog (auditor restarted without its
 	// checkpoint, long outage) would hold every pending epoch's trace and
 	// advice resident at once.
-	opt := epochlog.Options{MaxAdviceBytes: a.cfg.Limits.MaxAdviceBytes}
+	opt := epochlog.Options{MaxAdviceBytes: a.cfg.Limits.MaxAdviceBytes, FS: a.cfg.FS}
 	window := 2 * a.cfg.Workers
 	sem := make(chan struct{}, a.cfg.Workers)
 	results := make([]chan fetched, len(pending))
@@ -192,8 +278,13 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		go func(seq uint64, ch chan fetched) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			tr, blob, _, err := epochlog.ReadSealed(a.cfg.Dir, seq, opt)
-			ch <- fetched{tr: tr, blob: blob, err: err}
+			var f fetched
+			f.err = iofault.Retry(ctx, a.cfg.Backoff, func() error {
+				var rerr error
+				f.tr, f.blob, _, rerr = epochlog.ReadSealed(a.cfg.Dir, seq, opt)
+				return rerr
+			})
+			ch <- f
 		}(pending[i].Seq, results[i])
 	}
 	next := 0
@@ -201,10 +292,10 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 		prefetch(next)
 	}
 
-	accepted := 0
+	processed := 0
 	for i, m := range pending {
 		if err := ctx.Err(); err != nil {
-			return accepted, err
+			return processed, err
 		}
 		f := <-results[i]
 		if next < len(pending) {
@@ -212,22 +303,57 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 			next++
 		}
 		if f.err != nil {
-			return accepted, fmt.Errorf("auditd: epoch %d: %w", m.Seq, f.err)
+			return processed, fmt.Errorf("auditd: epoch %d: %w", m.Seq, f.err)
 		}
 		if err := a.auditEpoch(ctx, m, f); err != nil {
-			return accepted, err
+			return processed, err
 		}
-		accepted++
+		processed++
 	}
-	return accepted, nil
+	return processed, nil
 }
 
 func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched) error {
 	start := time.Now()
+
+	if m.Fresh {
+		// Trusted restart boundary, recorded by the collector itself: the
+		// serving runtime began this epoch with fresh application state, so
+		// carried prior-epoch state no longer describes the server and must
+		// not be threaded into this or any later epoch's audit. A Fresh
+		// manifest also re-anchors an unauditable run: nil carry is exactly
+		// right for rebuilt state, so grading can resume.
+		a.mu.Lock()
+		a.carry = nil
+		a.unauditable = false
+		a.mu.Unlock()
+	}
+
+	a.mu.Lock()
+	unanchored := a.unauditable
+	a.mu.Unlock()
+	if unanchored {
+		// An earlier epoch graded Unauditable, so the carry this epoch's
+		// audit would need is unknown. Auditing against a guessed carry
+		// could only manufacture a false reject; grade Unauditable and move
+		// on until a Fresh boundary re-anchors.
+		return a.gradeUnauditable(m, "carry unanchored by earlier unauditable epoch")
+	}
+
 	reject := func(code core.RejectCode, reason string) error {
+		if m.Degraded != "" && code != core.RejectInternalFault {
+			// The collector flagged this epoch's evidence incomplete for an
+			// infrastructure reason. A failed audit of incomplete evidence
+			// proves nothing — complete evidence might have passed — so the
+			// epoch is unauditable, not a server accusation. InternalFault
+			// is exempt: that is the auditor's own failure and must reach
+			// the supervisor as an error.
+			return a.gradeUnauditable(m, fmt.Sprintf("degraded (%s); audit failed [%s]: %s", m.Degraded, code, reason))
+		}
 		a.mu.Lock()
 		a.status.Rejected++
 		a.mu.Unlock()
+		a.recordVerdict(Verdict{Epoch: m.Seq, Code: code, Reason: reason})
 		return &Reject{Epoch: m.Seq, Code: code, Reason: reason}
 	}
 
@@ -240,16 +366,6 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		// decode — whether the server sent garbage or the disk lost the
 		// frame — is a coded rejection, not an infrastructure error.
 		return reject(core.RejectMalformedAdvice, err.Error())
-	}
-
-	if m.Fresh {
-		// Trusted restart boundary, recorded by the collector itself: the
-		// serving runtime began this epoch with fresh application state, so
-		// carried prior-epoch state no longer describes the server and must
-		// not be threaded into this or any later epoch's audit.
-		a.mu.Lock()
-		a.carry = nil
-		a.mu.Unlock()
 	}
 
 	app, _ := a.cfg.Spec.New()
@@ -268,16 +384,46 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 	a.mu.Lock()
 	a.carry = next
 	a.status.LastAccepted = m.Seq
+	a.status.LastProcessed = m.Seq
 	a.status.Accepted++
 	a.status.LastAudit = time.Since(start)
 	a.status.TotalAudit += a.status.LastAudit
-	cp := checkpoint{LastAccepted: m.Seq, Carry: next}
+	cp := checkpoint{LastAccepted: m.Seq, LastProcessed: m.Seq, Carry: next}
 	a.mu.Unlock()
+	a.recordVerdict(Verdict{Epoch: m.Seq})
 
-	if a.cfg.Checkpoint != "" {
-		if err := writeCheckpoint(a.cfg.Checkpoint, cp); err != nil {
-			return fmt.Errorf("auditd: checkpoint: %w", err)
-		}
+	return a.persistCheckpoint(cp)
+}
+
+// gradeUnauditable records an Unauditable verdict for the epoch and puts
+// the auditor into unanchored mode: processing advances, accusation does
+// not. Even a degraded epoch whose audit *accepts* keeps its accept — this
+// path only runs when the audit could not.
+func (a *Auditor) gradeUnauditable(m epochlog.Manifest, reason string) error {
+	a.mu.Lock()
+	a.unauditable = true
+	a.carry = nil
+	a.status.LastProcessed = m.Seq
+	a.status.Unauditable++
+	cp := checkpoint{
+		LastAccepted:  a.status.LastAccepted,
+		LastProcessed: m.Seq,
+		Unauditable:   true,
+	}
+	a.mu.Unlock()
+	a.recordVerdict(Verdict{Epoch: m.Seq, Code: core.RejectUnauditable, Reason: reason})
+	return a.persistCheckpoint(cp)
+}
+
+func (a *Auditor) persistCheckpoint(cp checkpoint) error {
+	if a.cfg.Checkpoint == "" {
+		return nil
+	}
+	err := iofault.Retry(context.Background(), a.cfg.Backoff, func() error {
+		return writeCheckpoint(a.cfg.fs(), a.cfg.Checkpoint, cp)
+	})
+	if err != nil {
+		return fmt.Errorf("auditd: checkpoint: %w", err)
 	}
 	return nil
 }
@@ -290,14 +436,17 @@ func rejectCode(err error) core.RejectCode {
 }
 
 // writeCheckpoint persists atomically: a crash mid-write leaves the previous
-// checkpoint, so a restarted auditor re-audits at most one epoch.
-func writeCheckpoint(path string, cp checkpoint) error {
+// checkpoint, so a restarted auditor re-audits at most one epoch. The
+// parent-directory fsync is load-bearing and its failure surfaces — without
+// it the rename itself can vanish on power loss, resurrecting a stale
+// checkpoint whose carry no longer matches the sealed prefix.
+func writeCheckpoint(fsys iofault.FS, path string, cp checkpoint) error {
 	blob, err := json.Marshal(cp)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -312,12 +461,11 @@ func writeCheckpoint(path string, cp checkpoint) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return err
 	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		_ = dir.Sync()
-		dir.Close()
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("checkpoint directory fsync: %w", err)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"karousos.dev/karousos/internal/collectorhttp"
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/verifier"
 )
@@ -33,15 +34,23 @@ type PipelineOptions struct {
 	Limits verifier.Limits
 	// Checkpoint is the auditor's resume file ("" = in-memory).
 	Checkpoint string
+	// FS threads an injectable filesystem through the collector and
+	// auditor; nil means the real OS.
+	FS iofault.FS
+	// MaxRestarts bounds the audit-loop supervisor; 0 takes its default.
+	MaxRestarts int
 }
 
 // PipelineResult is RunPipeline's summary.
 type PipelineResult struct {
-	Addr     string `json:"addr"`
-	Served   int    `json:"served"`
-	Sealed   int    `json:"sealed"`
-	Accepted int    `json:"accepted"`
-	Status   Status `json:"status"`
+	Addr        string    `json:"addr"`
+	Served      int       `json:"served"`
+	Sealed      int       `json:"sealed"`
+	Accepted    int       `json:"accepted"`
+	Unauditable int       `json:"unauditable"`
+	Restarts    int       `json:"restarts"`
+	Status      Status    `json:"status"`
+	Verdicts    []Verdict `json:"verdicts"`
 }
 
 // RunPipeline is the end-to-end continuous-audit exercise: it boots the
@@ -64,6 +73,7 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		EpochRequests: opts.EpochRequests,
 		Seed:          opts.Seed,
 		Limits:        opts.Limits,
+		FS:            opts.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -79,21 +89,19 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
 
-	aud, err := New(Config{
+	sup := NewSupervisor(Config{
 		Dir:        opts.Dir,
 		Spec:       spec,
 		Mode:       opts.Mode,
 		Limits:     opts.Limits,
 		Checkpoint: opts.Checkpoint,
 		Poll:       20 * time.Millisecond,
-	})
-	if err != nil {
-		return nil, err
-	}
+		FS:         opts.FS,
+	}, SupervisorOptions{MaxRestarts: opts.MaxRestarts})
 	followCtx, stopFollow := context.WithCancel(ctx)
 	defer stopFollow()
 	auditErr := make(chan error, 1)
-	go func() { auditErr <- aud.Run(followCtx) }()
+	go func() { auditErr <- sup.Run(followCtx) }()
 
 	res := &PipelineResult{Addr: base}
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -126,27 +134,40 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		lastSeq = sealed[len(sealed)-1].Seq
 	}
 
-	// Wait for the follower to drain the log (or fail trying).
-	for aud.Status().LastAccepted < lastSeq {
+	// Wait for the follower to drain the log (or fail trying). Draining is
+	// measured on LastProcessed: an unauditable tail still counts as graded.
+	finish := func() *PipelineResult {
+		st, restarts := sup.Status()
+		res.Status = st
+		res.Restarts = restarts
+		res.Verdicts = sup.Verdicts()
+		res.Accepted = st.Accepted
+		res.Unauditable = st.Unauditable
+		return res
+	}
+	for {
+		st, _ := sup.Status()
+		if st.LastProcessed >= lastSeq {
+			break
+		}
 		select {
 		case err := <-auditErr:
-			res.Status = aud.Status()
+			finish()
 			if err == nil {
-				err = fmt.Errorf("auditd: follower exited at epoch %d of %d", res.Status.LastAccepted, lastSeq)
+				err = fmt.Errorf("auditd: follower exited at epoch %d of %d", res.Status.LastProcessed, lastSeq)
 			}
 			return res, err
 		case <-ctx.Done():
-			res.Status = aud.Status()
+			finish()
 			return res, ctx.Err()
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
 	stopFollow()
 	if err := <-auditErr; err != nil {
-		res.Status = aud.Status()
+		finish()
 		return res, err
 	}
-	res.Status = aud.Status()
-	res.Accepted = res.Status.Accepted
+	finish()
 	return res, nil
 }

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/core"
+)
+
+// TestAcceptanceScenario is the ISSUE's acceptance criterion: collector
+// crash + transient EIO on auditor reads + a one-epoch advice outage must
+// finish with zero false rejects, exactly one Unauditable epoch, and every
+// other epoch accepted.
+func TestAcceptanceScenario(t *testing.T) {
+	res, err := Run(t.TempDir(), AcceptanceScenario("motd", 11))
+	if err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("false rejects: %+v", res.Verdicts)
+	}
+	if res.Unauditable != 1 {
+		t.Fatalf("unauditable epochs = %d, want exactly 1: %+v", res.Unauditable, res.Verdicts)
+	}
+	if res.Sealed != 4 || res.Accepted != 3 {
+		t.Fatalf("sealed=%d accepted=%d, want 4 sealed / 3 accepted: %+v", res.Sealed, res.Accepted, res.Verdicts)
+	}
+	if res.Verdicts[1].Code != core.RejectUnauditable {
+		t.Fatalf("the outage epoch (2) should be the unauditable one: %+v", res.Verdicts)
+	}
+	if res.CollectorCrashes != 1 {
+		t.Fatalf("collector crashes = %d, want 1", res.CollectorCrashes)
+	}
+	if res.Served != 40 || res.Refused != 0 {
+		t.Fatalf("served=%d refused=%d, want all 40 served", res.Served, res.Refused)
+	}
+}
+
+// TestAcceptanceScenarioDeterministic: the same seed yields the same
+// verdict sequence run after run.
+func TestAcceptanceScenarioDeterministic(t *testing.T) {
+	a, err := Run(t.TempDir(), AcceptanceScenario("motd", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(t.TempDir(), AcceptanceScenario("motd", 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VerdictKey() != b.VerdictKey() {
+		t.Fatalf("verdicts diverged across runs:\n  %s\n  %s", a.VerdictKey(), b.VerdictKey())
+	}
+	if a.Served != b.Served || a.Sealed != b.Sealed || a.Unauditable != b.Unauditable {
+		t.Fatalf("run shape diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestAllAppsSurviveAcceptance: the scenario holds for every application,
+// not just MOTD.
+func TestAllAppsSurviveAcceptance(t *testing.T) {
+	for _, app := range []string{"motd", "stacks", "wiki"} {
+		t.Run(app, func(t *testing.T) {
+			res, err := Run(t.TempDir(), AcceptanceScenario(app, 23))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 || res.Rejected != 0 {
+				t.Fatalf("app %s: violations %v, verdicts %+v", app, res.Violations, res.Verdicts)
+			}
+			if res.Unauditable != 1 {
+				t.Fatalf("app %s: unauditable = %d, want 1: %+v", app, res.Unauditable, res.Verdicts)
+			}
+		})
+	}
+}
+
+// TestHonestRunUnderAuditorKills: repeatedly killing the auditor (losing
+// its in-memory carry every time) must not change any verdict — the
+// checkpoint plus determinism make every re-grade converge.
+func TestHonestRunUnderAuditorKills(t *testing.T) {
+	sc := Scenario{
+		App:           "motd",
+		Seed:          5,
+		Requests:      40,
+		EpochRequests: 10,
+		Events: []Event{
+			{AtRequest: 12, CrashAuditor: true},
+			{AtRequest: 25, CrashAuditor: true},
+			{AtRequest: 33, CrashAuditor: true},
+		},
+	}
+	res, err := Run(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Accepted != res.Sealed || res.Rejected != 0 || res.Unauditable != 0 {
+		t.Fatalf("kills changed grading: %+v", res)
+	}
+	if res.AuditorRestarts < 3 {
+		t.Fatalf("auditor restarts = %d, want at least the 3 scripted kills", res.AuditorRestarts)
+	}
+}
+
+// TestCheckpointFaultsDoNotFlipVerdicts: fsync failures on the checkpoint
+// path force auditor rebuilds mid-run; every epoch still accepts and no
+// verdict flips (the flip check lives in onVerdict).
+func TestCheckpointFaultsDoNotFlipVerdicts(t *testing.T) {
+	sc := Scenario{
+		App:           "motd",
+		Seed:          7,
+		Requests:      30,
+		EpochRequests: 10,
+		Events: []Event{
+			{AtRequest: 8, Arm: []Fault{{Component: "auditd", Spec: "fsync-fail:7:2", PathContains: ".ckpt"}}},
+		},
+	}
+	res, err := Run(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Accepted != res.Sealed || res.Rejected != 0 {
+		t.Fatalf("checkpoint faults changed grading: %+v", res)
+	}
+}

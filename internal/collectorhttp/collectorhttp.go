@@ -17,6 +17,7 @@
 package collectorhttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,7 @@ import (
 	"karousos.dev/karousos/internal/core"
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/value"
@@ -56,6 +58,20 @@ type Config struct {
 	// Limits clamps the advice size accepted into the log; its
 	// MaxAdviceBytes is enforced on upload and again on replay.
 	Limits verifier.Limits
+	// FS is the filesystem the collector and its epoch log write through.
+	// nil means the real OS; tests and chaos scenarios pass an
+	// iofault.Injector.
+	FS iofault.FS
+	// Backoff bounds the retry loop around trusted-channel appends.
+	// Zero-valued fields take iofault's defaults.
+	Backoff iofault.Backoff
+}
+
+func (cfg Config) fs() iofault.FS {
+	if cfg.FS == nil {
+		return iofault.OS
+	}
+	return cfg.FS
 }
 
 // Meta is the sidecar record written next to the epoch log so offline tools
@@ -72,15 +88,16 @@ const MetaFile = "meta.json"
 type Collector struct {
 	cfg Config
 
-	mu        sync.Mutex
-	srv       *server.Server
-	log       *epochlog.Log
-	nextRID   uint64
-	served    int
-	lastSeal  time.Time
-	closed    bool
-	ageTicker *time.Ticker
-	ageDone   chan struct{}
+	mu          sync.Mutex
+	srv         *server.Server
+	log         *epochlog.Log
+	nextRID     uint64
+	served      int
+	lastSeal    time.Time
+	lastSealErr error
+	closed      bool
+	ageTicker   *time.Ticker
+	ageDone     chan struct{}
 }
 
 // New opens (or creates) the epoch log and boots a fresh application
@@ -93,13 +110,13 @@ func New(cfg Config) (*Collector, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = advice.ModeKarousos
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.fs().MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := writeMeta(cfg.Dir, Meta{App: cfg.Spec.Name, Mode: cfg.Mode}); err != nil {
+	if err := writeMeta(cfg.fs(), cfg.Dir, Meta{App: cfg.Spec.Name, Mode: cfg.Mode}); err != nil {
 		return nil, err
 	}
-	l, err := epochlog.Open(cfg.Dir, epochlog.Options{MaxAdviceBytes: cfg.Limits.MaxAdviceBytes})
+	l, err := epochlog.Open(cfg.Dir, epochlog.Options{MaxAdviceBytes: cfg.Limits.MaxAdviceBytes, FS: cfg.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +155,11 @@ func New(cfg Config) (*Collector, error) {
 // state. On a pristine directory it returns 0 and marks nothing.
 func recoverIncarnation(l *epochlog.Log) (uint64, error) {
 	if events, _ := l.ActiveEvents(); events > 0 {
+		// The epoch is sealed with whatever advice survived the crash, and
+		// flagged degraded on the trusted channel: its evidence may be
+		// incomplete through no fault of the server, so a failed audit of it
+		// is Unauditable, not a rejection.
+		l.MarkDegraded("recovered partial epoch from crashed incarnation")
 		if _, err := l.Seal(); err != nil {
 			return 0, fmt.Errorf("collectorhttp: sealing recovered partial epoch: %w", err)
 		}
@@ -168,12 +190,12 @@ func recoverIncarnation(l *epochlog.Log) (uint64, error) {
 	return next, nil
 }
 
-func writeMeta(dir string, m Meta) error {
+func writeMeta(fsys iofault.FS, dir string, m Meta) error {
 	blob, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, MetaFile), blob, 0o644)
+	return fsys.WriteFile(filepath.Join(dir, MetaFile), blob, 0o644)
 }
 
 // ReadMeta loads the sidecar record from an epoch log directory.
@@ -210,13 +232,26 @@ func (c *Collector) ageLoop() {
 //	POST /advice  raw advice blob for the active epoch (untrusted)
 //	POST /seal    force-seal the active epoch → manifest (204 when empty)
 //	GET  /status  counters and epoch positions
+//	GET  /healthz epoch-log health detail, always 200 while the process lives
+//	GET  /readyz  200 when accepting traffic, 503 when closed or seal-stuck
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", c.handleInvoke)
 	mux.HandleFunc("POST /advice", c.handleAdvice)
 	mux.HandleFunc("POST /seal", c.handleSeal)
 	mux.HandleFunc("GET /status", c.handleStatus)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
 	return mux
+}
+
+// retryAppend re-issues a trusted-channel append through transient faults.
+// The caller holds c.mu; the backoff is bounded, so holding the lock across
+// retries keeps the trace ordered without starving other requests for long.
+func (c *Collector) retryAppend(ctx context.Context, e trace.Event) error {
+	return iofault.Retry(ctx, c.cfg.Backoff, func() error {
+		return c.log.AppendEvent(e)
+	})
 }
 
 func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
@@ -246,9 +281,13 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	rid := core.RID(fmt.Sprintf("r%08d", c.nextRID))
 
 	// Trusted path: the request is ground truth the moment it is admitted,
-	// before any untrusted execution runs.
-	if err := c.log.AppendEvent(trace.Event{Kind: trace.Req, RID: string(rid), Data: input}); err != nil {
-		http.Error(w, "epoch log: "+err.Error(), http.StatusInternalServerError)
+	// before any untrusted execution runs. Transient I/O faults are retried
+	// here; if the append still fails the request is refused outright —
+	// serving a request the trace never admitted would make the collector
+	// itself the gap in the evidence. The RID is not rolled back: RIDs must
+	// only ever grow, and audit keys on the trace, not the counter.
+	if err := c.retryAppend(r.Context(), trace.Event{Kind: trace.Req, RID: string(rid), Data: input}); err != nil {
+		http.Error(w, "epoch log: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	out, serveErr := c.srv.ServeOne(server.Request{RID: rid, Input: input})
@@ -259,9 +298,12 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		// reproduce a response the handler never produced.
 		out = value.Normalize(value.Map("error", serveErr.Error()))
 	}
-	if err := c.log.AppendEvent(trace.Event{Kind: trace.Resp, RID: string(rid), Data: out}); err != nil {
-		http.Error(w, "epoch log: "+err.Error(), http.StatusInternalServerError)
-		return
+	if err := c.retryAppend(r.Context(), trace.Event{Kind: trace.Resp, RID: string(rid), Data: out}); err != nil {
+		// The response already left the application; refusing it now would
+		// lose work the client may retry non-idempotently. Keep serving,
+		// flag the epoch: its trace is unbalanced through an infrastructure
+		// fault, so the auditor grades it Unauditable rather than rejected.
+		c.log.MarkDegraded("response append failed for " + string(rid) + ": " + err.Error())
 	}
 	// The internal collector recorded the same pair; drain it so a
 	// long-running collector's memory stays bounded. The epoch log copy is
@@ -271,10 +313,11 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	if c.cfg.EpochRequests > 0 {
 		if _, reqs := c.log.ActiveEvents(); reqs >= c.cfg.EpochRequests {
-			if _, err := c.sealLocked(); err != nil {
-				http.Error(w, "seal: "+err.Error(), http.StatusInternalServerError)
-				return
-			}
+			// A failed threshold seal must not fail the request that tripped
+			// it — the response is already computed and recorded. The error
+			// is held in lastSealErr (flips /readyz) and the seal retries on
+			// the next request or age tick.
+			_, _ = c.sealLocked()
 		}
 	}
 
@@ -309,10 +352,22 @@ func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "collector closed", http.StatusServiceUnavailable)
 		return
 	}
-	if err := c.log.AppendAdvice(blob); err != nil {
-		status := http.StatusInternalServerError
+	err = iofault.Retry(r.Context(), c.cfg.Backoff, func() error {
+		return c.log.AppendAdvice(blob)
+	})
+	if err != nil {
 		if errors.Is(err, epochlog.ErrAdviceTooLarge) {
-			status = http.StatusRequestEntityTooLarge
+			// Client fault, not infrastructure: the epoch is not degraded.
+			http.Error(w, "epoch log: "+err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		// The advice channel is untrusted and lossy by design: losing an
+		// upload never stops the collector from recording the trace, it only
+		// flags the epoch so a failed audit grades Unauditable.
+		c.log.MarkDegraded("advice append failed: " + err.Error())
+		status := http.StatusInternalServerError
+		if iofault.Classify(err) == iofault.ClassDegraded {
+			status = http.StatusInsufficientStorage
 		}
 		http.Error(w, "epoch log: "+err.Error(), status)
 		return
@@ -366,6 +421,64 @@ func (c *Collector) Status() Status {
 	}
 }
 
+// Health is the epoch-log health detail served on /healthz.
+type Health struct {
+	App            string `json:"app"`
+	Mode           string `json:"mode"`
+	ActiveSeq      uint64 `json:"activeSeq"`
+	ActiveEvents   int    `json:"activeEvents"`
+	ActiveRequests int    `json:"activeRequests"`
+	SealedEpochs   int    `json:"sealedEpochs"`
+	// OpenEpochAgeMS is how long ago the last seal completed — how stale
+	// the auditable prefix is.
+	OpenEpochAgeMS int64 `json:"openEpochAgeMs"`
+	// LastSealError is the most recent seal attempt's failure, "" once a
+	// seal succeeds again.
+	LastSealError string `json:"lastSealError,omitempty"`
+	// Degraded is the active epoch's degradation reason, "" when the
+	// current evidence is complete.
+	Degraded string `json:"degraded,omitempty"`
+	Closed   bool   `json:"closed,omitempty"`
+}
+
+// HealthSnapshot reports the collector's epoch-log health.
+func (c *Collector) HealthSnapshot() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	events, reqs := c.log.ActiveEvents()
+	h := Health{
+		App:            c.cfg.Spec.Name,
+		Mode:           string(c.cfg.Mode),
+		ActiveSeq:      c.log.ActiveSeq(),
+		ActiveEvents:   events,
+		ActiveRequests: reqs,
+		SealedEpochs:   len(c.log.Sealed()),
+		OpenEpochAgeMS: time.Since(c.lastSeal).Milliseconds(),
+		Degraded:       c.log.Degraded(),
+		Closed:         c.closed,
+	}
+	if c.lastSealErr != nil {
+		h.LastSealError = c.lastSealErr.Error()
+	}
+	return h
+}
+
+func (c *Collector) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.HealthSnapshot())
+}
+
+func (c *Collector) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := c.HealthSnapshot()
+	switch {
+	case h.Closed:
+		http.Error(w, "collector closed", http.StatusServiceUnavailable)
+	case h.LastSealError != "":
+		http.Error(w, "seal failing: "+h.LastSealError, http.StatusServiceUnavailable)
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 // Seal drains the runtime's advice into the active epoch and seals it.
 // Sealing an empty epoch is a no-op returning (nil, nil).
 func (c *Collector) Seal() (*epochlog.Manifest, error) {
@@ -384,17 +497,42 @@ func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
 		adv = oro
 	}
 	if adv != nil {
-		if err := c.log.AppendAdvice(adv.MarshalBinary()); err != nil {
-			return nil, err
+		err := iofault.Retry(context.Background(), c.cfg.Backoff, func() error {
+			return c.log.AppendAdvice(adv.MarshalBinary())
+		})
+		if err != nil {
+			// The drain already consumed the runtime's advice; it cannot be
+			// re-produced. Seal anyway with the epoch flagged degraded — the
+			// trusted trace is intact and must not be held hostage to the
+			// advice channel.
+			c.log.MarkDegraded("advice lost at seal: " + err.Error())
 		}
 	}
 	m, err := c.log.Seal()
+	c.lastSealErr = err
 	if m != nil {
 		// Even when rotation failed (m != nil with an error), the manifest
 		// is durable: the epoch is sealed and the age clock restarts.
 		c.lastSeal = time.Now()
 	}
 	return m, err
+}
+
+// Crash abandons the collector the way a killed process would: no seal,
+// the active epoch's tail left on disk for the next incarnation to recover.
+// Chaos scenarios use it; production code wants Close.
+func (c *Collector) Crash() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.ageTicker != nil {
+		c.ageTicker.Stop()
+		close(c.ageDone)
+	}
+	return c.log.Close()
 }
 
 // Close seals any partial epoch and releases the log. Safe to call once.

@@ -39,6 +39,16 @@ const (
 	// so one malformed blob cannot take down the audit process; an
 	// InternalFault is also a verifier bug worth filing.
 	RejectInternalFault RejectCode = "InternalFault"
+	// RejectUnauditable: the epoch could not be graded either way. Its
+	// evidence was flagged degraded on the trusted channel (a crash-recovered
+	// partial epoch, an advice outage, a torn response append) and the audit
+	// did not accept — which proves nothing about the server, since complete
+	// evidence might have. Unauditable is deliberately distinct from a
+	// rejection: infrastructure faults must never manufacture accusations.
+	// It is also sticky: once an epoch is unauditable the cross-epoch carry
+	// is unanchored, so later epochs stay unauditable until a Fresh manifest
+	// re-anchors the audit at rebuilt state.
+	RejectUnauditable RejectCode = "Unauditable"
 )
 
 // Reject aborts an audit: verifier-side Ops implementations panic with it

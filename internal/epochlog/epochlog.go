@@ -41,6 +41,7 @@ import (
 	"strings"
 	"sync"
 
+	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/trace"
 )
 
@@ -78,6 +79,13 @@ type Manifest struct {
 	// trusted channel by the collector itself; an auditor must drop any
 	// carried prior-epoch state before auditing a fresh epoch.
 	Fresh bool `json:"fresh,omitempty"`
+	// Degraded is non-empty when the collector knows this epoch's evidence
+	// may be incomplete through no fault of the server — an advice-path
+	// outage, a trace append that failed after its request was admitted, a
+	// crash that orphaned the epoch mid-flight. The flag rides the trusted
+	// channel: the auditor turns a rejection of a degraded epoch into an
+	// Unauditable verdict instead of an accusation.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // Options bound what replaying the log may allocate.
@@ -85,6 +93,18 @@ type Options struct {
 	// MaxAdviceBytes caps a single advice record on append and on replay
 	// (mirror verifier.Limits.MaxAdviceBytes); 0 is unbounded.
 	MaxAdviceBytes int
+	// FS is the I/O layer the log reads and writes through; nil means the
+	// real filesystem (iofault.OS). Fault-injection harnesses pass an
+	// *iofault.Injector.
+	FS iofault.FS
+}
+
+// fs resolves the configured I/O layer.
+func (o Options) fs() iofault.FS {
+	if o.FS == nil {
+		return iofault.OS
+	}
+	return o.FS
 }
 
 // Log is the writer handle: one process appends and seals. Reading sealed
@@ -92,13 +112,14 @@ type Options struct {
 type Log struct {
 	dir string
 	opt Options
+	fs  iofault.FS
 
 	mu     sync.Mutex
 	sealed []Manifest
 	active uint64 // seq of the epoch being written
 
-	traceF  *os.File
-	adviceF *os.File
+	traceF  iofault.File
+	adviceF iofault.File
 
 	events      int
 	requests    int
@@ -106,6 +127,7 @@ type Log struct {
 	adviceBytes int    // size of the last intact advice record
 	lastRID     string // RID of the active epoch's last REQ event
 	fresh       bool   // active epoch began with fresh application state
+	degraded    string // why the active epoch's evidence may be incomplete
 	closed      bool
 }
 
@@ -127,14 +149,15 @@ func freshPath(dir string, seq uint64) string {
 // adopted, the next epoch becomes active with torn frame tails truncated
 // off its data files, and stray files beyond it are removed.
 func Open(dir string, opt Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
-	sealed, err := ListSealed(dir)
+	sealed, err := ListSealedFS(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opt: opt, sealed: sealed, active: uint64(len(sealed)) + 1}
+	l := &Log{dir: dir, opt: opt, fs: fsys, sealed: sealed, active: uint64(len(sealed)) + 1}
 
 	// Recovery must never destroy audit evidence. A *valid* manifest past
 	// the contiguous sealed prefix means a gap — one corrupted manifest in
@@ -143,7 +166,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	// past the prefix (data files of epochs beyond the active one, a torn
 	// manifest at the active epoch) is unreachable garbage from a crashed
 	// seal: move it aside with a .quarantined suffix, never delete it.
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
@@ -159,7 +182,11 @@ func Open(dir string, opt Options) (*Log, error) {
 			continue
 		}
 		if kind == "manifest" && seq > l.active {
-			if _, ok := readManifest(dir, seq); ok {
+			_, ok, merr := readManifest(fsys, dir, seq)
+			if merr != nil {
+				return nil, fmt.Errorf("epochlog: checking manifest %d: %w", seq, merr)
+			}
+			if ok {
 				return nil, fmt.Errorf("epochlog: sealed epoch %d exists beyond a gap at epoch %d; refusing to open rather than discard audit evidence", seq, l.active)
 			}
 		}
@@ -169,7 +196,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	for _, name := range strays {
 		from := filepath.Join(dir, name)
-		if err := os.Rename(from, from+quarantineSuffix); err != nil {
+		if err := fsys.Rename(from, from+quarantineSuffix); err != nil {
 			return nil, fmt.Errorf("epochlog: quarantining %s: %w", name, err)
 		}
 	}
@@ -184,16 +211,16 @@ func Open(dir string, opt Options) (*Log, error) {
 // tails, recomputing counters and the running digest — and opens them for
 // appending. Caller holds no lock (Open) or l.mu (Seal).
 func (l *Log) openActive() error {
-	l.events, l.requests, l.adviceBytes, l.lastRID = 0, 0, 0, ""
+	l.events, l.requests, l.adviceBytes, l.lastRID, l.degraded = 0, 0, 0, "", ""
 	l.digest = sha256.New()
-	_, statErr := os.Stat(freshPath(l.dir, l.active))
+	_, statErr := l.fs.Stat(freshPath(l.dir, l.active))
 	l.fresh = statErr == nil
 
 	tp := tracePath(l.dir, l.active)
-	if err := truncateTorn(tp); err != nil {
+	if err := truncateTorn(l.fs, tp); err != nil {
 		return err
 	}
-	if err := scanFrames(tp, 0, func(payload []byte) error {
+	if err := scanFrames(l.fs, tp, 0, func(payload []byte) error {
 		e, err := trace.DecodeEventBinary(payload)
 		if err != nil {
 			return fmt.Errorf("epochlog: %s: recovered frame undecodable: %w", tp, err)
@@ -210,10 +237,10 @@ func (l *Log) openActive() error {
 	}
 
 	ap := advicePath(l.dir, l.active)
-	if err := truncateTorn(ap); err != nil {
+	if err := truncateTorn(l.fs, ap); err != nil {
 		return err
 	}
-	if err := scanFrames(ap, l.opt.MaxAdviceBytes, func(payload []byte) error {
+	if err := scanFrames(l.fs, ap, l.opt.MaxAdviceBytes, func(payload []byte) error {
 		l.adviceBytes = len(payload)
 		return nil
 	}); err != nil {
@@ -221,10 +248,10 @@ func (l *Log) openActive() error {
 	}
 
 	var err error
-	if l.traceF, err = os.OpenFile(tp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+	if l.traceF, err = l.fs.OpenFile(tp, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		return fmt.Errorf("epochlog: %w", err)
 	}
-	if l.adviceF, err = os.OpenFile(ap, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+	if l.adviceF, err = l.fs.OpenFile(ap, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		l.traceF.Close()
 		return fmt.Errorf("epochlog: %w", err)
 	}
@@ -316,19 +343,47 @@ func (l *Log) MarkFresh() error {
 	if l.closed {
 		return errors.New("epochlog: log is closed")
 	}
-	if err := os.WriteFile(freshPath(l.dir, l.active), nil, 0o644); err != nil {
+	if err := l.fs.WriteFile(freshPath(l.dir, l.active), nil, 0o644); err != nil {
 		return fmt.Errorf("epochlog: %w", err)
 	}
-	syncDir(l.dir)
+	_ = l.fs.SyncDir(l.dir) // best-effort: the flag is re-derived on restart
 	l.fresh = true
 	return nil
 }
 
+// MarkDegraded flags the active epoch's evidence as possibly incomplete for
+// an infrastructure reason — an advice-path outage, a failed trace append
+// after the request was admitted, a recovered crash. The first reason
+// sticks; the flag lands in the manifest at seal and clears when the next
+// epoch begins. Unlike Fresh there is no durable marker: a crash before the
+// seal orphans the epoch, and recovery marks orphaned epochs degraded
+// anyway.
+func (l *Log) MarkDegraded(reason string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.degraded == "" {
+		l.degraded = reason
+	}
+}
+
+// Degraded reports the active epoch's degradation reason ("" when none).
+func (l *Log) Degraded() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
 // Seal durably closes the active epoch: data files are fsynced, the
 // manifest (carrying the trace digest) is written and fsynced, and a fresh
-// active epoch begins. Sealing an epoch with no events is a no-op. When the
-// manifest is durable but rotating to the next epoch fails, Seal returns
-// the manifest *and* an error: the epoch is sealed, the log is closed.
+// active epoch begins. Sealing an epoch with no events is a no-op.
+//
+// A failed seal leaves the log fully usable: the data handles stay open
+// until the manifest is durable, and a manifest that failed partway is
+// removed — the manifest's presence IS the seal, so one must never survive
+// a seal that did not complete. Appends may continue and Seal may be
+// retried. When the manifest is durable but rotating to the next epoch
+// fails, Seal returns the manifest *and* an error: the epoch is sealed,
+// the log is closed.
 func (l *Log) Seal() (*Manifest, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -338,12 +393,9 @@ func (l *Log) Seal() (*Manifest, error) {
 	if l.events == 0 {
 		return nil, nil
 	}
-	for _, f := range []*os.File{l.traceF, l.adviceF} {
+	for _, f := range []iofault.File{l.traceF, l.adviceF} {
 		if err := f.Sync(); err != nil {
-			return nil, fmt.Errorf("epochlog: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return nil, fmt.Errorf("epochlog: %w", err)
+			return nil, fmt.Errorf("epochlog: sealing epoch %d: data fsync: %w", l.active, err)
 		}
 	}
 	m := Manifest{
@@ -354,31 +406,46 @@ func (l *Log) Seal() (*Manifest, error) {
 		AdviceBytes: l.adviceBytes,
 		LastRID:     l.lastRID,
 		Fresh:       l.fresh,
+		Degraded:    l.degraded,
 	}
 	mj, err := json.Marshal(&m)
 	if err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
 	mp := manifestPath(l.dir, l.active)
-	mf, err := os.OpenFile(mp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	mf, err := l.fs.OpenFile(mp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
 	}
+	// The data files — the evidence — are durable; their handles stay open
+	// so an aborted seal leaves an appendable log behind.
+	abort := func(stage string, err error) (*Manifest, error) {
+		_ = l.fs.Remove(mp)
+		return nil, fmt.Errorf("epochlog: sealing epoch %d: %s: %w", m.Seq, stage, err)
+	}
 	if _, err := mf.Write(frame(mj)); err != nil {
 		mf.Close()
-		return nil, fmt.Errorf("epochlog: %w", err)
+		return abort("manifest write", err)
 	}
 	if err := mf.Sync(); err != nil {
 		mf.Close()
-		return nil, fmt.Errorf("epochlog: %w", err)
+		return abort("manifest fsync", err)
 	}
 	if err := mf.Close(); err != nil {
-		return nil, fmt.Errorf("epochlog: %w", err)
+		return abort("manifest close", err)
 	}
-	syncDir(l.dir)
-	// The manifest durably records Fresh now; the marker has served its
-	// purpose (a leftover one for a sealed epoch would be ignored anyway).
-	_ = os.Remove(freshPath(l.dir, m.Seq))
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		// Without a durable directory entry the manifest can vanish on
+		// power loss while later epochs accumulate — recovery would then
+		// see a gap and refuse to open. Treat the seal as failed.
+		return abort("directory fsync", err)
+	}
+	// The epoch is sealed. Release the data handles (close errors after a
+	// successful fsync carry no durability information) and clean up the
+	// fresh marker: the manifest durably records Fresh now.
+	_ = l.traceF.Close()
+	_ = l.adviceF.Close()
+	_ = l.fs.Remove(freshPath(l.dir, m.Seq))
 
 	l.sealed = append(l.sealed, m)
 	l.active++
@@ -416,19 +483,10 @@ func (l *Log) Close() error {
 	return err2
 }
 
-// syncDir best-effort fsyncs a directory so a freshly created manifest's
-// directory entry is durable (not all filesystems support it).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
 // truncateTorn cuts a data file back to its longest prefix of intact
 // frames. A missing file is fine (zero-length epoch so far).
-func truncateTorn(path string) error {
-	data, err := os.ReadFile(path)
+func truncateTorn(fsys iofault.FS, path string) error {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -448,7 +506,7 @@ func truncateTorn(path string) error {
 	if good == len(data) {
 		return nil
 	}
-	return os.Truncate(path, int64(good))
+	return fsys.Truncate(path, int64(good))
 }
 
 // nextFrame parses one frame at off. It returns the frame's total size and
@@ -476,8 +534,8 @@ func nextFrame(data []byte, off, maxPayload int) (int, []byte) {
 
 // scanFrames streams every intact frame of a file to fn, stopping at the
 // first torn or corrupt one. A missing file yields no frames.
-func scanFrames(path string, maxPayload int, fn func(payload []byte) error) error {
-	data, err := os.ReadFile(path)
+func scanFrames(fsys iofault.FS, path string, maxPayload int, fn func(payload []byte) error) error {
+	data, err := fsys.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -499,27 +557,45 @@ func scanFrames(path string, maxPayload int, fn func(payload []byte) error) erro
 
 // readManifest loads and validates one epoch's manifest; ok is false when
 // the file is missing, torn, or inconsistent with its name.
-func readManifest(dir string, seq uint64) (Manifest, bool) {
-	data, err := os.ReadFile(manifestPath(dir, seq))
+// readManifest loads and validates one manifest. ok=false with a nil
+// error means the epoch is not validly sealed (absent or torn manifest);
+// a non-nil error is an I/O failure that says nothing either way, which
+// callers must surface rather than mistake for "unsealed" — truncating the
+// sealed prefix on a transient read error would silently hide epochs from
+// the auditor.
+func readManifest(fsys iofault.FS, dir string, seq uint64) (Manifest, bool, error) {
+	data, err := fsys.ReadFile(manifestPath(dir, seq))
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, false, nil
+	}
 	if err != nil {
-		return Manifest{}, false
+		return Manifest{}, false, err
 	}
 	n, payload := nextFrame(data, 0, 0)
 	if payload == nil || n != len(data) {
-		return Manifest{}, false
+		return Manifest{}, false, nil
 	}
 	var m Manifest
 	if err := json.Unmarshal(payload, &m); err != nil || m.Seq != seq || m.Events <= 0 {
-		return Manifest{}, false
+		return Manifest{}, false, nil
 	}
-	return m, true
+	return m, true, nil
 }
 
 // ListSealed returns the longest contiguous prefix (seq 1, 2, ...) of
 // validly sealed epochs in dir. It takes no lock and mutates nothing, so a
 // tailing auditor may call it while a collector owns the writer handle.
 func ListSealed(dir string) ([]Manifest, error) {
-	entries, err := os.ReadDir(dir)
+	return ListSealedFS(iofault.OS, dir)
+}
+
+// ListSealedFS is ListSealed through an explicit I/O layer (nil = OS), for
+// callers that read under fault injection or want reads retried.
+func ListSealedFS(fsys iofault.FS, dir string) ([]Manifest, error) {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	entries, err := fsys.ReadDir(dir)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, nil
 	}
@@ -540,7 +616,10 @@ func ListSealed(dir string) ([]Manifest, error) {
 		if seq != uint64(i)+1 {
 			break
 		}
-		m, ok := readManifest(dir, seq)
+		m, ok, err := readManifest(fsys, dir, seq)
+		if err != nil {
+			return nil, fmt.Errorf("epochlog: %w", err)
+		}
 		if !ok {
 			break
 		}
@@ -554,13 +633,17 @@ func ListSealed(dir string) ([]Manifest, error) {
 // does not tolerate corruption) and the winning advice blob (nil when none
 // was uploaded; undecodable contents are the audit's concern, not ours).
 func ReadSealed(dir string, seq uint64, opt Options) (*trace.Trace, []byte, *Manifest, error) {
-	m, ok := readManifest(dir, seq)
+	fsys := opt.fs()
+	m, ok, err := readManifest(fsys, dir, seq)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("epochlog: epoch %d manifest: %w", seq, err)
+	}
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("epochlog: epoch %d is not sealed in %s", seq, dir)
 	}
 	tr := &trace.Trace{}
 	h := sha256.New()
-	if err := scanFrames(tracePath(dir, seq), 0, func(payload []byte) error {
+	if err := scanFrames(fsys, tracePath(dir, seq), 0, func(payload []byte) error {
 		e, err := trace.DecodeEventBinary(payload)
 		if err != nil {
 			return fmt.Errorf("epochlog: epoch %d trace frame undecodable: %w", seq, err)
@@ -580,7 +663,7 @@ func ReadSealed(dir string, seq uint64, opt Options) (*trace.Trace, []byte, *Man
 			seq, digest, m.TraceDigest)
 	}
 	var blob []byte
-	if err := scanFrames(advicePath(dir, seq), opt.MaxAdviceBytes, func(payload []byte) error {
+	if err := scanFrames(fsys, advicePath(dir, seq), opt.MaxAdviceBytes, func(payload []byte) error {
 		blob = payload
 		return nil
 	}); err != nil {
@@ -591,7 +674,7 @@ func ReadSealed(dir string, seq uint64, opt Options) (*trace.Trace, []byte, *Man
 		// corruption of the untrusted channel). Surface whatever bytes
 		// remain so the audit can reject them with a coded verdict instead
 		// of us swallowing the epoch.
-		raw, err := os.ReadFile(advicePath(dir, seq))
+		raw, err := fsys.ReadFile(advicePath(dir, seq))
 		if err == nil && len(raw) > frameHeader {
 			limit := len(raw)
 			if opt.MaxAdviceBytes > 0 && limit > frameHeader+opt.MaxAdviceBytes {

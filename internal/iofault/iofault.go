@@ -1,0 +1,480 @@
+// Package iofault is the pipeline's injectable I/O layer: a minimal VFS
+// abstraction (FS/File) covering exactly the filesystem calls the evidence
+// path makes — open, read, write, fsync, rename, readdir, stat, truncate,
+// remove, mkdir, directory fsync — with an OS backend and an Injector that
+// wraps any backend with deterministic, seedable fault operators.
+//
+// The operator catalogue mirrors internal/faultinject's "op:seed" spec
+// style, but where faultinject corrupts the *untrusted advice*, iofault
+// breaks the *infrastructure underneath the trusted trace*: transient EIO,
+// short writes, fsync failures, rename failures, ENOSPC, latency. The
+// invariant the chaos harness uses this package to enforce is the dual of
+// faultinject's: an infrastructure fault must never surface as a false
+// reject or a dead pipeline — it is retried (transient), degraded around
+// (disk full, advice outage), or halts loudly (permanent) per the ladder in
+// DESIGN.md §11.
+//
+// Every armed operator fires on a deterministic schedule derived from its
+// seed and the sequence of matching calls, so a chaos scenario replayed
+// with the same seed injects byte-identical fault histories.
+package iofault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FS is the filesystem surface the pipeline writes evidence through.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Stat(name string) (os.FileInfo, error)
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so freshly created or renamed entries are
+	// durable (a no-op error on filesystems that do not support it).
+	SyncDir(dir string) error
+}
+
+// File is an open file handle on the write path.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the passthrough backend: the real filesystem, no faults.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Call names one VFS entry point; operators declare which calls they
+// intercept, and the Injector counts every call by this name.
+type Call string
+
+const (
+	CallOpen     Call = "open"
+	CallRead     Call = "read"
+	CallWrite    Call = "write"
+	CallSync     Call = "sync"
+	CallSyncDir  Call = "syncdir"
+	CallRename   Call = "rename"
+	CallReadDir  Call = "readdir"
+	CallRemove   Call = "remove"
+	CallTruncate Call = "truncate"
+	CallStat     Call = "stat"
+	CallMkdir    Call = "mkdir"
+)
+
+// FaultError is an injected failure. Transient tells the Classify/Retry
+// layer whether re-issuing the operation may succeed.
+type FaultError struct {
+	Op        string // operator name
+	Call      Call   // intercepted VFS call
+	Path      string
+	Transient bool
+	Err       error // underlying errno (syscall.EIO, syscall.ENOSPC, ...)
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("iofault: %s on %s %s: %v", e.Op, e.Call, e.Path, e.Err)
+}
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Operator names. Each models one infrastructure failure class.
+const (
+	// OpTransientEIO fails open/read/readdir/stat/write calls with EIO;
+	// the identical retried call succeeds once the schedule is consumed.
+	OpTransientEIO = "transient-eio"
+	// OpShortWrite lands a prefix of the buffer and fails the rest (torn
+	// write: the frame CRC layer must truncate it on recovery).
+	OpShortWrite = "short-write"
+	// OpFsyncFail fails Sync and SyncDir. Not transient: after a failed
+	// fsync the kernel may have dropped the dirty pages, so blind re-sync
+	// is unsound — callers must rewrite the data or abort the seal.
+	OpFsyncFail = "fsync-fail"
+	// OpRenameFail fails Rename with EIO (transient).
+	OpRenameFail = "rename-fail"
+	// OpENOSPC fails write-side calls with ENOSPC until healed: the
+	// degradation ladder, not the retry loop, must absorb it.
+	OpENOSPC = "enospc"
+	// OpLatency sleeps 1–4ms on every matching call without erroring.
+	OpLatency = "latency"
+)
+
+// operatorCalls maps each operator to the calls it intercepts.
+var operatorCalls = map[string][]Call{
+	OpTransientEIO: {CallOpen, CallRead, CallReadDir, CallStat, CallWrite},
+	OpShortWrite:   {CallWrite},
+	OpFsyncFail:    {CallSync, CallSyncDir},
+	OpRenameFail:   {CallRename},
+	OpENOSPC:       {CallWrite, CallMkdir},
+	OpLatency: {CallOpen, CallRead, CallWrite, CallSync, CallSyncDir, CallRename,
+		CallReadDir, CallRemove, CallTruncate, CallStat, CallMkdir},
+}
+
+// Names lists the operator catalogue, sorted.
+func Names() []string {
+	names := make([]string, 0, len(operatorCalls))
+	for name := range operatorCalls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ArmConfig schedules one armed operator.
+type ArmConfig struct {
+	// Seed derives the gaps between fires; 0 fires on consecutive matching
+	// calls.
+	Seed int64
+	// Times bounds total fires: 0 means 1, negative means until Heal.
+	Times int
+	// After lets this many matching calls through before the schedule
+	// starts (deterministic offset for precision tests).
+	After int
+	// PathContains restricts matching to paths containing the substring
+	// ("" matches everything).
+	PathContains string
+}
+
+// ParseSpec parses an "op", "op:seed", or "op:seed:times" spec.
+func ParseSpec(spec string) (string, ArmConfig, error) {
+	parts := strings.Split(spec, ":")
+	name := parts[0]
+	if _, ok := operatorCalls[name]; !ok {
+		return "", ArmConfig{}, fmt.Errorf("iofault: unknown operator %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	var cfg ArmConfig
+	if len(parts) > 3 {
+		return "", ArmConfig{}, fmt.Errorf("iofault: bad spec %q: want op[:seed[:times]]", spec)
+	}
+	if len(parts) >= 2 {
+		seed, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return "", ArmConfig{}, fmt.Errorf("iofault: bad seed in spec %q: %v", spec, err)
+		}
+		cfg.Seed = seed
+	}
+	if len(parts) == 3 {
+		times, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return "", ArmConfig{}, fmt.Errorf("iofault: bad times in spec %q: %v", spec, err)
+		}
+		cfg.Times = times
+	}
+	return name, cfg, nil
+}
+
+// armed is one scheduled operator instance.
+type armed struct {
+	name      string
+	cfg       ArmConfig
+	r         *rand.Rand
+	calls     map[Call]bool
+	remaining int // fires left; -1 = unbounded
+	skip      int // matching calls to let through before the next fire
+	fired     int
+}
+
+func (a *armed) matches(call Call, path string) bool {
+	if !a.calls[call] {
+		return false
+	}
+	return a.cfg.PathContains == "" || strings.Contains(path, a.cfg.PathContains)
+}
+
+// next consumes one matching call and reports whether the operator fires.
+func (a *armed) next() bool {
+	if a.remaining == 0 {
+		return false
+	}
+	if a.skip > 0 {
+		a.skip--
+		return false
+	}
+	if a.remaining > 0 {
+		a.remaining--
+	}
+	a.fired++
+	if a.r != nil {
+		a.skip = a.r.Intn(3)
+	}
+	return true
+}
+
+// Injector wraps a backend FS with armed fault operators. It is safe for
+// concurrent use; the fault schedule is serialized under one mutex, so a
+// single-threaded caller sees a fully deterministic fault history.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	armedO  []*armed
+	counts  map[Call]int
+	retired map[string]int // fire counts of healed operators
+}
+
+// NewInjector wraps base (OS when nil) with an empty fault plan.
+func NewInjector(base FS) *Injector {
+	if base == nil {
+		base = OS
+	}
+	return &Injector{base: base, counts: make(map[Call]int)}
+}
+
+// Arm schedules one operator. Unknown names error; arming is additive.
+func (in *Injector) Arm(name string, cfg ArmConfig) error {
+	calls, ok := operatorCalls[name]
+	if !ok {
+		return fmt.Errorf("iofault: unknown operator %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	a := &armed{name: name, cfg: cfg, calls: make(map[Call]bool, len(calls))}
+	for _, c := range calls {
+		a.calls[c] = true
+	}
+	a.remaining = cfg.Times
+	if cfg.Times == 0 {
+		a.remaining = 1
+	}
+	a.skip = cfg.After
+	if cfg.Seed != 0 {
+		a.r = rand.New(rand.NewSource(cfg.Seed))
+		a.skip += a.r.Intn(3)
+	}
+	in.mu.Lock()
+	in.armedO = append(in.armedO, a)
+	in.mu.Unlock()
+	return nil
+}
+
+// ArmSpec arms from an "op[:seed[:times]]" spec with an optional path
+// filter.
+func (in *Injector) ArmSpec(spec, pathContains string) error {
+	name, cfg, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	cfg.PathContains = pathContains
+	if name == OpLatency && cfg.Times == 0 {
+		cfg.Times = -1 // a single 1–4ms sleep is not a scenario
+	}
+	return in.Arm(name, cfg)
+}
+
+// Heal disarms every operator: the fault condition is over. Counters
+// survive.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	for _, a := range in.armedO {
+		if in.retired == nil {
+			in.retired = make(map[string]int)
+		}
+		in.retired[a.name] += a.fired
+	}
+	in.armedO = nil
+	in.mu.Unlock()
+}
+
+// Counts returns how many calls of each kind the injector has seen
+// (faulted or not), for assertions like "the checkpoint writer fsyncs its
+// directory".
+func (in *Injector) Counts() map[Call]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Call]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Fired returns fire counts by operator name, armed and healed alike.
+func (in *Injector) Fired() map[string]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int)
+	for _, a := range in.armedO {
+		out[a.name] += a.fired
+	}
+	for name, n := range in.retired {
+		out[name] += n
+	}
+	return out
+}
+
+// fault consults the schedule for one call and returns the injected error
+// (nil to proceed). Latency sleeps here; short writes are handled by the
+// caller via the returned *FaultError with Op == OpShortWrite.
+func (in *Injector) fault(call Call, path string) *FaultError {
+	in.mu.Lock()
+	in.counts[call]++
+	var hit *armed
+	for _, a := range in.armedO {
+		if a.matches(call, path) && a.next() {
+			hit = a
+			break
+		}
+	}
+	in.mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	switch hit.name {
+	case OpLatency:
+		d := time.Millisecond
+		if hit.r != nil {
+			d = time.Duration(1+hit.r.Intn(4)) * time.Millisecond
+		}
+		time.Sleep(d)
+		return nil
+	case OpTransientEIO, OpRenameFail:
+		return &FaultError{Op: hit.name, Call: call, Path: path, Transient: true, Err: syscall.EIO}
+	case OpShortWrite:
+		return &FaultError{Op: hit.name, Call: call, Path: path, Transient: true, Err: io.ErrShortWrite}
+	case OpFsyncFail:
+		return &FaultError{Op: hit.name, Call: call, Path: path, Err: syscall.EIO}
+	case OpENOSPC:
+		return &FaultError{Op: hit.name, Call: call, Path: path, Err: syscall.ENOSPC}
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if fe := in.fault(CallOpen, name); fe != nil {
+		return nil, fe
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if fe := in.fault(CallRead, name); fe != nil {
+		return nil, fe
+	}
+	return in.base.ReadFile(name)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if fe := in.fault(CallWrite, name); fe != nil {
+		if fe.Op == OpShortWrite && len(data) > 0 {
+			_ = in.base.WriteFile(name, data[:len(data)/2], perm)
+		}
+		return fe
+	}
+	return in.base.WriteFile(name, data, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if fe := in.fault(CallReadDir, name); fe != nil {
+		return nil, fe
+	}
+	return in.base.ReadDir(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if fe := in.fault(CallRename, oldpath); fe != nil {
+		return fe
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if fe := in.fault(CallRemove, name); fe != nil {
+		return fe
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if fe := in.fault(CallTruncate, name); fe != nil {
+		return fe
+	}
+	return in.base.Truncate(name, size)
+}
+
+func (in *Injector) Stat(name string) (os.FileInfo, error) {
+	if fe := in.fault(CallStat, name); fe != nil {
+		return nil, fe
+	}
+	return in.base.Stat(name)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if fe := in.fault(CallMkdir, path); fe != nil {
+		return fe
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if fe := in.fault(CallSyncDir, dir); fe != nil {
+		return fe
+	}
+	return in.base.SyncDir(dir)
+}
+
+// injFile threads writes and syncs of an open handle back through the
+// injector's schedule.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (p *injFile) Write(b []byte) (int, error) {
+	if fe := p.in.fault(CallWrite, p.name); fe != nil {
+		if fe.Op == OpShortWrite && len(b) > 0 {
+			n, _ := p.f.Write(b[:len(b)/2])
+			return n, fe
+		}
+		return 0, fe
+	}
+	return p.f.Write(b)
+}
+
+func (p *injFile) Sync() error {
+	if fe := p.in.fault(CallSync, p.name); fe != nil {
+		return fe
+	}
+	return p.f.Sync()
+}
+
+func (p *injFile) Close() error { return p.f.Close() }
