@@ -1,0 +1,122 @@
+// Command karousos-vet is the multichecker for the repo's invariant
+// analyzers (internal/analysis): detlint, advicesize, errladder, and
+// rejectcode, plus validation of every //karousos: suppression directive.
+//
+// Usage:
+//
+//	karousos-vet [-checks detlint,errladder] [packages]
+//	karousos-vet -list
+//
+// With no packages it defaults to ./... . Exit status: 0 when the tree is
+// clean, 1 when any analyzer reports a diagnostic, 2 on a driver failure
+// (load error, unknown check name). CI runs `karousos-vet ./...` and fails
+// the build on any nonzero status, so every finding is either fixed or
+// carries a reviewed //karousos:<check>-ok <reason> directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/advicesize"
+	"karousos.dev/karousos/internal/analysis/detlint"
+	"karousos.dev/karousos/internal/analysis/errladder"
+	"karousos.dev/karousos/internal/analysis/load"
+	"karousos.dev/karousos/internal/analysis/rejectcode"
+)
+
+var all = []*analysis.Analyzer{
+	detlint.Analyzer,
+	advicesize.Analyzer,
+	errladder.Analyzer,
+	rejectcode.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("karousos-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *checks != "" {
+		selected = nil
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, a := range all {
+				if a.Name == name {
+					selected = append(selected, a)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(stderr, "karousos-vet: unknown analyzer %q (have: %s)\n", name, names(all))
+				return 2
+			}
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "karousos-vet: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	for _, p := range pkgs {
+		var ds []analysis.Diagnostic
+		for _, a := range selected {
+			pass := &analysis.Pass{
+				Analyzer: a, Fset: p.Fset, Files: p.Syntax,
+				Pkg: p.Types, TypesInfo: p.TypesInfo,
+				Report: func(d analysis.Diagnostic) { ds = append(ds, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "karousos-vet: %s over %s: %v\n", a.Name, p.PkgPath, err)
+				return 2
+			}
+		}
+		// Directive hygiene runs regardless of -checks: a typoed directive
+		// must never silently suppress nothing.
+		dirPass := &analysis.Pass{Fset: p.Fset, Files: p.Syntax, Pkg: p.Types, TypesInfo: p.TypesInfo}
+		ds = append(ds, analysis.CheckDirectives(dirPass)...)
+
+		analysis.SortDiagnostics(p.Fset, ds)
+		for _, d := range ds {
+			fmt.Fprintf(stdout, "%s: [%s] %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func names(as []*analysis.Analyzer) string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return strings.Join(out, ", ")
+}

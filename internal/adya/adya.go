@@ -20,6 +20,7 @@ package adya
 
 import (
 	"fmt"
+	"sort"
 
 	"karousos.dev/karousos/internal/graph"
 )
@@ -86,6 +87,19 @@ type History struct {
 	Reads []Read
 }
 
+// sortedWriteKeys returns WriteOrderPerKey's keys in sorted order. Edge
+// insertion order decides which cycle FindCycle reports — and so the
+// rejection Reason operators see — so the sweep must not follow Go's
+// randomized map iteration.
+func sortedWriteKeys(h *History) []string {
+	keys := make([]string, 0, len(h.WriteOrderPerKey))
+	for k := range h.WriteOrderPerKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // DSG builds the direct serialization graph with the edge families required
 // by the given level. Nodes are exactly the committed transactions; edges
 // never connect a transaction to itself.
@@ -98,7 +112,8 @@ func DSG(h *History, level Level) *graph.Graph[TxKey] {
 	}
 
 	// ww (write-depend) edges: consecutive installed versions of a key.
-	for _, order := range h.WriteOrderPerKey {
+	for _, key := range sortedWriteKeys(h) {
+		order := h.WriteOrderPerKey[key]
 		for j := 0; j+1 < len(order); j++ {
 			a, b := order[j].Tx, order[j+1].Tx
 			if a != b && committed[a] && committed[b] {
@@ -132,7 +147,8 @@ func DSG(h *History, level Level) *graph.Graph[TxKey] {
 			readersOf[r.From] = append(readersOf[r.From], r.By)
 		}
 	}
-	for _, order := range h.WriteOrderPerKey {
+	for _, key := range sortedWriteKeys(h) {
+		order := h.WriteOrderPerKey[key]
 		for j := 0; j+1 < len(order); j++ {
 			next := order[j+1].Tx
 			for _, reader := range readersOf[order[j]] {
@@ -222,7 +238,8 @@ func CheckSI(h *History, times map[TxKey]TxTimes) error {
 		dep.AddEdge(a, b)
 		return nil
 	}
-	for _, order := range h.WriteOrderPerKey {
+	for _, key := range sortedWriteKeys(h) {
+		order := h.WriteOrderPerKey[key]
 		for j := 0; j+1 < len(order); j++ {
 			if err := checkDep(order[j].Tx, order[j+1].Tx); err != nil {
 				return err
@@ -243,7 +260,8 @@ func CheckSI(h *History, times map[TxKey]TxTimes) error {
 			readersOf[r.From] = append(readersOf[r.From], r.By)
 		}
 	}
-	for _, order := range h.WriteOrderPerKey {
+	for _, key := range sortedWriteKeys(h) {
+		order := h.WriteOrderPerKey[key]
 		for j := 0; j+1 < len(order); j++ {
 			next := order[j+1].Tx
 			for _, reader := range readersOf[order[j]] {

@@ -1,0 +1,324 @@
+// Package advicesize is the static twin of the codec's hostile-length
+// clamps (verifier.Limits, decoder.lengthElems): a taint pass from
+// advice-decode primitives to allocation sites.
+//
+// Within each function of the scoped packages it taints values produced by
+// raw wire reads — binary.Uvarint / binary.ReadUvarint / ByteOrder.UintNN
+// and the decoder helpers named uvarint/intv — and reports any make,
+// io.ReadFull/ReadAtLeast, or io.CopyN whose size argument is still tainted
+// when it reaches the sink. Taint is cleared by a clamp:
+//
+//   - a relational comparison against a non-constant bound (the
+//     `if n > len(rest)-frameHeader { ... }` shape of lengthElems and
+//     nextFrame) or a constant bound ≤ 1<<20;
+//   - passing the value to a clamp function (lengthElems, length,
+//     CheckAdviceBytes, clamp*).
+//
+// A magnitude check against math.MaxInt32 (decoder.intv) deliberately does
+// NOT clear taint: 2^31 elements is still an allocation bomb. The analysis
+// is intra-procedural and flow-approximate by source position; the escape
+// hatch is //karousos:advicesize-ok <reason>.
+package advicesize
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"karousos.dev/karousos/internal/analysis"
+)
+
+// Packages are the wire-decode packages this analyzer self-scopes to.
+var Packages = []string{
+	"internal/advice",
+	"internal/value",
+	"internal/trace",
+	"internal/epochlog",
+	"internal/collectorhttp",
+	"internal/verifier",
+}
+
+// maxConstBound is the largest constant a comparison may clamp to and still
+// count as a sanitizer.
+const maxConstBound = 1 << 20
+
+// sanitizerNames are functions/methods whose call clamps a length argument
+// (or whose result is already clamped).
+var sanitizerNames = map[string]bool{
+	"length":           true,
+	"lengthElems":      true,
+	"CheckAdviceBytes": true,
+}
+
+// sourceNames are decoder helper methods whose results are attacker-chosen
+// numbers.
+var sourceNames = map[string]bool{
+	"uvarint": true,
+	"intv":    true,
+}
+
+// Analyzer is the advicesize pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "advicesize",
+	Doc: "require every advice-derived length to pass a clamp (lengthElems / Limits / bounded comparison) " +
+		"before reaching make/io.ReadFull; suppress with //karousos:advicesize-ok <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// taintState tracks which objects hold unclamped attacker-chosen numbers,
+// replayed in source order over one function body.
+type taintState struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	st := &taintState{pass: pass, tainted: map[types.Object]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			st.assign(n)
+		case *ast.IfStmt:
+			st.sanitizeCond(n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				st.sanitizeCond(n.Cond)
+			}
+		case *ast.CallExpr:
+			st.call(n)
+		}
+		return true
+	})
+}
+
+// assign taints LHS objects whose RHS carries a source.
+func (st *taintState) assign(a *ast.AssignStmt) {
+	if len(a.Rhs) == 1 && len(a.Lhs) > 1 {
+		// Multi-value: x, n := binary.Uvarint(...) taints every LHS.
+		if st.exprTainted(a.Rhs[0]) {
+			for _, l := range a.Lhs {
+				st.setTaint(l, true)
+			}
+		} else {
+			for _, l := range a.Lhs {
+				st.setTaint(l, false)
+			}
+		}
+		return
+	}
+	for i, l := range a.Lhs {
+		if i < len(a.Rhs) {
+			st.setTaint(l, st.exprTainted(a.Rhs[i]))
+		}
+	}
+}
+
+func (st *taintState) setTaint(lhs ast.Expr, tainted bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := st.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if tainted {
+		st.tainted[obj] = true
+	} else {
+		delete(st.tainted, obj)
+	}
+}
+
+// exprTainted reports whether e contains a source call or a currently
+// tainted identifier. Calls to non-source functions do not propagate their
+// arguments' taint (their result is a new value with its own provenance) —
+// except conversions and arithmetic, which ast.Inspect naturally walks.
+func (st *taintState) exprTainted(e ast.Expr) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if st.isSourceCall(n) {
+				tainted = true
+				return false
+			}
+			if fnName(n) != "" && !isConversion(st.pass.TypesInfo, n) {
+				// A real function call launders its arguments; only its own
+				// sourceness matters.
+				return false
+			}
+		case *ast.Ident:
+			if obj := st.pass.TypesInfo.ObjectOf(n); obj != nil && st.tainted[obj] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// isSourceCall matches binary.Uvarint / binary.ReadUvarint / ByteOrder
+// UintNN reads and decoder methods named uvarint/intv.
+func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	// Package-level binary.Uvarint / binary.ReadUvarint / binary.Varint...
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := st.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			if p == "encoding/binary" && (name == "Uvarint" || name == "Varint" || name == "ReadUvarint" || name == "ReadVarint") {
+				return true
+			}
+			return false
+		}
+	}
+	// ByteOrder reads: binary.LittleEndian.Uint32(...), order.Uint64(...).
+	if name == "Uint16" || name == "Uint32" || name == "Uint64" {
+		if t := st.pass.TypesInfo.TypeOf(sel.X); t != nil && strings.Contains(t.String(), "encoding/binary.") {
+			return true
+		}
+	}
+	// Decoder helpers: d.uvarint(), d.intv().
+	return sourceNames[name]
+}
+
+// call handles sinks and sanitizer calls.
+func (st *taintState) call(call *ast.CallExpr) {
+	// Sanitizer call: clamp functions clear the taint of identifier args.
+	if name := fnName(call); sanitizerNames[name] || strings.HasPrefix(name, "clamp") {
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				st.setTaint(id, false)
+			}
+		}
+		return
+	}
+
+	// Sink: make(T, n[, c]).
+	if id, ok := call.Fun.(*ast.Ident); ok && isBuiltin(st.pass.TypesInfo, id, "make") {
+		for _, sizeArg := range call.Args[1:] {
+			if st.exprTainted(sizeArg) {
+				st.pass.Reportf(call.Pos(), "make sized by an unclamped advice-derived length; clamp it against remaining input or verifier.Limits first")
+				return
+			}
+		}
+		return
+	}
+
+	// Sink: io.ReadFull / io.ReadAtLeast buffer, io.CopyN count.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := st.pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "io" {
+				var sized ast.Expr
+				switch sel.Sel.Name {
+				case "ReadFull":
+					if len(call.Args) == 2 {
+						sized = call.Args[1]
+					}
+				case "ReadAtLeast":
+					if len(call.Args) == 3 {
+						sized = call.Args[2]
+					}
+				case "CopyN":
+					if len(call.Args) == 3 {
+						sized = call.Args[2]
+					}
+				}
+				if sized != nil && st.exprTainted(sized) {
+					st.pass.Reportf(call.Pos(), "io.%s sized by an unclamped advice-derived length; clamp it before reading", sel.Sel.Name)
+				}
+			}
+		}
+	}
+}
+
+// sanitizeCond clears taint for identifiers relationally compared against an
+// acceptable bound anywhere in cond (walking through && and ||).
+func (st *taintState) sanitizeCond(cond ast.Expr) {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND, token.LOR:
+			st.sanitizeCond(c.X)
+			st.sanitizeCond(c.Y)
+		case token.GTR, token.GEQ, token.LSS, token.LEQ:
+			st.sanitizeSide(c.X, c.Y)
+			st.sanitizeSide(c.Y, c.X)
+		}
+	case *ast.ParenExpr:
+		st.sanitizeCond(c.X)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			st.sanitizeCond(c.X)
+		}
+	}
+}
+
+// sanitizeSide clears taint of identifiers inside candidate when bound is an
+// acceptable clamp: non-constant, or a constant no larger than
+// maxConstBound. (A comparison against math.MaxInt32 is a magnitude check,
+// not an allocation clamp.)
+func (st *taintState) sanitizeSide(candidate, bound ast.Expr) {
+	if tv, ok := st.pass.TypesInfo.Types[bound]; ok && tv.Value != nil {
+		// A zero/negative constant is a sign check, not a clamp.
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); !exact || v <= 0 || v > maxConstBound {
+			return
+		}
+	}
+	ast.Inspect(candidate, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			st.setTaint(id, false)
+		}
+		return true
+	})
+}
+
+// fnName returns the bare called-function or method name of a call, "" if
+// not a named call.
+func fnName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isConversion reports whether call is a type conversion like uint64(x),
+// which propagates taint.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

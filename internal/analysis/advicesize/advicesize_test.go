@@ -1,0 +1,12 @@
+package advicesize_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/advicesize"
+	"karousos.dev/karousos/internal/analysis/analysistest"
+)
+
+func TestAdvicesize(t *testing.T) {
+	analysistest.Run(t, "testdata", advicesize.Analyzer, "advicesizefix", "advicesizeok")
+}

@@ -1,0 +1,11 @@
+// True-negative fixture for advicesize: the one unclamped allocation carries
+// a reviewed //karousos:advicesize-ok directive.
+package advicesizeok
+
+import "encoding/binary"
+
+func decode(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	//karousos:advicesize-ok bounded by the 4 KiB frame cap this fixture's protocol enforces upstream
+	return make([]byte, n)
+}

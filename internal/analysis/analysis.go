@@ -1,0 +1,218 @@
+// Package analysis is the repo's static-analysis framework: the core types
+// of a golang.org/x/tools/go/analysis-shaped pass (Analyzer, Pass,
+// Diagnostic) plus the //karousos: suppression-directive grammar shared by
+// every checker.
+//
+// The container this repo builds in has no module proxy access, so the
+// framework is self-hosted on the standard library alone: packages are
+// loaded by internal/analysis/load (go list -export + go/types) and the
+// Analyzer API mirrors x/tools closely enough that a pass written here ports
+// to the upstream driver by changing imports.
+//
+// The analyzers in the subpackages prove, at compile time, invariants the
+// dynamic layers (chaos scenarios, fuzzers, verifier.Limits) only sample:
+//
+//   - detlint:    the verdict is a deterministic function of (trace, advice) —
+//     no unsorted map iteration, wall-clock reads, math/rand, or
+//     multi-case selects on verdict paths.
+//   - advicesize: every advice-derived length is clamped before it reaches an
+//     allocation.
+//   - errladder:  I/O errors in the pipeline flow through the iofault
+//     classification ladder, never raw == comparisons or silent drops.
+//   - rejectcode: errors crossing the Audit boundary carry a core.RejectCode
+//     and RejectCode switches/registries are exhaustive.
+//
+// # Directive grammar
+//
+// A finding is suppressed only by an explicit, reasoned directive on the
+// flagged line or the line directly above it:
+//
+//	//karousos:<check>-ok <reason>
+//
+// where <check> is one of "nondeterminism" (detlint), "advicesize",
+// "errladder", or "rejectcode", and <reason> is non-empty free text read by
+// the reviewer, not the tool. A directive with an unknown check name or an
+// empty reason is itself a diagnostic (CheckDirectives), so the escape hatch
+// cannot rot into bare unexplained pragmas.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name is the short command-line name (e.g. "detlint").
+	Name string
+	// Doc is the one-paragraph description printed by karousos-vet -list.
+	Doc string
+	// Run executes the pass over one package, reporting findings through
+	// pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver sets it; analyzers call
+	// Reportf.
+	Report func(Diagnostic)
+
+	directives []Directive // lazily built
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a finding at pos unless a matching //karousos: directive
+// suppresses the analyzer's check there.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(p.Analyzer.check(), pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// check maps an analyzer to its directive check name: detlint's findings are
+// suppressed by nondeterminism-ok (the ISSUE-specified spelling); every
+// other analyzer uses its own name.
+func (a *Analyzer) check() string {
+	if a.Name == "detlint" {
+		return "nondeterminism"
+	}
+	return a.Name
+}
+
+// KnownChecks are the valid <check> names of the directive grammar.
+var KnownChecks = []string{"nondeterminism", "advicesize", "errladder", "rejectcode"}
+
+// Directive is one parsed //karousos: comment.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Check  string // e.g. "nondeterminism"
+	Reason string // free text after the check; must be non-empty
+	Raw    string
+}
+
+var directiveRE = regexp.MustCompile(`^//karousos:([a-z][a-z-]*)-ok(?:[ \t]+(.*))?$`)
+
+// parseDirectives scans every comment in the pass's files.
+func (p *Pass) parseDirectives() []Directive {
+	if p.directives != nil {
+		return p.directives
+	}
+	var out []Directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				out = append(out, Directive{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Check:  m[1],
+					Reason: strings.TrimSpace(m[2]),
+					Raw:    c.Text,
+				})
+			}
+		}
+	}
+	if out == nil {
+		out = []Directive{} // mark "parsed, none found"
+	}
+	p.directives = out
+	return out
+}
+
+// Suppressed reports whether a well-formed //karousos:<check>-ok directive
+// covers pos: same line, or the line directly above (a comment hanging over
+// the flagged statement). Malformed directives (unknown check, no reason)
+// never suppress — CheckDirectives flags them instead.
+func (p *Pass) Suppressed(check string, pos token.Pos) bool {
+	where := p.Fset.Position(pos)
+	for _, d := range p.parseDirectives() {
+		if d.Check != check || d.Reason == "" {
+			continue
+		}
+		if d.File == where.Filename && (d.Line == where.Line || d.Line == where.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDirectives validates every //karousos: directive in the pass's files:
+// the check name must be known and the reason non-empty. The driver runs it
+// once per package, independent of which analyzers are selected, so a typoed
+// or bare directive can never silently suppress nothing.
+func CheckDirectives(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range p.parseDirectives() {
+		known := false
+		for _, k := range KnownChecks {
+			if d.Check == k {
+				known = true
+				break
+			}
+		}
+		switch {
+		case !known:
+			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive",
+				Message: fmt.Sprintf("unknown karousos directive check %q (known: %s)", d.Check, strings.Join(KnownChecks, ", "))})
+		case d.Reason == "":
+			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive",
+				Message: fmt.Sprintf("karousos:%s-ok directive needs a reason", d.Check)})
+		}
+	}
+	return out
+}
+
+// PkgInScope reports whether pkgPath is one of the packages an analyzer
+// self-scopes to. Paths are matched by suffix ("internal/verifier" matches
+// "karousos.dev/karousos/internal/verifier"); a path with no slash at all is
+// an analysistest fixture package and is always in scope.
+func PkgInScope(pkgPath string, suffixes []string) bool {
+	if !strings.Contains(pkgPath, "/") {
+		return true
+	}
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

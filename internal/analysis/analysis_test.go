@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parsePass(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Pass{
+		Analyzer: &Analyzer{Name: "detlint"},
+		Fset:     fset,
+		Files:    []*ast.File{f},
+	}
+}
+
+func TestSuppressionSameLineAndAbove(t *testing.T) {
+	src := `package p
+
+func f() {
+	//karousos:nondeterminism-ok reviewed reason
+	_ = 1
+	_ = 2 //karousos:nondeterminism-ok trailing reason
+
+	_ = 3
+}
+`
+	p := parsePass(t, src)
+	line := func(n int) token.Pos {
+		return p.Fset.File(p.Files[0].Pos()).LineStart(n)
+	}
+	if !p.Suppressed("nondeterminism", line(5)) {
+		t.Error("directive on the line above must suppress")
+	}
+	if !p.Suppressed("nondeterminism", line(6)) {
+		t.Error("trailing directive on the same line must suppress")
+	}
+	if p.Suppressed("nondeterminism", line(8)) {
+		t.Error("an unannotated line must not be suppressed")
+	}
+	if p.Suppressed("errladder", line(5)) {
+		t.Error("a directive for a different check must not suppress")
+	}
+}
+
+func TestCheckDirectivesFlagsMalformed(t *testing.T) {
+	src := `package p
+
+func f() {
+	//karousos:nondeterminism-ok
+	//karousos:typo-check-ok some reason
+	//karousos:errladder-ok a fine reason
+	_ = 1
+}
+`
+	p := parsePass(t, src)
+	ds := CheckDirectives(p)
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(ds), ds)
+	}
+	var msgs []string
+	for _, d := range ds {
+		msgs = append(msgs, d.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "needs a reason") {
+		t.Errorf("missing reasonless-directive diagnostic in %q", joined)
+	}
+	if !strings.Contains(joined, "unknown karousos directive check") {
+		t.Errorf("missing unknown-check diagnostic in %q", joined)
+	}
+	// A reasonless directive must not suppress anything.
+	line4 := p.Fset.File(p.Files[0].Pos()).LineStart(5)
+	if p.Suppressed("nondeterminism", line4) {
+		t.Error("a reasonless directive suppressed a finding")
+	}
+}
+
+func TestPkgInScope(t *testing.T) {
+	scope := []string{"internal/verifier", "internal/graph"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"karousos.dev/karousos/internal/verifier", true},
+		{"internal/graph", true},
+		{"karousos.dev/karousos/internal/epochlog", false},
+		{"karousos.dev/karousos/internal/verifierx", false},
+		{"detlintfix", true}, // slash-free fixture package
+	}
+	for _, c := range cases {
+		if got := PkgInScope(c.path, scope); got != c.want {
+			t.Errorf("PkgInScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/analysistest"
+	"karousos.dev/karousos/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, "testdata", detlint.Analyzer, "detlintfix", "detlintok")
+}

@@ -1,0 +1,170 @@
+// Package errladder is the static twin of the iofault degradation ladder
+// (DESIGN.md §11): I/O errors in the pipeline packages must flow through
+// errors.Is / iofault.Classify / iofault.Retry, never raw comparisons or
+// silent drops. A raw == against a sentinel misses wrapped errors and every
+// injected *iofault.FaultError; a dropped error turns an infrastructure
+// fault into silent evidence loss.
+//
+// In the packages listed in Packages it flags:
+//
+//   - binary == / != where an operand is an error and the other is not nil;
+//   - the legacy os.IsNotExist / os.IsExist / os.IsPermission / os.IsTimeout
+//     predicates (they do not unwrap; use errors.Is or iofault.Classify);
+//   - assignments that discard an error result into the blank identifier;
+//   - expression statements that call an error-returning function and ignore
+//     every result (defer f.Close() is exempt by Go convention).
+//
+// The escape hatch is //karousos:errladder-ok <reason> on or above the line;
+// deliberate drops (close-after-write-error, best-effort directory syncs)
+// carry one each, so every swallowed error in the evidence path is a
+// reviewed decision.
+package errladder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"karousos.dev/karousos/internal/analysis"
+)
+
+// Packages are the pipeline packages this analyzer self-scopes to.
+var Packages = []string{
+	"internal/epochlog",
+	"internal/collectorhttp",
+	"internal/auditd",
+}
+
+// Analyzer is the errladder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errladder",
+	Doc: "require pipeline I/O errors to flow through errors.Is/iofault.Classify — no raw error comparisons, " +
+		"no legacy os.IsNotExist, no silent drops; suppress with //karousos:errladder-ok <reason>",
+	Run: run,
+}
+
+var legacyPredicates = map[string]string{
+	"IsNotExist":   "errors.Is(err, os.ErrNotExist)",
+	"IsExist":      "errors.Is(err, os.ErrExist)",
+	"IsPermission": "errors.Is(err, os.ErrPermission)",
+	"IsTimeout":    "iofault.Classify",
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, n)
+			case *ast.CallExpr:
+				checkLegacyPredicate(pass, n)
+			case *ast.AssignStmt:
+				checkBlankDrop(pass, n)
+			case *ast.ExprStmt:
+				checkIgnoredCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err == sentinel / err != sentinel.
+func checkComparison(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if isNil(pass.TypesInfo, b.X) || isNil(pass.TypesInfo, b.Y) {
+		return
+	}
+	if isErrorType(pass.TypesInfo.TypeOf(b.X)) || isErrorType(pass.TypesInfo.TypeOf(b.Y)) {
+		pass.Reportf(b.Pos(), "raw error comparison misses wrapped errors and injected faults; use errors.Is or iofault.Classify")
+	}
+}
+
+// checkLegacyPredicate flags os.IsNotExist and friends.
+func checkLegacyPredicate(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return
+	}
+	if repl, ok := legacyPredicates[sel.Sel.Name]; ok {
+		pass.Reportf(call.Pos(), "os.%s does not unwrap errors (retry/fault wrappers break it); use %s", sel.Sel.Name, repl)
+	}
+}
+
+// checkBlankDrop flags `_ = call()` and `n, _ := call()` where the blank
+// slot holds an error.
+func checkBlankDrop(pass *analysis.Pass, a *ast.AssignStmt) {
+	if len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	results := callResults(pass.TypesInfo, call)
+	if results == nil {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if i >= len(results) {
+			break
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(results[i]) {
+			pass.Reportf(a.Pos(), "silently drops an error on the evidence path; handle it, classify it, or annotate //karousos:errladder-ok")
+			return
+		}
+	}
+}
+
+// checkIgnoredCall flags a statement-position call whose results include an
+// error, all ignored.
+func checkIgnoredCall(pass *analysis.Pass, s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, t := range callResults(pass.TypesInfo, call) {
+		if isErrorType(t) {
+			pass.Reportf(s.Pos(), "ignores an error result on the evidence path; handle it, classify it, or annotate //karousos:errladder-ok")
+			return
+		}
+	}
+}
+
+// callResults returns the call's result types (nil for void or unresolved).
+func callResults(info *types.Info, call *ast.CallExpr) []types.Type {
+	t := info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,12 @@
+package errladder_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/analysistest"
+	"karousos.dev/karousos/internal/analysis/errladder"
+)
+
+func TestErrladder(t *testing.T) {
+	analysistest.Run(t, "testdata", errladder.Analyzer, "errladderfix", "errladderok")
+}

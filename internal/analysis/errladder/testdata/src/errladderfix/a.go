@@ -1,0 +1,55 @@
+// Fixture for errladder: raw comparisons, legacy predicates, and silent
+// drops next to the blessed errors.Is / defer shapes.
+package errladderfix
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func rawCompare(err error) bool {
+	return err == errSentinel // want `raw error comparison`
+}
+
+func rawNotEqual(err error) bool {
+	return err != errSentinel // want `raw error comparison`
+}
+
+// nil checks are the one raw comparison that is fine.
+func nilCompare(err error) bool {
+	return err != nil
+}
+
+func legacy(err error) bool {
+	return os.IsNotExist(err) // want `os.IsNotExist does not unwrap errors`
+}
+
+func legacyTimeout(err error) bool {
+	return os.IsTimeout(err) // want `os.IsTimeout does not unwrap errors`
+}
+
+func blankDrop(f *os.File) {
+	_ = f.Close() // want `silently drops an error`
+}
+
+func blankSlot(r io.Reader, p []byte) int {
+	n, _ := io.ReadFull(r, p) // want `silently drops an error`
+	return n
+}
+
+func ignored(c io.Closer) {
+	c.Close() // want `ignores an error result`
+}
+
+// deferred close is exempt by Go convention.
+func deferred(f *os.File) error {
+	defer f.Close()
+	return nil
+}
+
+func handled(err error) bool {
+	return errors.Is(err, errSentinel)
+}

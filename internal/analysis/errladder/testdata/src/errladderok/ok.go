@@ -1,0 +1,14 @@
+// True-negative fixture for errladder: every deliberate drop carries a
+// reviewed //karousos:errladder-ok directive.
+package errladderok
+
+import "os"
+
+func bestEffortClose(f *os.File) {
+	_ = f.Close() //karousos:errladder-ok close after successful fsync carries no durability information
+}
+
+func cleanupAfterError(f *os.File, err error) error {
+	f.Close() //karousos:errladder-ok close-after-error; the original error is the one that surfaces
+	return err
+}

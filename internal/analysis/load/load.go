@@ -1,0 +1,247 @@
+// Package load is the package loader under karousos-vet and the analysis
+// tests: a minimal, stdlib-only stand-in for golang.org/x/tools/go/packages
+// (which the build container cannot fetch).
+//
+// It shells out to `go list -export -json -deps` once to learn every
+// package's source files and compiled export data, then parses and
+// type-checks the requested packages with go/parser + go/types, resolving
+// imports (standard library and module-internal alike) through the gc
+// export-data importer. Only non-test Go files are loaded: the invariants
+// the analyzers prove are about the shipped auditor, and test randomness is
+// governed separately (seeded and logged, see DESIGN.md §12).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+var (
+	depOnce sync.Once
+	depErr  error
+	depRoot string                // module root directory
+	exports map[string]string     // import path -> export data file
+	entries map[string]*listEntry // import path -> entry
+)
+
+// moduleRoot locates the directory of the enclosing go.mod, so the loader
+// works no matter which package directory the test binary runs in.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("load: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("load: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// depExports builds (once per process) the export-data map for the whole
+// module and its transitive dependencies, compiling what is stale.
+func depExports() (map[string]string, map[string]*listEntry, string, error) {
+	depOnce.Do(func() {
+		depRoot, depErr = moduleRoot()
+		if depErr != nil {
+			return
+		}
+		es, err := goList(depRoot, "-export", "-deps", "./...")
+		if err != nil {
+			depErr = err
+			return
+		}
+		exports = make(map[string]string)
+		entries = make(map[string]*listEntry)
+		for _, e := range es {
+			entries[e.ImportPath] = e
+			if e.Export != "" {
+				exports[e.ImportPath] = e.Export
+			}
+		}
+	})
+	return exports, entries, depRoot, depErr
+}
+
+// goList runs `go list -e -json <args>` in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var es []*listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		es = append(es, &e)
+	}
+	return es, nil
+}
+
+// newImporter returns a types.Importer that resolves every import path
+// through the compiled export data `go list -export` produced.
+func newImporter(fset *token.FileSet, exp map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exp[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates a fully-populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Packages loads, parses, and type-checks the packages matched by patterns
+// (e.g. "./..."), excluding standard-library and test files.
+func Packages(patterns ...string) ([]*Package, error) {
+	exp, _, root, err := depExports()
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || t.ImportPath == "" {
+			continue
+		}
+		if t.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		var paths []string
+		for _, name := range t.GoFiles {
+			full := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+			paths = append(paths, full)
+		}
+		pkg, info, err := check(fset, t.ImportPath, files, exp)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: t.ImportPath, Dir: t.Dir, GoFiles: paths,
+			Fset: fset, Syntax: files, Types: pkg, TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// Files parses and type-checks an ad-hoc package from explicit .go files —
+// the analysistest fixture path. The package may import the standard library
+// and any package of this module; pkgPath becomes its import path (fixture
+// convention: a bare name with no slash).
+func Files(pkgPath string, filenames []string) (*Package, error) {
+	exp, _, _, err := depExports()
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, full := range filenames {
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := check(fset, pkgPath, files, exp)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
+	}
+	var dir string
+	if len(filenames) > 0 {
+		dir = filepath.Dir(filenames[0])
+	}
+	return &Package{
+		PkgPath: pkgPath, Dir: dir, GoFiles: filenames,
+		Fset: fset, Syntax: files, Types: pkg, TypesInfo: info,
+	}, nil
+}
+
+func check(fset *token.FileSet, pkgPath string, files []*ast.File, exp map[string]string) (*types.Package, *types.Info, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: newImporter(fset, exp),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := newInfo()
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,69 @@
+package load
+
+import (
+	"go/ast"
+	"os"
+	"testing"
+)
+
+// TestPackagesLoadsModule type-checks a real module package through export
+// data, proving the go list -export pipeline works offline.
+func TestPackagesLoadsModule(t *testing.T) {
+	pkgs, err := Packages("karousos.dev/karousos/internal/core", "karousos.dev/karousos/internal/verifier")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.TypesInfo == nil || len(p.Syntax) == 0 {
+			t.Fatalf("%s: incomplete load", p.PkgPath)
+		}
+		// Type info must actually be populated: every file has a resolved
+		// package-level identifier.
+		ids := 0
+		for _, f := range p.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] != nil {
+					ids++
+				}
+				return true
+			})
+		}
+		if ids == 0 {
+			t.Fatalf("%s: no resolved identifiers", p.PkgPath)
+		}
+	}
+}
+
+// TestFilesChecksAdHocPackage type-checks an ad-hoc fixture-style package
+// that imports both the standard library and a module package.
+func TestFilesChecksAdHocPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import (
+	"sort"
+
+	"karousos.dev/karousos/internal/core"
+)
+
+func Codes() []core.RejectCode {
+	out := []core.RejectCode{core.RejectGraphCycle, core.RejectMalformedAdvice}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+`
+	path := dir + "/fixture.go"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Files("fixture", []string{path})
+	if err != nil {
+		t.Fatalf("Files: %v", err)
+	}
+	if p.Types.Name() != "fixture" {
+		t.Fatalf("package name %q", p.Types.Name())
+	}
+}

@@ -1,0 +1,12 @@
+package rejectcode_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/analysistest"
+	"karousos.dev/karousos/internal/analysis/rejectcode"
+)
+
+func TestRejectcode(t *testing.T) {
+	analysistest.Run(t, "testdata", rejectcode.Analyzer, "rejectcodefix", "rejectcodeok")
+}

@@ -1,0 +1,72 @@
+// Fixture for rejectcode: a local RejectCode enum with a non-exhaustive
+// switch, an incomplete registry, and uncoded Audit-boundary errors.
+package rejectcodefix
+
+import (
+	"errors"
+	"fmt"
+)
+
+type RejectCode string
+
+const (
+	CodeA RejectCode = "A"
+	CodeB RejectCode = "B"
+	CodeC RejectCode = "C"
+)
+
+func describe(c RejectCode) string {
+	switch c { // want `RejectCode switch without default is missing C`
+	case CodeA:
+		return "a"
+	case CodeB:
+		return "b"
+	}
+	return ""
+}
+
+// exhaustive switches and defaulted switches are fine.
+func describeAll(c RejectCode) string {
+	switch c {
+	case CodeA, CodeB, CodeC:
+		return "known"
+	}
+	return ""
+}
+
+func describeDefault(c RejectCode) string {
+	switch c {
+	case CodeA:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+func AllRejectCodes() []RejectCode { // want `AllRejectCodes registry is missing C`
+	return []RejectCode{CodeA, CodeB}
+}
+
+func AuditBlob(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty blob") // want `uncoded error across the Audit boundary`
+	}
+	if b[0] == 0xff {
+		return fmt.Errorf("bad magic %x", b[0]) // want `uncoded error across the Audit boundary`
+	}
+	return nil
+}
+
+// auditWrapped wraps the coded cause with %w: allowed.
+func auditWrapped(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("audit: %w", cause)
+	}
+	return nil
+}
+
+// notBoundary is not an Audit-prefixed function; uncoded errors are its
+// caller's concern.
+func notBoundary() error {
+	return errors.New("plain")
+}

@@ -1,0 +1,26 @@
+// True-negative fixture for rejectcode: suppressions carry reviewed
+// //karousos:rejectcode-ok directives.
+package rejectcodeok
+
+import "errors"
+
+type RejectCode string
+
+const (
+	CodeA RejectCode = "A"
+	CodeB RejectCode = "B"
+)
+
+func auditLegacy() error {
+	//karousos:rejectcode-ok legacy shim scheduled for removal; callers map this to CodeA
+	return errors.New("legacy")
+}
+
+func partial(c RejectCode) string {
+	//karousos:rejectcode-ok CodeB cannot reach this shim; its caller filters it out
+	switch c {
+	case CodeA:
+		return "a"
+	}
+	return ""
+}

@@ -19,6 +19,7 @@ package auditd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -172,7 +173,7 @@ func New(cfg Config) (*Auditor, error) {
 			return rerr
 		})
 		switch {
-		case os.IsNotExist(err):
+		case errors.Is(err, os.ErrNotExist):
 		case err != nil:
 			return nil, err
 		default:
@@ -314,7 +315,7 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 }
 
 func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched) error {
-	start := time.Now()
+	start := time.Now() //karousos:nondeterminism-ok audit-latency metric for Status; never part of the verdict
 
 	if m.Fresh {
 		// Trusted restart boundary, recorded by the collector itself: the
@@ -386,7 +387,7 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 	a.status.LastAccepted = m.Seq
 	a.status.LastProcessed = m.Seq
 	a.status.Accepted++
-	a.status.LastAudit = time.Since(start)
+	a.status.LastAudit = time.Since(start) //karousos:nondeterminism-ok audit-latency metric for Status; never part of the verdict
 	a.status.TotalAudit += a.status.LastAudit
 	cp := checkpoint{LastAccepted: m.Seq, LastProcessed: m.Seq, Carry: next}
 	a.mu.Unlock()
@@ -451,11 +452,11 @@ func writeCheckpoint(fsys iofault.FS, path string, cp checkpoint) error {
 		return err
 	}
 	if _, err := f.Write(blob); err != nil {
-		f.Close()
+		f.Close() //karousos:errladder-ok close-after-error; the write error is the one that surfaces
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		f.Close() //karousos:errladder-ok close-after-error; the fsync error is the one that surfaces
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -483,6 +484,7 @@ func (a *Auditor) Run(ctx context.Context) error {
 			}
 			return err
 		}
+		//karousos:nondeterminism-ok poll-loop plumbing; epochs are audited strictly in sequence regardless of which wakeup fires
 		select {
 		case <-ctx.Done():
 			return nil

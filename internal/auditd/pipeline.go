@@ -114,7 +114,7 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		if err != nil {
 			return res, err
 		}
-		resp.Body.Close()
+		resp.Body.Close() //karousos:errladder-ok best-effort drain of the harness client response; the status code is checked below
 		if resp.StatusCode != http.StatusOK {
 			return res, fmt.Errorf("auditd: pipeline invoke: status %d", resp.StatusCode)
 		}
@@ -150,6 +150,7 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		if st.LastProcessed >= lastSeq {
 			break
 		}
+		//karousos:nondeterminism-ok harness wait loop; drain progress is re-read from Status on every wakeup
 		select {
 		case err := <-auditErr:
 			finish()

@@ -134,6 +134,7 @@ func (s *Supervisor) Run(ctx context.Context) error {
 		if delay > b.Max {
 			delay = b.Max
 		}
+		//karousos:nondeterminism-ok restart backoff sleep; supervision timing is not part of any verdict
 		select {
 		case <-ctx.Done():
 			return nil

@@ -122,7 +122,7 @@ func New(cfg Config) (*Collector, error) {
 	}
 	nextRID, err := recoverIncarnation(l)
 	if err != nil {
-		l.Close()
+		l.Close() //karousos:errladder-ok close-after-error cleanup; the recovery failure is the error that surfaces
 		return nil, err
 	}
 	app, store := cfg.Spec.New()
@@ -219,7 +219,7 @@ func (c *Collector) ageLoop() {
 		case <-c.ageTicker.C:
 			c.mu.Lock()
 			if !c.closed && time.Since(c.lastSeal) >= c.cfg.EpochMaxAge {
-				_, _ = c.sealLocked()
+				_, _ = c.sealLocked() //karousos:errladder-ok seal failure is held in lastSealErr (flips /readyz) and retried
 			}
 			c.mu.Unlock()
 		}
@@ -317,6 +317,7 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			// it — the response is already computed and recorded. The error
 			// is held in lastSealErr (flips /readyz) and the seal retries on
 			// the next request or age tick.
+			//karousos:errladder-ok seal failure must not fail the admitted request; held in lastSealErr and retried
 			_, _ = c.sealLocked()
 		}
 	}
@@ -559,5 +560,5 @@ func (c *Collector) Close() error {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v) //karousos:errladder-ok best-effort response body; the status header is already sent
 }

@@ -51,6 +51,33 @@ const (
 	RejectUnauditable RejectCode = "Unauditable"
 )
 
+// String returns the stable operator-facing name of the code — the same
+// token the CLI prints with -reason-code and README's reason-code table
+// documents. The empty code (no verdict classification) reads "<uncoded>".
+func (c RejectCode) String() string {
+	if c == "" {
+		return "<uncoded>"
+	}
+	return string(c)
+}
+
+// AllRejectCodes returns every defined rejection code, ordered by the audit
+// layer that fires it (structural validation first, evidence degradation
+// last). karousos-vet's rejectcode analyzer proves this registry exhaustive
+// against the constant block above.
+func AllRejectCodes() []RejectCode {
+	return []RejectCode{
+		RejectMalformedAdvice,
+		RejectLogMismatch,
+		RejectGraphCycle,
+		RejectIsolationViolation,
+		RejectOutputMismatch,
+		RejectResourceLimit,
+		RejectInternalFault,
+		RejectUnauditable,
+	}
+}
+
 // Reject aborts an audit: verifier-side Ops implementations panic with it
 // when untrusted advice fails a check, and the audit boundary recovers it
 // into the verdict. It is exported so every layer (annotated-op replay,

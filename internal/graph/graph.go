@@ -21,8 +21,9 @@ import (
 // dedup-map lookup keeps AddEdge — the hottest graph operation in an audit —
 // to a single map access.
 type Graph[N comparable] struct {
-	adj map[N][]N
-	n   int // edge count, duplicates included
+	adj   map[N][]N
+	nodes []N // insertion order; every iteration walks this, never the map
+	n     int // edge count, duplicates included
 }
 
 // New returns an empty graph.
@@ -34,6 +35,7 @@ func New[N comparable]() *Graph[N] {
 func (g *Graph[N]) AddNode(n N) {
 	if _, ok := g.adj[n]; !ok {
 		g.adj[n] = nil
+		g.nodes = append(g.nodes, n)
 	}
 }
 
@@ -45,6 +47,7 @@ func (g *Graph[N]) HasNode(n N) bool {
 
 // AddEdge inserts the directed edge from→to, adding both endpoints if needed.
 func (g *Graph[N]) AddEdge(from, to N) {
+	g.AddNode(from)
 	g.AddNode(to)
 	g.adj[from] = append(g.adj[from], to)
 	g.n++
@@ -71,13 +74,12 @@ func (g *Graph[N]) NumEdges() int { return g.n }
 // must not modify it.
 func (g *Graph[N]) Succ(n N) []N { return g.adj[n] }
 
-// Nodes returns all nodes in unspecified order.
+// Nodes returns all nodes in insertion order. The order is deterministic so
+// that everything derived from a node sweep — cycle reports, topological
+// sorts, DOT dumps — is a pure function of the call sequence that built the
+// graph, never of Go's randomized map iteration.
 func (g *Graph[N]) Nodes() []N {
-	out := make([]N, 0, len(g.adj))
-	for n := range g.adj {
-		out = append(out, n)
-	}
-	return out
+	return append([]N(nil), g.nodes...)
 }
 
 // FindCycle returns a cycle as a node sequence (first == last) if the graph
@@ -97,7 +99,10 @@ func (g *Graph[N]) FindCycle() []N {
 		node N
 		next int
 	}
-	for start := range g.adj {
+	// Starting roots in insertion order makes the *reported* cycle — and so
+	// the rejection Reason shown to operators — deterministic for a given
+	// build sequence.
+	for _, start := range g.nodes {
 		if color[start] != white {
 			continue
 		}
@@ -153,8 +158,8 @@ func (g *Graph[N]) TopoSort() (order []N, ok bool) {
 		}
 	}
 	queue := make([]N, 0, len(g.adj))
-	for n, d := range indeg {
-		if d == 0 {
+	for _, n := range g.nodes {
+		if indeg[n] == 0 {
 			queue = append(queue, n)
 		}
 	}

@@ -47,7 +47,8 @@ func (v *Verifier) variable(id core.VarID) *vvar {
 // entries for one operation are forgery.
 func (v *Verifier) buildVarLogIndex() {
 	v.rawVarLogs = make(map[core.VarID]map[core.Op]*advice.VarLogEntry, len(v.adv.VarLogs))
-	for id, entries := range v.adv.VarLogs {
+	for _, id := range sortedKeys(v.adv.VarLogs) {
+		entries := v.adv.VarLogs[id]
 		idx := make(map[core.Op]*advice.VarLogEntry, len(entries))
 		for i := range entries {
 			e := &entries[i]
@@ -66,7 +67,7 @@ func (v *Verifier) buildVarLogIndex() {
 // checkVarLogsKnown rejects advice that logs variables the program never
 // creates.
 func (v *Verifier) checkVarLogsKnown() {
-	for id := range v.rawVarLogs {
+	for _, id := range sortedKeys(v.rawVarLogs) {
 		if _, ok := v.vars[id]; !ok {
 			core.Rejectf("variable log for unknown variable %s", id)
 		}
@@ -318,7 +319,8 @@ func gnodeLabel(n gnode) string {
 func gnodeOf(op core.Op) gnode { return opNode(op.RID, op.HID, op.Num) }
 
 func (v *Verifier) addInternalStateEdges() {
-	for _, vv := range v.vars {
+	for _, id := range sortedKeys(v.vars) {
+		vv := v.vars[id]
 		if vv.initial == nil {
 			continue
 		}
@@ -352,13 +354,14 @@ func (v *Verifier) addInternalStateEdges() {
 // check a forged "phantom" write could feed logged reads while staying
 // invisible to the execution graph.
 func (v *Verifier) checkConsumption() {
-	for op := range v.opMap {
+	for _, op := range sortedKeysFunc(v.opMap, opLess) {
 		if !v.opConsumed[op] {
 			core.RejectCodef(core.RejectLogMismatch, "log entry %v was never produced by re-execution", op)
 		}
 	}
-	for _, vv := range v.vars {
-		for op := range vv.log {
+	for _, id := range sortedKeys(v.vars) {
+		vv := v.vars[id]
+		for _, op := range sortedKeysFunc(vv.log, opLess) {
 			if !vv.consumed[op] {
 				core.RejectCodef(core.RejectLogMismatch, "variable log entry %v of %s was never produced by re-execution", op, vv.id)
 			}

@@ -55,8 +55,7 @@ func (c *CarryState) Normalize() {
 		c.Vars[id] = value.Normalize(val)
 	}
 	for key, cw := range c.Store {
-		cw.Contents = value.Normalize(cw.Contents)
-		c.Store[key] = cw
+		c.Store[key] = CarriedWrite{Pos: cw.Pos, Contents: value.Normalize(cw.Contents)}
 	}
 }
 
@@ -74,7 +73,7 @@ func (v *Verifier) injectCarry() {
 	// The carry came from our own prior audit of the same application, so a
 	// mismatch with the program's variables is an auditor-side fault, not
 	// advice forgery.
-	for id := range c.Vars {
+	for _, id := range sortedKeys(c.Vars) {
 		if _, ok := v.vars[id]; !ok {
 			core.RejectCodef(core.RejectInternalFault, "carry state names unknown variable %s", id)
 		}
@@ -128,7 +127,8 @@ func (v *Verifier) carryOut() *CarryState {
 			out.Store[key] = cw
 		}
 	}
-	for id, vv := range v.vars {
+	for _, id := range sortedKeys(v.vars) {
+		vv := v.vars[id]
 		if vv.initial == nil {
 			continue
 		}
@@ -142,7 +142,8 @@ func (v *Verifier) carryOut() *CarryState {
 		}
 		out.Vars[id] = v.valueOfWrite(vv, cur)
 	}
-	for key, order := range v.woPerKey {
+	for _, key := range sortedKeys(v.woPerKey) {
+		order := v.woPerKey[key]
 		p := order[len(order)-1]
 		op := v.txOpAt(p)
 		if op == nil {

@@ -58,6 +58,7 @@ func TestQuickHonestRunsAccepted(t *testing.T) {
 	for _, ac := range appCases() {
 		ac := ac
 		t.Run(ac.name, func(t *testing.T) {
+			root := testSeed(t)
 			f := func(seed int64) bool {
 				r := rand.New(rand.NewSource(seed))
 				n := 10 + r.Intn(40)
@@ -89,7 +90,10 @@ func TestQuickHonestRunsAccepted(t *testing.T) {
 				}
 				return true
 			}
-			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			if err := quick.Check(f, &quick.Config{
+				MaxCount: 25,
+				Rand:     rand.New(rand.NewSource(root)),
+			}); err != nil {
 				t.Error(err)
 			}
 		})

@@ -311,6 +311,7 @@ func TestAdviceMutationFuzz(t *testing.T) {
 	for _, tgt := range targets {
 		tgt := tgt
 		t.Run(tgt.name, func(t *testing.T) {
+			root := testSeed(t)
 			app, store := tgt.mk()
 			srv := server.New(server.Config{App: app, Store: store, Seed: 17, CollectKarousos: true})
 			res, err := srv.Run(tgt.gen(13), 5)
@@ -324,7 +325,7 @@ func TestAdviceMutationFuzz(t *testing.T) {
 			applied := 0
 			for _, m := range append(mutators(), faultMutators()...) {
 				for trial := 0; trial < 8; trial++ {
-					r := rand.New(rand.NewSource(int64(trial)*1000 + 7))
+					r := rand.New(rand.NewSource(root + int64(trial)*1000 + 7))
 					mut := res.Karousos.Clone()
 					if !m.apply(r, mut) {
 						continue

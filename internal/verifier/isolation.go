@@ -76,7 +76,8 @@ func (v *Verifier) addExternalStateEdges() {
 					}
 				}
 				// Own writes within the prefix must be visible to the scan.
-				for key, mw := range myWrites {
+				for _, key := range sortedKeys(myWrites) {
+					mw := myWrites[key]
 					if !strings.HasPrefix(key, op.Key) {
 						continue
 					}
@@ -171,13 +172,13 @@ func (v *Verifier) isolationLevelVerification() {
 	// (Figure 17's AddReadDependencyEdges line 33–36, applicable to levels
 	// that exclude G1b: read committed and serializability).
 	if v.cfg.Isolation != adya.ReadUncommitted {
-		for w, readers := range v.readMap {
+		for _, w := range sortedKeysFunc(v.readMap, txPosLess) {
 			// A carried write was installed in a prior accepted epoch; it
 			// is readable without appearing in this epoch's write order.
 			if v.inWO[w] || v.isCarried(w) {
 				continue
 			}
-			for _, r := range readers {
+			for _, r := range v.readMap[w] {
 				if v.committed[txRef{rid: r.RID, tid: r.TID}] && (r.RID != w.RID || r.TID != w.TID) {
 					core.RejectCodef(core.RejectIsolationViolation, "committed transaction %s/%s reads from non-installed write %v", r.RID, r.TID, w)
 				}
@@ -186,17 +187,18 @@ func (v *Verifier) isolationLevelVerification() {
 	}
 
 	h := &adya.History{WriteOrderPerKey: make(map[string][]adya.Write, len(writeOrderPerKey))}
-	for ref := range v.committed {
+	for _, ref := range sortedKeysFunc(v.committed, txRefLess) {
 		h.Committed = append(h.Committed, adya.TxKey{RID: string(ref.rid), TID: string(ref.tid)})
 	}
-	for key, order := range writeOrderPerKey {
+	for _, key := range sortedKeys(writeOrderPerKey) {
+		order := writeOrderPerKey[key]
 		ws := make([]adya.Write, len(order))
 		for i, p := range order {
 			ws[i] = adya.Write{Tx: adya.TxKey{RID: string(p.RID), TID: string(p.TID)}, Pos: p.Index}
 		}
 		h.WriteOrderPerKey[key] = ws
 	}
-	for w, readers := range v.readMap {
+	for _, w := range sortedKeysFunc(v.readMap, txPosLess) {
 		// Reads from carried writes stay out of the Adya history: the epoch
 		// seal happens between requests, so every prior-epoch transaction
 		// committed before any in-epoch transaction began — cross-boundary
@@ -205,7 +207,7 @@ func (v *Verifier) isolationLevelVerification() {
 		if v.isCarried(w) {
 			continue
 		}
-		for _, r := range readers {
+		for _, r := range v.readMap[w] {
 			h.Reads = append(h.Reads, adya.Read{
 				From:  adya.Write{Tx: adya.TxKey{RID: string(w.RID), TID: string(w.TID)}, Pos: w.Index},
 				By:    adya.TxKey{RID: string(r.RID), TID: string(r.TID)},
@@ -262,7 +264,7 @@ func (v *Verifier) validateTxOrder() map[adya.TxKey]adya.TxTimes {
 			core.Rejectf("txOrder event %d has unknown kind %d", i, ev.Kind)
 		}
 	}
-	for ref := range v.committed {
+	for _, ref := range sortedKeysFunc(v.committed, txRefLess) {
 		if !seenBegin[ref] || !seenCommit[ref] {
 			core.Rejectf("committed transaction %s/%s missing begin or commit in txOrder", ref.rid, ref.tid)
 		}

@@ -34,14 +34,14 @@ func (v *Verifier) reExec() {
 
 	// Figure 18 line 64: every handler in the advice must have been
 	// re-executed.
-	for rid, counts := range v.adv.OpCounts {
-		for hid := range counts {
+	for _, rid := range sortedKeys(v.adv.OpCounts) {
+		for _, hid := range sortedKeys(v.adv.OpCounts[rid]) {
 			if !v.executed[rid][hid] {
 				core.RejectCodef(core.RejectLogMismatch, "advised handler (%s,%s) was never re-executed", rid, hid)
 			}
 		}
 	}
-	for rid := range v.inputs {
+	for _, rid := range sortedKeys(v.inputs) {
 		if !v.responded[rid] {
 			core.RejectCodef(core.RejectLogMismatch, "re-execution produced no response for %s", rid)
 		}
@@ -172,6 +172,7 @@ func (g *groupExec) Emit(ctx *core.Context, opnum int, event core.EventName, pay
 		if len(s) != len(set) {
 			core.RejectCodef(core.RejectLogMismatch, "emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
 		}
+		//karousos:nondeterminism-ok set-equality sweep; the rejection message is identical no matter which member differs
 		for hid := range set {
 			if !s[hid] {
 				core.RejectCodef(core.RejectLogMismatch, "emit (%s,%d) activates different handlers across the group", ctx.HID(), opnum)
@@ -197,7 +198,7 @@ func (g *groupExec) Emit(ctx *core.Context, opnum int, event core.EventName, pay
 // the activated hid determines the function because hids are digests of
 // (fn, event, parent, emit op).
 func (v *Verifier) fnOfActivated(parent core.HID, opnum int, event core.EventName, hid core.HID) (core.FunctionID, bool) {
-	for fn := range v.cfg.App.Funcs {
+	for _, fn := range sortedKeys(v.cfg.App.Funcs) {
 		if core.ComputeHID(fn, event, parent, opnum) == hid {
 			return fn, true
 		}

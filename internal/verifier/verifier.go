@@ -355,11 +355,13 @@ func (v *Verifier) addTimePrecedenceEdges() {
 func (v *Verifier) addProgramEdges() {
 	lim := v.cfg.Limits
 	handlers := 0
-	for rid, counts := range v.adv.OpCounts {
+	for _, rid := range sortedKeys(v.adv.OpCounts) {
 		if !v.inTrace[rid] {
 			core.Rejectf("opcounts mention request %s absent from trace", rid)
 		}
-		for hid, n := range counts {
+		counts := v.adv.OpCounts[rid]
+		for _, hid := range sortedKeys(counts) {
+			n := counts[hid]
 			if n < 0 {
 				core.Rejectf("negative opcount for (%s,%s)", rid, hid)
 			}
@@ -391,14 +393,14 @@ func (v *Verifier) addBoundaryEdges() {
 	for _, fn := range v.requestFns {
 		reqHIDs[core.RequestHID(fn, v.cfg.App.RequestEvent)] = true
 	}
-	for rid, counts := range v.adv.OpCounts {
-		for hid := range counts {
+	for _, rid := range sortedKeys(v.adv.OpCounts) {
+		for _, hid := range sortedKeys(v.adv.OpCounts[rid]) {
 			if reqHIDs[hid] {
 				v.g.AddEdge(reqNode(rid), opNode(rid, hid, 0))
 			}
 		}
 	}
-	for rid := range v.inputs {
+	for _, rid := range sortedKeys(v.inputs) {
 		at, ok := v.adv.ResponseEmittedBy[rid]
 		if !ok {
 			core.Rejectf("responseEmittedBy missing for %s", rid)
@@ -443,7 +445,8 @@ func (v *Verifier) checkOpIsValid(rid core.RID, hid core.HID, opnum int, loc opL
 // handler-log precedence edges, the per-request Registered set, and
 // activation edges from emits to the handlers they activate.
 func (v *Verifier) addHandlerRelatedEdges() {
-	for rid, log := range v.adv.HandlerLogs {
+	for _, rid := range sortedKeys(v.adv.HandlerLogs) {
+		log := v.adv.HandlerLogs[rid]
 		if !v.inTrace[rid] {
 			core.Rejectf("handler log for request %s absent from trace", rid)
 		}
@@ -479,7 +482,7 @@ func (v *Verifier) addHandlerRelatedEdges() {
 						add(re.fn)
 					}
 				}
-				for re := range registered {
+				for _, re := range sortedKeysFunc(registered, regEntryLess) {
 					if re.event == op.Event {
 						add(re.fn)
 					}
