@@ -13,6 +13,7 @@ package karousos_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"karousos.dev/karousos"
@@ -252,22 +253,32 @@ func BenchmarkAuditComponents(b *testing.B) {
 }
 
 // BenchmarkConcurrencySweep reports Karousos verification time across the
-// paper's concurrency axis in one run (sub-benchmarks per level).
+// paper's concurrency axis crossed with the audit-worker axis in one run
+// (sub-benchmarks per level). The worker axis is the parallel engine's
+// scaling curve: workers-1 is the sequential engine, higher levels replay
+// tag groups concurrently with a deterministic merge.
 func BenchmarkConcurrencySweep(b *testing.B) {
 	spec := karousos.WikiApp()
+	workerLevels := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g > 4 {
+		workerLevels = append(workerLevels, g)
+	}
 	for _, conc := range []int{1, 15, 30, 60} {
 		reqs := karousos.WikiWorkload(benchRequests, 1)
 		run, err := karousos.Serve(spec, reqs, conc, 42, karousos.CollectKarousos)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(fmt.Sprintf("conc-%d", conc), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if v := karousos.VerifyKarousos(spec, run.Trace, run.Karousos); v.Err != nil {
-					b.Fatal(v.Err)
+		for _, workers := range workerLevels {
+			b.Run(fmt.Sprintf("conc-%d-workers-%d", conc, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					v := karousos.VerifyWith(spec, run.Trace, run.Karousos, karousos.VerifyOptions{Workers: workers})
+					if v.Err != nil {
+						b.Fatal(v.Err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

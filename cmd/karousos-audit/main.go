@@ -221,11 +221,12 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 	deadline := fs.Duration("deadline", karousos.DefaultLimits().Deadline, "wall-clock budget for the audit (0 = unbounded)")
 	faultSpec := fs.String("faultinject", "", "corrupt the advice with a catalogue operator (\"op\" or \"op:seed\") before auditing")
 	epochs := fs.String("epochs", "", "audit a karousos-auditd epoch log directory instead of a run directory")
+	workers := fs.Int("workers", 0, "audit parallelism: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	if *epochs != "" {
-		return verifyEpochs(*epochs, *deadline, *reasonCode, stdout, stderr)
+		return verifyEpochs(*epochs, *deadline, *workers, *reasonCode, stdout, stderr)
 	}
 
 	spec, tr, advBytes, err := loadRun(*dir)
@@ -255,10 +256,10 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer f.Close()
-		verdict = karousos.VerifyKarousosWithGraph(spec, tr, adv, f)
+		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Workers: *workers, DumpGraph: f})
 		fmt.Fprintf(stdout, "wrote execution graph to %s\n", *graph)
 	} else {
-		verdict = karousos.VerifyKarousosLimits(spec, tr, adv, lim)
+		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Limits: lim, Workers: *workers})
 	}
 	if verdict.Err != nil {
 		code := karousos.RejectCodeOf(verdict.Err)
@@ -283,11 +284,11 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 // verifyEpochs audits every sealed epoch of an epoch log directory in
 // order, carrying the verifier's dictionary state across epochs — the
 // offline equivalent of karousos-auditd audit.
-func verifyEpochs(dir string, deadline time.Duration, reasonCode bool, stdout, stderr io.Writer) int {
+func verifyEpochs(dir string, deadline time.Duration, workers int, reasonCode bool, stdout, stderr io.Writer) int {
 	lim := karousos.DefaultLimits()
 	lim.Deadline = deadline
 	start := time.Now()
-	st, err := karousos.AuditEpochDir(context.Background(), dir, lim)
+	st, err := karousos.AuditEpochDir(context.Background(), dir, lim, workers)
 	if err != nil {
 		var rej *karousos.EpochReject
 		if errors.As(err, &rej) {

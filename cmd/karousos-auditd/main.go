@@ -179,12 +179,13 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 	follow := fs.Bool("follow", false, "keep tailing the log until interrupted")
 	deadline := fs.Duration("deadline", verifier.DefaultLimits().Deadline, "wall-clock budget per epoch audit (0 = unbounded)")
 	reasonCode := fs.Bool("reason-code", false, "on rejection, print only the bare reason code on stdout")
+	workers := fs.Int("workers", 0, "audit parallelism per epoch: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	lim := verifier.DefaultLimits()
 	lim.Deadline = *deadline
-	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim})
+	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim, AuditWorkers: *workers})
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -257,6 +258,7 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", "", "epoch log directory (default: a fresh temp dir)")
 	seed := fs.Int64("seed", 42, "workload and scheduler seed")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall pipeline budget")
+	workers := fs.Int("workers", 0, "audit parallelism per epoch: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -279,6 +281,7 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 		EpochRequests: *epochReqs,
 		Seed:          *seed,
 		Limits:        verifier.DefaultLimits(),
+		AuditWorkers:  *workers,
 	})
 	if err != nil {
 		var rej *auditd.Reject

@@ -1,0 +1,247 @@
+// Baseline mode: karousos-bench can emit a committed performance baseline
+// (BENCH_baseline.json) and later check the working tree against it, so CI
+// catches ns/op regressions without running the full figure sweeps.
+//
+//	karousos-bench -baseline-out BENCH_baseline.json     # regenerate
+//	karousos-bench -baseline-check BENCH_baseline.json   # gate (CI)
+//
+// The baseline deliberately records only scale-free quantities (ns/op,
+// allocs/op) plus the config that produced them; no timestamps or host
+// names, so regenerating on the same machine is a stable diff.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/workload"
+)
+
+// baselineRequests is smaller than the figure sweeps' default so the CI
+// bench-smoke job stays cheap; the shapes (and therefore regressions in
+// them) are preserved.
+const baselineRequests = 120
+
+type baselineResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Config struct {
+		Requests   int `json:"requests"`
+		GOMAXPROCS int `json:"gomaxprocs"`
+	} `json:"config"`
+	Results map[string]baselineResult `json:"results"`
+}
+
+type baselineBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func baselineWorkload(app string, mix workload.Mix) (harness.AppSpec, []server.Request) {
+	switch app {
+	case "motd":
+		return harness.MOTDApp(), workload.MOTD(baselineRequests, mix, 1)
+	case "stacks":
+		return harness.StacksApp(), workload.Stacks(baselineRequests, mix, 1, workload.DefaultStacksOptions())
+	case "wiki":
+		return harness.WikiApp(), workload.Wiki(baselineRequests, 1)
+	}
+	panic("unknown app " + app)
+}
+
+// baselineServe mirrors the Figure-6 panels: serving cost with Karousos
+// advice collection on.
+func baselineServe(app string, mix workload.Mix) func(*testing.B) {
+	return func(b *testing.B) {
+		warmup := baselineRequests / 5
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec, reqs := baselineWorkload(app, mix)
+			if _, err := harness.ServeWarm(spec, reqs, warmup, 30, int64(i), harness.CollectKarousos); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// baselineVerify mirrors the Figure-7 panels: audit turnaround at the given
+// worker count (0 = GOMAXPROCS, the production default; 1 = the sequential
+// reference the parallel engine must not regress).
+func baselineVerify(app string, mix workload.Mix, auditWorkers int) func(*testing.B) {
+	return func(b *testing.B) {
+		spec, reqs := baselineWorkload(app, mix)
+		run, err := harness.Serve(spec, reqs, 30, 42, harness.CollectKarousos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := harness.VerifyWith(spec, run.Trace, run.Karousos, harness.VerifyOptions{Workers: auditWorkers})
+			if v.Err != nil {
+				b.Fatal(v.Err)
+			}
+		}
+	}
+}
+
+func baselineBenches() []baselineBench {
+	return []baselineBench{
+		{"fig6a-motd-write-heavy-server-karousos", baselineServe("motd", workload.WriteHeavy)},
+		{"fig6b-stacks-read-heavy-server-karousos", baselineServe("stacks", workload.ReadHeavy)},
+		{"fig6c-wiki-server-karousos", baselineServe("wiki", workload.Mixed)},
+		{"fig7a-motd-write-heavy-verify-karousos", baselineVerify("motd", workload.WriteHeavy, 0)},
+		{"fig7b-stacks-read-heavy-verify-karousos", baselineVerify("stacks", workload.ReadHeavy, 0)},
+		{"fig7c-wiki-verify-karousos", baselineVerify("wiki", workload.Mixed, 0)},
+		{"fig7c-wiki-verify-karousos-workers-1", baselineVerify("wiki", workload.Mixed, 1)},
+		{"audit-components/advice-decode", func(b *testing.B) {
+			spec, reqs := baselineWorkload("wiki", workload.Mixed)
+			run, err := harness.Serve(spec, reqs, 30, 42, harness.CollectKarousos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire := run.Karousos.MarshalBinary()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := advice.UnmarshalBinary(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"audit-components/advice-encode", func(b *testing.B) {
+			spec, reqs := baselineWorkload("wiki", workload.Mixed)
+			run, err := harness.Serve(spec, reqs, 30, 42, harness.CollectKarousos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = run.Karousos.MarshalBinary()
+			}
+		}},
+		{"audit-components/full-audit", baselineVerify("wiki", workload.Mixed, 0)},
+	}
+}
+
+func measureBaseline(bb baselineBench) (baselineResult, error) {
+	r := testing.Benchmark(bb.fn)
+	if r.N == 0 {
+		return baselineResult{}, fmt.Errorf("benchmark %s failed", bb.name)
+	}
+	return baselineResult{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, nil
+}
+
+func writeBaseline(path string) error {
+	var f baselineFile
+	f.Config.Requests = baselineRequests
+	f.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	f.Results = make(map[string]baselineResult)
+	for _, bb := range baselineBenches() {
+		res, err := measureBaseline(bb)
+		if err != nil {
+			return err
+		}
+		f.Results[bb.name] = res
+		fmt.Printf("%-45s %14.0f ns/op %10d allocs/op\n", bb.name, res.NsPerOp, res.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// checkBaseline compares the working tree against a committed baseline and
+// returns an error on any ns/op regression beyond the tolerance. Benchmarks
+// are noisy, especially on shared CI runners, so a candidate that trips the
+// gate is re-measured (up to three attempts total) and judged on its best
+// run; allocs/op drift is reported but does not fail the gate — the
+// Workers=1 parity tests own the hard allocation bound.
+func checkBaseline(path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.Config.Requests != baselineRequests {
+		return fmt.Errorf("baseline was recorded at %d requests; this binary measures %d — regenerate with -baseline-out",
+			base.Config.Requests, baselineRequests)
+	}
+	if base.Config.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		fmt.Printf("note: baseline recorded at GOMAXPROCS=%d, running at %d; parallel-audit points may differ\n",
+			base.Config.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+
+	names := make([]string, 0, len(base.Results))
+	for name := range base.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	benches := make(map[string]baselineBench)
+	for _, bb := range baselineBenches() {
+		benches[bb.name] = bb
+	}
+
+	var failures []string
+	for _, name := range names {
+		bb, ok := benches[name]
+		if !ok {
+			fmt.Printf("note: baseline entry %q has no benchmark in this binary; skipping\n", name)
+			continue
+		}
+		want := base.Results[name]
+		limit := want.NsPerOp * (1 + tolerance)
+		var best baselineResult
+		pass := false
+		for attempt := 1; attempt <= 3; attempt++ {
+			got, err := measureBaseline(bb)
+			if err != nil {
+				return err
+			}
+			if attempt == 1 || got.NsPerOp < best.NsPerOp {
+				best = got
+			}
+			if best.NsPerOp <= limit {
+				pass = true
+				break
+			}
+		}
+		status := "ok"
+		if !pass {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.0f)", name, best.NsPerOp, want.NsPerOp, limit))
+		}
+		fmt.Printf("%-45s %14.0f ns/op (baseline %14.0f, %+6.1f%%) %s\n",
+			name, best.NsPerOp, want.NsPerOp, 100*(best.NsPerOp-want.NsPerOp)/want.NsPerOp, status)
+		if want.AllocsPerOp > 0 && best.AllocsPerOp > want.AllocsPerOp+want.AllocsPerOp/10 {
+			fmt.Printf("note: %s allocs/op grew %d -> %d\n", name, want.AllocsPerOp, best.AllocsPerOp)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "regression: "+f)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(failures), 100*tolerance)
+	}
+	return nil
+}

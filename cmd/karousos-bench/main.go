@@ -28,8 +28,29 @@ func main() {
 		trials   = flag.Int("trials", 3, "trials per data point (median reported)")
 		conc     = flag.String("conc", "1,15,30,45,60", "comma-separated concurrency levels")
 		seed     = flag.Int64("seed", 42, "base seed for workloads and schedulers")
+		workers  = flag.String("workers", "", "comma-separated audit worker levels for the Figure-7 worker sweep (default: 1,2,4,GOMAXPROCS)")
+
+		baselineOut   = flag.String("baseline-out", "", "write a performance baseline (ns/op, allocs/op) to this JSON file and exit")
+		baselineCheck = flag.String("baseline-check", "", "check the working tree against a committed baseline JSON file and exit non-zero on regression")
+		baselineTol   = flag.Float64("baseline-tolerance", 0.25, "fractional ns/op slowdown allowed by -baseline-check")
 	)
 	flag.Parse()
+
+	if *baselineOut != "" || *baselineCheck != "" {
+		if *baselineOut != "" {
+			if err := writeBaseline(*baselineOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *baselineCheck != "" {
+			if err := checkBaseline(*baselineCheck, *baselineTol); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		Requests: *requests,
@@ -44,6 +65,16 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Conc = append(cfg.Conc, c)
+	}
+	if *workers != "" {
+		for _, part := range strings.Split(*workers, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "bad worker level %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Workers = append(cfg.Workers, w)
+		}
 	}
 	if cfg.Warmup >= cfg.Requests {
 		fmt.Fprintln(os.Stderr, "warmup must be smaller than requests")

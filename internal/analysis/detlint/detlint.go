@@ -11,7 +11,14 @@
 //   - time.Now / time.Since calls (wall-clock reads);
 //   - importing math/rand or math/rand/v2;
 //   - select statements with two or more communication cases (the runtime
-//     picks a ready case pseudo-randomly).
+//     picks a ready case pseudo-randomly);
+//   - goroutine launches that are not the deterministic fan-out idiom: a
+//     `go` statement must launch an inline func literal, and the literal may
+//     write to outer state only through indexed slots (results[i] = ...) or
+//     channels — per-goroutine slots merged in canonical order by the
+//     spawner keep the verdict schedule-independent, whereas a direct
+//     assignment to an outer variable races the merge order into the
+//     verdict.
 //
 // The only escape hatch is an explicit, reasoned directive on or above the
 // flagged line:
@@ -96,9 +103,85 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 			if comms >= 2 {
 				pass.Reportf(n.Pos(), "select with %d communication cases chooses pseudo-randomly among ready channels on a verdict path", comms)
 			}
+		case *ast.GoStmt:
+			checkGoStmt(pass, n)
 		}
 		return true
 	})
+}
+
+// checkGoStmt constrains goroutine launches on verdict paths to the
+// deterministic fan-out idiom: spawn inline func literals, collect results
+// in per-goroutine indexed slots (or over channels), and merge in canonical
+// order after the pool drains. The literal's body is checked for direct
+// writes to outer variables; such a write would make shared state depend on
+// goroutine scheduling.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		pass.Reportf(g.Pos(), "go launches a named function on a verdict path; spawn an inline func literal so the goroutine's writes are checkable (deterministic fan-out idiom)")
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkGoWrite(pass, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkGoWrite(pass, lit, n.X)
+		}
+		return true
+	})
+}
+
+// checkGoWrite flags an assignment target inside a goroutine body that names
+// a variable declared outside the func literal. Indexed slots
+// (results[i] = ...) are allowed — each goroutine owns distinct indices and
+// the spawner merges slots in deterministic order — as are writes to the
+// goroutine's own locals, the blank identifier, and dereferences (the
+// pointed-to slot is per-item by the same ownership argument).
+func checkGoWrite(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	if _, indexed := lhs.(*ast.IndexExpr); indexed {
+		return
+	}
+	if _, deref := lhs.(*ast.StarExpr); deref {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return // the goroutine's own local (or parameter)
+	}
+	pass.Reportf(lhs.Pos(), "goroutine assigns outer variable %q directly; shared state then depends on scheduling — write to an indexed slot (%s[i] = ...) and merge in canonical order after the pool drains", root.Name, root.Name)
+}
+
+// rootIdent unwraps selectors, indexes, stars, and parens to the base
+// identifier of an assignment target; nil when the base is not an ident
+// (e.g. a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 func isMapType(t types.Type) bool {

@@ -76,3 +76,36 @@ func one(a chan int) int {
 }
 
 func use() { fmt.Println(rand.Int()) }
+
+// named goroutine launch: the callee's writes are invisible to the checker.
+func launchNamed(done chan struct{}) {
+	go helper(done) // want `launches a named function`
+	<-done
+}
+
+func helper(done chan struct{}) { close(done) }
+
+// outerWrite races the goroutines' merge order into shared state.
+func outerWrite(items []int) int {
+	total := 0
+	done := make(chan struct{}, len(items))
+	for range items {
+		go func() {
+			total++ // want `assigns outer variable "total"`
+			done <- struct{}{}
+		}()
+	}
+	for range items {
+		<-done
+	}
+	return total
+}
+
+// outerAssign is the same defect through a plain assignment.
+func outerAssign(c chan int) {
+	last := 0
+	go func() {
+		last = <-c // want `assigns outer variable "last"`
+	}()
+	_ = last
+}

@@ -27,3 +27,22 @@ func firstKey(m map[string]int) string {
 	}
 	return ""
 }
+
+// fanOut is the deterministic fan-out idiom the goroutine check must bless
+// with no directive: inline func literals, goroutine-local state, results in
+// indexed slots, merged in canonical order after the pool drains.
+func fanOut(items []int) []int {
+	results := make([]int, len(items))
+	done := make(chan struct{}, len(items))
+	for i := range items {
+		go func(i int) {
+			v := items[i] * 2  // goroutine-local
+			results[i] = v     // indexed slot: per-goroutine ownership
+			done <- struct{}{} // channel send
+		}(i)
+	}
+	for range items {
+		<-done
+	}
+	return results // canonical (index) order, schedule-independent
+}

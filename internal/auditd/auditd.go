@@ -53,6 +53,10 @@ type Config struct {
 	Checkpoint string
 	// Workers bounds concurrent epoch prefetches. Defaults to 2.
 	Workers int
+	// AuditWorkers is each epoch audit's parallelism (verifier.Config.
+	// Workers): 0 means GOMAXPROCS, 1 forces the sequential engine. The
+	// verdict is identical at every setting.
+	AuditWorkers int
 	// Poll is the follow-mode polling interval. Defaults to 200ms.
 	Poll time.Duration
 	// FS is the filesystem the auditor reads epochs and writes checkpoints
@@ -376,6 +380,7 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		Isolation: a.cfg.Spec.Isolation,
 		Limits:    a.cfg.Limits,
 		Carry:     a.carry,
+		Workers:   a.cfg.AuditWorkers,
 	}
 	_, next, err := verifier.AuditCarry(ctx, cfg, f.tr, adv)
 	if err != nil {

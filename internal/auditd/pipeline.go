@@ -39,6 +39,8 @@ type PipelineOptions struct {
 	FS iofault.FS
 	// MaxRestarts bounds the audit-loop supervisor; 0 takes its default.
 	MaxRestarts int
+	// AuditWorkers is each epoch audit's parallelism; see Config.AuditWorkers.
+	AuditWorkers int
 }
 
 // PipelineResult is RunPipeline's summary.
@@ -85,18 +87,19 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		return nil, err
 	}
 	hs := &http.Server{Handler: col.Handler()}
-	go hs.Serve(ln)
+	go func() { hs.Serve(ln) }() //karousos:errladder-ok Serve returns ErrServerClosed on the deferred Close
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
 
 	sup := NewSupervisor(Config{
-		Dir:        opts.Dir,
-		Spec:       spec,
-		Mode:       opts.Mode,
-		Limits:     opts.Limits,
-		Checkpoint: opts.Checkpoint,
-		Poll:       20 * time.Millisecond,
-		FS:         opts.FS,
+		Dir:          opts.Dir,
+		Spec:         spec,
+		Mode:         opts.Mode,
+		Limits:       opts.Limits,
+		Checkpoint:   opts.Checkpoint,
+		Poll:         20 * time.Millisecond,
+		FS:           opts.FS,
+		AuditWorkers: opts.AuditWorkers,
 	}, SupervisorOptions{MaxRestarts: opts.MaxRestarts})
 	followCtx, stopFollow := context.WithCancel(ctx)
 	defer stopFollow()

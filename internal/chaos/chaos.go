@@ -78,7 +78,7 @@ type Scenario struct {
 	// Requests is the total workload length.
 	Requests int `json:"requests"`
 	// EpochRequests is the collector's seal threshold.
-	EpochRequests int `json:"epochRequests"`
+	EpochRequests int     `json:"epochRequests"`
 	Events        []Event `json:"events,omitempty"`
 }
 

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -24,11 +25,31 @@ type Config struct {
 	Trials   int
 	Conc     []int
 	Seed     int64
+	// Workers are the audit parallelism levels the worker-sweep panel
+	// measures; empty means {1, 2, 4, GOMAXPROCS} deduplicated.
+	Workers []int
 }
 
 // DefaultConfig matches the paper's §6 setup.
 func DefaultConfig() Config {
 	return Config{Requests: 600, Warmup: 120, Trials: 3, Conc: []int{1, 15, 30, 45, 60}, Seed: 42}
+}
+
+// workerLevels resolves cfg.Workers, defaulting to a 1/2/4/GOMAXPROCS sweep
+// with duplicates collapsed (on a 4-core machine: 1, 2, 4).
+func (cfg Config) workerLevels() []int {
+	if len(cfg.Workers) > 0 {
+		return cfg.Workers
+	}
+	levels := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	sort.Ints(levels)
+	out := levels[:1]
+	for _, w := range levels[1:] {
+		if w != out[len(out)-1] {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // Panel is one plot of a figure, rendered as a table.
@@ -122,6 +143,47 @@ func VerificationPanel(app string, mix workload.Mix, cfg Config) Panel {
 	return p
 }
 
+// WorkerSweepPanel measures the Karousos verifier's multi-core scaling: the
+// same (trace, advice) audited at each worker level, with the speedup over
+// the sequential engine. The verdict and Stats are identical at every level
+// (DESIGN.md §13); the sweep asserts that by comparing Stats across levels.
+func WorkerSweepPanel(app string, mix workload.Mix, cfg Config) Panel {
+	conc := 30
+	if len(cfg.Conc) > 0 {
+		conc = cfg.Conc[len(cfg.Conc)-1]
+	}
+	p := Panel{
+		Title:  fmt.Sprintf("karousos audit worker sweep — %s (%s), %d requests, conc %d", app, mix, cfg.Requests, conc),
+		Header: []string{"workers", "karousos", "speedup", "groups"},
+	}
+	spec, reqs := workloadFor(app, mix, cfg.Requests, cfg.Seed)
+	run, err := harness.Serve(spec, reqs, conc, cfg.Seed, harness.CollectKarousos)
+	must(err)
+	var base time.Duration
+	var baseStats *harness.VerifyResult
+	for _, w := range cfg.workerLevels() {
+		var ds []time.Duration
+		var vr *harness.VerifyResult
+		for tr := 0; tr < cfg.Trials; tr++ {
+			vr = harness.VerifyWith(spec, run.Trace, run.Karousos, harness.VerifyOptions{Workers: w})
+			must(vr.Err)
+			ds = append(ds, vr.Elapsed)
+		}
+		m := median(ds)
+		if base == 0 {
+			base = m
+			baseStats = vr
+		}
+		if vr.Stats != baseStats.Stats {
+			panic(fmt.Sprintf("experiments: worker sweep diverged at %d workers: %+v vs %+v", w, vr.Stats, baseStats.Stats))
+		}
+		p.Rows = append(p.Rows, []string{
+			fmt.Sprint(w), fdur(m), fmt.Sprintf("%.2fx", float64(base)/float64(m)), fmt.Sprint(vr.Stats.Groups),
+		})
+	}
+	return p
+}
+
 // AdviceSizePanel reproduces a Figure 8-style panel: the size of the advice
 // the server ships to the verifier, Karousos vs Orochi-JS (§6.3).
 func AdviceSizePanel(app string, mix workload.Mix, cfg Config) Panel {
@@ -166,6 +228,7 @@ func Figure(n int, cfg Config) []Panel {
 			VerificationPanel("motd", workload.WriteHeavy, cfg),
 			VerificationPanel("stacks", workload.ReadHeavy, cfg),
 			VerificationPanel("wiki", workload.Mixed, cfg),
+			WorkerSweepPanel("wiki", workload.Mixed, cfg),
 		}
 	case 8:
 		return []Panel{

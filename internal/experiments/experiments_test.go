@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func tinyConfig() Config {
 	return Config{Requests: 30, Warmup: 6, Trials: 1, Conc: []int{1, 4}, Seed: 7}
@@ -17,8 +20,14 @@ func TestAllFiguresProducePanels(t *testing.T) {
 			if p.Title == "" || len(p.Header) == 0 {
 				t.Errorf("figure %d: panel missing title or header", n)
 			}
-			if len(p.Rows) != len(cfg.Conc) {
-				t.Errorf("figure %d %q: %d rows, want %d", n, p.Title, len(p.Rows), len(cfg.Conc))
+			// Most panels sweep the concurrency axis; the Figure-7 worker
+			// sweep has one row per audit worker level instead.
+			wantRows := len(cfg.Conc)
+			if strings.Contains(p.Title, "worker sweep") {
+				wantRows = len(cfg.workerLevels())
+			}
+			if len(p.Rows) != wantRows {
+				t.Errorf("figure %d %q: %d rows, want %d", n, p.Title, len(p.Rows), wantRows)
 			}
 			for _, row := range p.Rows {
 				if len(row) != len(p.Header) {

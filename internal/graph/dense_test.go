@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseEmpty(t *testing.T) {
+	d := NewDense(0)
+	if d.HasCycle() {
+		t.Error("empty dense graph reported cyclic")
+	}
+	if order, ok := d.TopoSort(); !ok || len(order) != 0 {
+		t.Error("empty dense graph toposort failed")
+	}
+	if d.NumNodes() != 0 || d.NumEdges() != 0 {
+		t.Errorf("NumNodes=%d NumEdges=%d", d.NumNodes(), d.NumEdges())
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense(10)
+	d.AddNode(3)
+	d.AddNode(3)
+	d.AddEdge(1, 2)
+	d.AddEdge(1, 2) // parallel edges kept, like Graph
+	if d.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", d.NumNodes())
+	}
+	if d.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", d.NumEdges())
+	}
+	if !d.HasNode(3) || !d.HasNode(1) || d.HasNode(0) {
+		t.Error("HasNode wrong")
+	}
+	if !d.HasEdge(1, 2) || d.HasEdge(2, 1) {
+		t.Error("HasEdge wrong")
+	}
+	if d.HasCycle() {
+		t.Error("parallel edges are not a cycle")
+	}
+}
+
+func TestDenseAutoGrow(t *testing.T) {
+	d := NewDense(4)
+	d.AddEdge(1000, 2000) // beyond capacity: must grow, not panic
+	if !d.HasNode(1000) || !d.HasNode(2000) {
+		t.Fatal("auto-grow lost nodes")
+	}
+	if d.Capacity() < 2001 {
+		t.Errorf("Capacity = %d, want >= 2001", d.Capacity())
+	}
+	if d.HasCycle() {
+		t.Error("single edge reported cyclic")
+	}
+	d.AddEdge(2000, 1000)
+	cyc := d.FindCycle()
+	if cyc == nil || cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle = %v", cyc)
+	}
+}
+
+func TestDenseSelfLoop(t *testing.T) {
+	d := NewDense(4)
+	d.AddEdge(2, 2)
+	cyc := d.FindCycle()
+	if cyc == nil {
+		t.Fatal("self loop not detected")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Error("cycle should start and end at the same node")
+	}
+}
+
+func TestDenseEachNodeAscending(t *testing.T) {
+	d := NewDense(256)
+	for _, id := range []uint32{200, 5, 63, 64, 0, 127, 128} {
+		d.AddNode(id)
+	}
+	var got []uint32
+	d.EachNode(func(id uint32) { got = append(got, id) })
+	want := []uint32{0, 5, 63, 64, 127, 128, 200}
+	if len(got) != len(want) {
+		t.Fatalf("EachNode visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EachNode visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDenseEachEdgeInsertionOrder(t *testing.T) {
+	d := NewDense(8)
+	edges := [][2]uint32{{3, 1}, {0, 2}, {3, 0}, {0, 2}}
+	for _, e := range edges {
+		d.AddEdge(e[0], e[1])
+	}
+	i := 0
+	d.EachEdge(func(from, to uint32) {
+		if from != edges[i][0] || to != edges[i][1] {
+			t.Fatalf("edge %d = %d→%d, want %d→%d", i, from, to, edges[i][0], edges[i][1])
+		}
+		i++
+	})
+	if i != len(edges) {
+		t.Fatalf("EachEdge visited %d edges, want %d", i, len(edges))
+	}
+}
+
+func TestDenseAddEdgesBatch(t *testing.T) {
+	d := NewDense(8)
+	d.AddEdges([]uint32{0, 1, 1, 2, 5, 6})
+	if d.NumEdges() != 3 || d.NumNodes() != 5 {
+		t.Fatalf("NumEdges=%d NumNodes=%d", d.NumEdges(), d.NumNodes())
+	}
+	if !d.HasEdge(5, 6) {
+		t.Error("batch edge missing")
+	}
+}
+
+func TestDenseDeepChainNoStackOverflow(t *testing.T) {
+	d := NewDense(1_000_001)
+	const n = 1_000_000
+	for i := uint32(0); i < n; i++ {
+		d.AddEdge(i, i+1)
+	}
+	if d.HasCycle() {
+		t.Error("long chain reported cyclic")
+	}
+	d.AddEdge(n, 0)
+	if !d.HasCycle() {
+		t.Error("long cycle not detected")
+	}
+}
+
+func TestDenseDOTMatchesShape(t *testing.T) {
+	d := NewDense(4)
+	d.AddEdge(0, 1)
+	d.AddNode(3)
+	var sb strings.Builder
+	if err := d.DOT(&sb, "g", func(id uint32) string { return fmt.Sprintf("n%d", id) }, []uint32{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"g\"",
+		"\"n0\" [style=filled, fillcolor=salmon];",
+		"\"n3\";",
+		"\"n0\" -> \"n1\" [color=red, penwidth=2];",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDenseMatchesGenericOnRandomGraphs checks that the dense graph agrees
+// with the generic graph on cyclicity, node/edge counts, reachability, and
+// topological validity over random graphs built with the identical call
+// sequence.
+func TestDenseMatchesGenericOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		g := New[int]()
+		d := NewDense(n)
+		for e := 0; e < n*2; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			g.AddEdge(a, b)
+			d.AddEdge(uint32(a), uint32(b))
+		}
+		if g.NumNodes() != d.NumNodes() || g.NumEdges() != d.NumEdges() {
+			return false
+		}
+		if g.HasCycle() != d.HasCycle() {
+			return false
+		}
+		// Reachability must agree on a sample of pairs.
+		for i := 0; i < 10; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if g.Reachable(a, b) != d.Reachable(uint32(a), uint32(b)) {
+				return false
+			}
+		}
+		if cyc := d.FindCycle(); cyc != nil {
+			if cyc[0] != cyc[len(cyc)-1] || len(cyc) < 2 {
+				return false
+			}
+			for i := 0; i+1 < len(cyc); i++ {
+				if !d.HasEdge(cyc[i], cyc[i+1]) {
+					return false
+				}
+			}
+		} else {
+			order, ok := d.TopoSort()
+			if !ok || len(order) != d.NumNodes() {
+				return false
+			}
+			pos := make(map[uint32]int, len(order))
+			for i, v := range order {
+				pos[v] = i
+			}
+			bad := false
+			d.EachEdge(func(from, to uint32) {
+				if pos[from] > pos[to] {
+					bad = true
+				}
+			})
+			if bad {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDenseFindCycleDeterministic: the reported cycle is a pure function of
+// the edge set — repeated calls and rebuilt graphs agree exactly.
+func TestDenseFindCycleDeterministic(t *testing.T) {
+	build := func() *Dense {
+		d := NewDense(64)
+		r := rand.New(rand.NewSource(7))
+		for e := 0; e < 120; e++ {
+			d.AddEdge(uint32(r.Intn(60)), uint32(r.Intn(60)))
+		}
+		return d
+	}
+	d := build()
+	first := d.FindCycle()
+	if first == nil {
+		t.Skip("seed produced an acyclic graph")
+	}
+	for i := 0; i < 5; i++ {
+		again := build().FindCycle()
+		if len(again) != len(first) {
+			t.Fatalf("run %d cycle %v != %v", i, again, first)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d cycle %v != %v", i, again, first)
+			}
+		}
+	}
+}
+
+// TestSuccReturnsCopy pins the aliasing fix: mutating the slice Succ returns
+// must not corrupt the graph's own adjacency.
+func TestSuccReturnsCopy(t *testing.T) {
+	g := New[int]()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	s := g.Succ(1)
+	s[0] = 99
+	if !g.HasEdge(1, 2) {
+		t.Fatal("mutating Succ's result corrupted the graph")
+	}
+	s = append(s[:1], 42)
+	if g.HasEdge(1, 42) {
+		t.Fatal("appending through Succ's result grew the graph's adjacency")
+	}
+	if g.Succ(4) != nil {
+		t.Error("Succ of absent node should be nil")
+	}
+}
+
+// --- interned-graph microbenchmarks (ISSUE 5 satellite): AddNode / AddEdge /
+// cycle check at 10^5–10^6 nodes, dense vs generic. ---
+
+func buildDenseChain(n int) *Dense {
+	d := NewDense(n)
+	for i := uint32(0); i+1 < uint32(n); i++ {
+		d.AddEdge(i, i+1)
+	}
+	return d
+}
+
+func benchmarkDenseAdd(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := NewDense(n)
+		for id := uint32(0); id < uint32(n); id++ {
+			d.AddNode(id)
+		}
+		for id := uint32(0); id+1 < uint32(n); id++ {
+			d.AddEdge(id, id+1)
+		}
+	}
+}
+
+func benchmarkGenericAdd(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New[int]()
+		for id := 0; id < n; id++ {
+			g.AddNode(id)
+		}
+		for id := 0; id+1 < n; id++ {
+			g.AddEdge(id, id+1)
+		}
+	}
+}
+
+func BenchmarkDenseAdd100k(b *testing.B)   { benchmarkDenseAdd(b, 100_000) }
+func BenchmarkDenseAdd1M(b *testing.B)     { benchmarkDenseAdd(b, 1_000_000) }
+func BenchmarkGenericAdd100k(b *testing.B) { benchmarkGenericAdd(b, 100_000) }
+func BenchmarkGenericAdd1M(b *testing.B)   { benchmarkGenericAdd(b, 1_000_000) }
+
+func benchmarkDenseFindCycle(b *testing.B, n int) {
+	d := buildDenseChain(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.FindCycle() != nil {
+			b.Fatal("chain reported cyclic")
+		}
+	}
+}
+
+func benchmarkGenericFindCycle(b *testing.B, n int) {
+	g := New[int]()
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.FindCycle() != nil {
+			b.Fatal("chain reported cyclic")
+		}
+	}
+}
+
+func BenchmarkDenseFindCycle100k(b *testing.B)   { benchmarkDenseFindCycle(b, 100_000) }
+func BenchmarkDenseFindCycle1M(b *testing.B)     { benchmarkDenseFindCycle(b, 1_000_000) }
+func BenchmarkGenericFindCycle100k(b *testing.B) { benchmarkGenericFindCycle(b, 100_000) }
+func BenchmarkGenericFindCycle1M(b *testing.B)   { benchmarkGenericFindCycle(b, 1_000_000) }

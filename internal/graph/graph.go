@@ -70,9 +70,16 @@ func (g *Graph[N]) NumNodes() int { return len(g.adj) }
 // NumEdges returns the number of edges, counting duplicates.
 func (g *Graph[N]) NumEdges() int { return g.n }
 
-// Succ returns the successor list of n. The returned slice is shared; callers
-// must not modify it.
-func (g *Graph[N]) Succ(n N) []N { return g.adj[n] }
+// Succ returns a copy of the successor list of n. Handing out the internal
+// slice was an aliasing hazard — a caller's append or sort could silently
+// rewrite edges under a concurrent merge — so callers own what they get.
+func (g *Graph[N]) Succ(n N) []N {
+	s := g.adj[n]
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]N(nil), s...)
+}
 
 // Nodes returns all nodes in insertion order. The order is deterministic so
 // that everything derived from a node sweep — cycle reports, topological
@@ -230,8 +237,8 @@ func (g *Graph[N]) DOT(w io.Writer, name string, label func(N) string, highlight
 			return err
 		}
 	}
-	for _, from := range g.Nodes() {
-		for _, to := range g.Succ(from) {
+	for _, from := range g.nodes {
+		for _, to := range g.adj[from] {
 			attrs := ""
 			if hl[from] && hl[to] {
 				attrs = " [color=red, penwidth=2]"

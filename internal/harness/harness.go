@@ -9,6 +9,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"karousos.dev/karousos/internal/advice"
@@ -154,19 +155,46 @@ func VerifyOrochi(spec AppSpec, tr *trace.Trace, adv *advice.Advice) *VerifyResu
 }
 
 func verify(spec AppSpec, tr *trace.Trace, adv *advice.Advice, mode advice.Mode) *VerifyResult {
-	return verifyLimits(spec, tr, adv, mode, verifier.Limits{})
+	return VerifyWith(spec, tr, adv, VerifyOptions{Mode: mode})
 }
 
 // VerifyKarousosLimits audits under explicit resource bounds: the wire size
 // is checked before decode-side allocation, and the audit runs under lim's
 // deadline and graph budgets.
 func VerifyKarousosLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, lim verifier.Limits) *VerifyResult {
-	return verifyLimits(spec, tr, adv, advice.ModeKarousos, lim)
+	return VerifyWith(spec, tr, adv, VerifyOptions{Mode: advice.ModeKarousos, Limits: lim, Workers: 1})
 }
 
-func verifyLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, mode advice.Mode, lim verifier.Limits) *VerifyResult {
+// VerifyOptions selects the audit configuration beyond the app spec.
+type VerifyOptions struct {
+	// Mode selects the advice dialect; the zero value is ModeKarousos.
+	Mode advice.Mode
+	// Limits bounds the audit's resources; the zero value is unbounded.
+	Limits verifier.Limits
+	// Workers is the audit's parallelism: 0 means GOMAXPROCS, 1 is the
+	// sequential engine. The verdict is identical at every setting.
+	Workers int
+	// DumpGraph, when non-nil, receives the execution graph G in Graphviz
+	// DOT format (cycles highlighted on rejection).
+	DumpGraph io.Writer
+}
+
+// VerifyWith audits with explicit options; the other Verify helpers are
+// shorthands over it.
+func VerifyWith(spec AppSpec, tr *trace.Trace, adv *advice.Advice, opt VerifyOptions) *VerifyResult {
+	if opt.Mode == "" {
+		opt.Mode = advice.ModeKarousos
+	}
+	return verifyLimits(spec, tr, adv, opt)
+}
+
+func verifyLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, opt VerifyOptions) *VerifyResult {
+	lim := opt.Limits
 	app, _ := spec.New()
-	cfg := verifier.Config{App: app, Mode: mode, Isolation: spec.Isolation, Limits: lim}
+	cfg := verifier.Config{
+		App: app, Mode: opt.Mode, Isolation: spec.Isolation,
+		Limits: lim, Workers: opt.Workers, DumpGraph: opt.DumpGraph,
+	}
 	// The advice crosses the network in a deployment (§2.1), so the timed
 	// region starts from its serialized form: decoding bigger advice is part
 	// of what makes the Orochi-JS verifier slower (§6.2).

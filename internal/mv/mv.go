@@ -10,6 +10,13 @@
 // application code through width-1 multivalues, so the program text is
 // identical in both roles (the paper achieves the same sharing with its
 // transpiler).
+//
+// Concurrency: immutability is also what makes the parallel audit engine
+// safe. Worker goroutines replaying different tag groups share MVs freely
+// (frozen @init state, advice-supplied values) because no operation mutates
+// a constructed MV; the only shared mutable state in a parallel audit lives
+// in the verifier's effect buffers, which are worker-private until merged
+// (DESIGN.md §13).
 package mv
 
 import (

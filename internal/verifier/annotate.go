@@ -79,13 +79,72 @@ func (vv *vvar) dictAppend(op core.Op, val value.V) {
 	vv.dict[k] = append(vv.dict[k], dictEntry{num: op.Num, val: val})
 }
 
+// The eff-routed mutation helpers: with a nil eff (sequential engine, init
+// replay, carry injection) they mutate the shared vvar directly; with an
+// effect buffer they append to the group's overlay/intent stream and the
+// coordinator replays them in canonical group order (parallel.go).
+
+func (v *Verifier) dictAppendEff(vv *vvar, op core.Op, val value.V, eff *groupEffects) {
+	if eff == nil {
+		vv.dictAppend(op, val)
+		return
+	}
+	k := vkey{varID: vv.id, rid: op.RID, hid: op.HID}
+	eff.overlay[k] = append(eff.overlay[k], dictEntry{num: op.Num, val: val})
+	eff.record(intent{kind: effDict, varID: vv.id, op: op, val: val})
+}
+
+func (v *Verifier) consumeVarEff(vv *vvar, op core.Op, eff *groupEffects) {
+	if eff == nil {
+		vv.consumed[op] = true
+		return
+	}
+	eff.record(intent{kind: effVarConsumed, varID: vv.id, op: op})
+}
+
+func (v *Verifier) readObsEff(vv *vvar, prec, op core.Op, eff *groupEffects) {
+	if eff == nil {
+		vv.readObs[prec] = append(vv.readObs[prec], op)
+		return
+	}
+	eff.record(intent{kind: effReadObs, varID: vv.id, prec: prec, op: op})
+}
+
+// writeObsEff links op as the overwriter of prec. Sequentially the conflict
+// check runs here; a group worker defers it to the merge, where the shared
+// write_observer map reflects every canonically-earlier group — the worker
+// could only check against its private view, which misses cross-group
+// conflicts and would make the loser depend on scheduling.
+func (v *Verifier) writeObsEff(vv *vvar, prec, op core.Op, eff *groupEffects) {
+	if eff == nil {
+		if prev, set := vv.writeObs[prec]; set {
+			core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", prev, op, prec, vv.id)
+		}
+		vv.writeObs[prec] = op
+		return
+	}
+	eff.record(intent{kind: effWriteObs, varID: vv.id, prec: prec, op: op})
+}
+
+func (v *Verifier) initialEff(vv *vvar, op core.Op, eff *groupEffects) {
+	if eff == nil {
+		if vv.initial != nil {
+			core.RejectCodef(core.RejectLogMismatch, "variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, op)
+		}
+		cp := op
+		vv.initial = &cp
+		return
+	}
+	eff.record(intent{kind: effInitial, varID: vv.id, op: op})
+}
+
 // annotateRead implements Figure 20's OnRead for one request: a logged read
 // feeds from its logged dictating write; an unlogged read climbs the handler
 // tree through the version dictionary (FindNearestRPrecedingWrite). Under
 // Orochi-JS semantics every request read must be logged.
-func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core.HID) value.V {
+func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core.HID, eff *groupEffects) value.V {
 	if e, ok := vv.log[op]; ok {
-		vv.consumed[op] = true
+		v.consumeVarEff(vv, op, eff)
 		if e.Type != advice.AccessRead {
 			core.RejectCodef(core.RejectLogMismatch, "re-executed read %v logged as write", op)
 		}
@@ -96,17 +155,17 @@ func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core
 		if !ok || pe.Type != advice.AccessWrite {
 			core.Rejectf("logged read %v dictated by missing or non-write entry %v", op, e.Prec)
 		}
-		vv.readObs[e.Prec] = append(vv.readObs[e.Prec], op)
+		v.readObsEff(vv, e.Prec, op, eff)
 		return pe.Value
 	}
 	if v.cfg.Mode == advice.ModeOrochiJS && op.RID != core.InitRID {
 		core.RejectCodef(core.RejectLogMismatch, "orochi-js: read %v of variable %s is not logged", op, vv.id)
 	}
-	prev, val, found := v.findNearestRPrecedingWrite(vv, op, parentOf)
+	prev, val, found := v.findNearestRPrecedingWrite(vv, op, parentOf, eff)
 	if !found {
 		core.RejectCodef(core.RejectLogMismatch, "read %v of variable %s precedes every write", op, vv.id)
 	}
-	vv.readObs[prev] = append(vv.readObs[prev], op)
+	v.readObsEff(vv, prev, op, eff)
 	return val
 }
 
@@ -116,10 +175,10 @@ func (v *Verifier) annotateRead(vv *vvar, op core.Op, parentOf map[core.HID]core
 // predecessor's write_observer; an unlogged (or lazily logged) write finds
 // its R-preceding predecessor through the dictionary. Exactly one write per
 // variable may have no predecessor — the initializer.
-func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map[core.HID]core.HID) {
-	vv.dictAppend(op, val)
+func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map[core.HID]core.HID, eff *groupEffects) {
+	v.dictAppendEff(vv, op, val, eff)
 	if e, ok := vv.log[op]; ok {
-		vv.consumed[op] = true
+		v.consumeVarEff(vv, op, eff)
 		if e.Type != advice.AccessWrite {
 			core.RejectCodef(core.RejectLogMismatch, "re-executed write %v logged as read", op)
 		}
@@ -128,10 +187,7 @@ func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map
 				op, vv.id, value.String(val), value.String(e.Value))
 		}
 		if e.HasPrec {
-			if prev, set := vv.writeObs[e.Prec]; set {
-				core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", prev, op, e.Prec, vv.id)
-			}
-			vv.writeObs[e.Prec] = op
+			v.writeObsEff(vv, e.Prec, op, eff)
 			return
 		}
 		// A lazily-logged write carries no predecessor reference; its
@@ -139,37 +195,40 @@ func (v *Verifier) annotateWrite(vv *vvar, op core.Op, val value.V, parentOf map
 	} else if v.cfg.Mode == advice.ModeOrochiJS && op.RID != core.InitRID {
 		core.RejectCodef(core.RejectLogMismatch, "orochi-js: write %v of variable %s is not logged", op, vv.id)
 	}
-	prev, _, found := v.findNearestRPrecedingWrite(vv, op, parentOf)
+	prev, _, found := v.findNearestRPrecedingWrite(vv, op, parentOf, eff)
 	if found {
-		if other, set := vv.writeObs[prev]; set {
-			core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", other, op, prev, vv.id)
-		}
-		vv.writeObs[prev] = op
+		v.writeObsEff(vv, prev, op, eff)
 		return
 	}
-	if vv.initial != nil {
-		core.RejectCodef(core.RejectLogMismatch, "variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, op)
-	}
-	cp := op
-	vv.initial = &cp
+	v.initialEff(vv, op, eff)
 }
 
 // findNearestRPrecedingWrite climbs from the reading/writing handler up the
 // activation tree (§4.2): the last earlier write by the same handler, then
 // any write by each successive ancestor, ending at the initialization
 // activation I.
-func (v *Verifier) findNearestRPrecedingWrite(vv *vvar, op core.Op, parentOf map[core.HID]core.HID) (core.Op, value.V, bool) {
+func (v *Verifier) findNearestRPrecedingWrite(vv *vvar, op core.Op, parentOf map[core.HID]core.HID, eff *groupEffects) (core.Op, value.V, bool) {
 	rid, hid, bound := op.RID, op.HID, op.Num
 	// The climb is bounded by the activation-tree depth; hids are digests of
 	// their parents, so a parentOf cycle cannot arise from honest hashing —
 	// but the bound makes "cannot hang" a property of this loop, not of the
 	// hash function.
 	for depth := 0; ; depth++ {
-		v.poll()
+		v.effPoll(eff)
 		if depth > len(parentOf)+1 {
 			core.RejectCodef(core.RejectGraphCycle, "activation parent chain of handler %s does not terminate", op.HID)
 		}
-		entries := vv.dict[dkey{rid: rid, hid: hid}]
+		// A group worker reads its own overlay for the group's rids. The
+		// init-level dictionary (rid == InitRID) is frozen during reExec and
+		// only ever holds entries no group wrote, so reading it shared is
+		// race-free; entries for another group's rids are unreachable from
+		// this climb (dkeys carry this op's rid until the init hop).
+		var entries []dictEntry
+		if eff != nil && rid != core.InitRID {
+			entries = eff.overlay[vkey{varID: vv.id, rid: rid, hid: hid}]
+		} else {
+			entries = vv.dict[dkey{rid: rid, hid: hid}]
+		}
 		for i := len(entries) - 1; i >= 0; i-- {
 			if entries[i].num < bound {
 				return core.Op{RID: rid, HID: hid, Num: entries[i].num}, entries[i].val, true
@@ -221,18 +280,18 @@ func (io *initOps) VarInit(ctx *core.Context, vr *core.Variable, opnum int, val 
 	}
 	io.v.vars[vr.ID] = vv
 	// The initialization is the variable's first write.
-	io.v.annotateWrite(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, value.Normalize(val.At(0)), emptyParents)
+	io.v.annotateWrite(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, value.Normalize(val.At(0)), emptyParents, nil)
 }
 
 func (io *initOps) VarRead(ctx *core.Context, vr *core.Variable, opnum int) *mv.MV {
 	vv := io.v.variable(vr.ID)
-	val := io.v.annotateRead(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, emptyParents)
+	val := io.v.annotateRead(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, emptyParents, nil)
 	return mv.Scalar(val, 1)
 }
 
 func (io *initOps) VarWrite(ctx *core.Context, vr *core.Variable, opnum int, val *mv.MV) {
 	vv := io.v.variable(vr.ID)
-	io.v.annotateWrite(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, value.Normalize(val.At(0)), emptyParents)
+	io.v.annotateWrite(vv, core.Op{RID: core.InitRID, HID: core.InitHID, Num: opnum}, value.Normalize(val.At(0)), emptyParents, nil)
 }
 
 func (io *initOps) Register(ctx *core.Context, opnum int, event core.EventName, fn core.FunctionID) {
@@ -281,16 +340,17 @@ func (io *initOps) Nondet(ctx *core.Context, opnum int, site string, gen func(ri
 func (v *Verifier) postprocess() {
 	v.addInternalStateEdges()
 	v.checkConsumption()
-	v.Stats.GraphNodes = v.g.NumNodes()
-	v.Stats.GraphEdges = v.g.NumEdges()
-	cycle := v.g.FindCycle()
+	v.Stats.GraphNodes = v.eg.d.NumNodes()
+	v.Stats.GraphEdges = v.eg.d.NumEdges()
+	cycle := v.eg.d.FindCycle()
 	if v.cfg.DumpGraph != nil {
-		if err := v.g.DOT(v.cfg.DumpGraph, "karousos-G", gnodeLabel, cycle); err != nil {
+		label := func(id uint32) string { return gnodeLabel(v.eg.name(id)) }
+		if err := v.eg.d.DOT(v.cfg.DumpGraph, "karousos-G", label, cycle); err != nil {
 			core.RejectCodef(core.RejectInternalFault, "writing graph dump: %v", err)
 		}
 	}
 	if cycle != nil {
-		core.RejectCodef(core.RejectGraphCycle, "execution graph has a cycle of length %d through %v", len(cycle)-1, cycle[0])
+		core.RejectCodef(core.RejectGraphCycle, "execution graph has a cycle of length %d through %v", len(cycle)-1, v.eg.name(cycle[0]))
 	}
 }
 
@@ -319,6 +379,10 @@ func gnodeLabel(n gnode) string {
 func gnodeOf(op core.Op) gnode { return opNode(op.RID, op.HID, op.Num) }
 
 func (v *Verifier) addInternalStateEdges() {
+	// Runs serially on the coordinator after all group effects have merged;
+	// carried prior-epoch writes may name ops outside the advised layout, so
+	// edges go through addEdgeN, which interns overflow nodes on demand.
+	s := &esink{v: v}
 	for _, id := range sortedKeys(v.vars) {
 		vv := v.vars[id]
 		if vv.initial == nil {
@@ -333,16 +397,16 @@ func (v *Verifier) addInternalStateEdges() {
 			}
 			visited[cur] = true
 			for _, r := range vv.readObs[cur] {
-				v.g.AddEdge(gnodeOf(cur), gnodeOf(r)) // WR
+				s.addEdgeN(gnodeOf(cur), gnodeOf(r)) // WR
 			}
 			wo, ok := vv.writeObs[cur]
 			if !ok {
 				break
 			}
 			for _, r := range vv.readObs[cur] {
-				v.g.AddEdge(gnodeOf(r), gnodeOf(wo)) // RW (anti-dependency)
+				s.addEdgeN(gnodeOf(r), gnodeOf(wo)) // RW (anti-dependency)
 			}
-			v.g.AddEdge(gnodeOf(cur), gnodeOf(wo)) // WW
+			s.addEdgeN(gnodeOf(cur), gnodeOf(wo)) // WW
 			cur = wo
 		}
 	}

@@ -95,7 +95,7 @@ func (v *Verifier) injectCarry() {
 		}
 		val = value.Normalize(val)
 		vv.log[op] = &advice.VarLogEntry{Op: op, Type: advice.AccessWrite, Value: val}
-		v.annotateWrite(vv, op, val, emptyParents)
+		v.annotateWrite(vv, op, val, emptyParents, nil)
 	}
 	if len(c.Store) > 0 {
 		v.carryTx = make(map[advice.TxPos]*advice.TxOp, len(c.Store))

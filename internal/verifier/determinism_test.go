@@ -1,0 +1,156 @@
+// Differential determinism tests for the parallel audit engine: the same
+// (trace, advice) pair audited at different worker counts must produce a
+// byte-identical verdict — same accept/reject, same reason code, same error
+// string, same Stats — no matter how the scheduler interleaves the workers.
+// This is the executable form of DESIGN.md §13's determinism argument, and
+// CI runs it under -race so the effect-buffer isolation is checked too.
+package verifier_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/faultinject"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/trace"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+// workerLevels are the parallelism settings every case is audited at. 1 is
+// the sequential engine (the reference); 4 forces contention on small
+// machines; GOMAXPROCS is the production default.
+func workerLevels() []int {
+	levels := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		levels = append(levels, g)
+	}
+	return levels
+}
+
+type diffApp struct {
+	name string
+	spec harness.AppSpec
+	reqs func(n int, seed int64) []server.Request
+}
+
+func diffApps() []diffApp {
+	return []diffApp{
+		{"motd", harness.MOTDApp(), func(n int, seed int64) []server.Request {
+			return workload.MOTD(n, workload.WriteHeavy, seed)
+		}},
+		{"stacks", harness.StacksApp(), func(n int, seed int64) []server.Request {
+			return workload.Stacks(n, workload.ReadHeavy, seed, workload.DefaultStacksOptions())
+		}},
+		{"wiki", harness.WikiApp(), func(n int, seed int64) []server.Request {
+			return workload.Wiki(n, seed)
+		}},
+	}
+}
+
+// verdictKey flattens a VerifyResult into the fields that must be identical
+// across worker counts. Elapsed is deliberately excluded.
+func verdictKey(vr *harness.VerifyResult) string {
+	if vr.Err != nil {
+		return fmt.Sprintf("REJECT %v | stats %+v", vr.Err, vr.Stats)
+	}
+	return fmt.Sprintf("ACCEPT | stats %+v", vr.Stats)
+}
+
+// requireIdentical audits (tr, adv) at every worker level and fails if any
+// verdict differs from the sequential engine's. Audits run under
+// DefaultLimits, as production does: without bounds a corrupted advice blob
+// can legally make any engine allocate for minutes before rejecting.
+func requireIdentical(t *testing.T, spec harness.AppSpec, tr *trace.Trace, adv *advice.Advice) {
+	t.Helper()
+	var want string
+	for i, w := range workerLevels() {
+		got := verdictKey(harness.VerifyWith(spec, tr, adv, harness.VerifyOptions{Workers: w, Limits: verifier.DefaultLimits()}))
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d verdict diverged:\n  workers=1: %s\n  workers=%d: %s", w, want, w, got)
+		}
+	}
+}
+
+func TestDifferentialHonestRuns(t *testing.T) {
+	for _, app := range diffApps() {
+		for _, seed := range []int64{1, 7} {
+			t.Run(fmt.Sprintf("%s-seed%d", app.name, seed), func(t *testing.T) {
+				run, err := harness.Serve(app.spec, app.reqs(60, seed), 10, seed, harness.CollectKarousos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Honest runs must accept at every worker count.
+				if vr := harness.VerifyWith(app.spec, run.Trace, run.Karousos, harness.VerifyOptions{Workers: 1}); vr.Err != nil {
+					t.Fatalf("sequential audit rejected an honest run: %v", vr.Err)
+				}
+				requireIdentical(t, app.spec, run.Trace, run.Karousos)
+			})
+		}
+	}
+}
+
+func TestDifferentialTamperedTrace(t *testing.T) {
+	for _, app := range diffApps() {
+		t.Run(app.name, func(t *testing.T) {
+			run, err := harness.Serve(app.spec, app.reqs(60, 3), 10, 3, harness.CollectKarousos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip one response so the audit must reject — with the same
+			// first rejection at every worker count.
+			tampered := &trace.Trace{Events: append([]trace.Event(nil), run.Trace.Events...)}
+			for i := range tampered.Events {
+				if tampered.Events[i].Kind == trace.Resp {
+					tampered.Events[i].Data = map[string]any{"status": "tampered"}
+					break
+				}
+			}
+			if vr := harness.VerifyWith(app.spec, tampered, run.Karousos, harness.VerifyOptions{Workers: 1}); vr.Err == nil {
+				t.Fatal("sequential audit accepted a tampered trace")
+			}
+			requireIdentical(t, app.spec, tampered, run.Karousos)
+		})
+	}
+}
+
+func TestDifferentialFaultInjectedAdvice(t *testing.T) {
+	run, err := harness.Serve(harness.WikiApp(), workload.Wiki(60, 5), 10, 5, harness.CollectKarousos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := run.Karousos.MarshalBinary()
+	ops := []string{
+		"bit-flip", "splice", "opcount-inflate", "index-skew",
+		"cycle-write-chain", "cycle-write-order", "dup-log-entry", "drop-log-entry",
+	}
+	for _, name := range ops {
+		op, ok := faultinject.Lookup(name)
+		if !ok {
+			t.Fatalf("no fault operator %q", name)
+		}
+		for _, seed := range []int64{2, 9} {
+			t.Run(fmt.Sprintf("%s-seed%d", name, seed), func(t *testing.T) {
+				mut, err := op.Apply(seed, wire)
+				if err != nil {
+					t.Skipf("operator found no site: %v", err)
+				}
+				adv, err := advice.UnmarshalBinary(mut)
+				if err != nil {
+					// The corruption broke the wire format; the decode
+					// boundary rejects before the engine runs, so there is
+					// no worker-count behavior to compare.
+					t.Skipf("corrupted advice does not decode: %v", err)
+				}
+				requireIdentical(t, harness.WikiApp(), run.Trace, adv)
+			})
+		}
+	}
+}

@@ -7,17 +7,34 @@ package verifier
 import (
 	"testing"
 
+	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/core"
-	"karousos.dev/karousos/internal/graph"
 	"karousos.dev/karousos/internal/trace"
 )
 
 func precedenceVerifier(events []trace.Event) *Verifier {
 	v := New(Config{})
 	v.tr = &trace.Trace{Events: events}
-	v.g = graph.New[gnode]()
-	v.addTimePrecedenceEdges()
+	v.adv = &advice.Advice{}
+	for _, e := range events {
+		v.inTrace[core.RID(e.RID)] = true
+	}
+	v.buildLayout()
+	v.addTimePrecedenceEdges(&esink{v: v})
 	return v
+}
+
+// reach reports whether a's node reaches b's node in the interned graph.
+func (v *Verifier) reach(from, to gnode) bool {
+	a, ok := v.eg.idOf(from)
+	if !ok {
+		return false
+	}
+	b, ok := v.eg.idOf(to)
+	if !ok {
+		return false
+	}
+	return v.eg.d.Reachable(a, b)
 }
 
 func TestTimePrecedenceCoversAllPairs(t *testing.T) {
@@ -38,7 +55,7 @@ func TestTimePrecedenceCoversAllPairs(t *testing.T) {
 		{"r1", "r2"}, {"r1", "r3"}, {"r1", "r4"}, {"r2", "r4"},
 	}
 	for _, p := range mustReach {
-		if !v.g.Reachable(respNode(p[0]), reqNode(p[1])) {
+		if !v.reach(respNode(p[0]), reqNode(p[1])) {
 			t.Errorf("RESP %s must precede REQ %s in G", p[0], p[1])
 		}
 	}
@@ -48,13 +65,13 @@ func TestTimePrecedenceCoversAllPairs(t *testing.T) {
 		{"r4", "r1"},
 	}
 	for _, p := range mustNotReach {
-		if v.g.Reachable(respNode(p[0]), reqNode(p[1])) {
+		if v.reach(respNode(p[0]), reqNode(p[1])) {
 			t.Errorf("RESP %s must NOT precede REQ %s in G", p[0], p[1])
 		}
 	}
 	// No request node may ever reach another request node through barriers
 	// alone (requests are unordered among themselves).
-	if v.g.Reachable(reqNode("r2"), reqNode("r3")) || v.g.Reachable(reqNode("r3"), reqNode("r2")) {
+	if v.reach(reqNode("r2"), reqNode("r3")) || v.reach(reqNode("r3"), reqNode("r2")) {
 		t.Error("concurrent requests ordered by the barrier chain")
 	}
 }
@@ -70,13 +87,13 @@ func TestTimePrecedenceEdgeCountLinear(t *testing.T) {
 	}
 	v := precedenceVerifier(ev)
 	// O(n) construction: at most ~3 edges per event, never O(n²).
-	if v.g.NumEdges() > 6*n {
-		t.Errorf("time precedence used %d edges for %d events", v.g.NumEdges(), 2*n)
+	if v.eg.d.NumEdges() > 6*n {
+		t.Errorf("time precedence used %d edges for %d events", v.eg.d.NumEdges(), 2*n)
 	}
 	// Spot check transitivity across the whole chain.
 	first := core.RID(ev[0].RID)
 	last := core.RID(ev[len(ev)-1].RID)
-	if !v.g.Reachable(respNode(first), reqNode(last)) {
+	if !v.reach(respNode(first), reqNode(last)) {
 		t.Error("first response does not reach last request")
 	}
 }
@@ -116,7 +133,7 @@ func TestFindNearestClimbsTree(t *testing.T) {
 		{core.Op{RID: "r1", HID: "root", Num: 9}, "root3"},
 	}
 	for _, c := range cases {
-		_, val, found := v.findNearestRPrecedingWrite(vv, c.op, parentOf)
+		_, val, found := v.findNearestRPrecedingWrite(vv, c.op, parentOf, nil)
 		if !found {
 			t.Errorf("%v: no write found", c.op)
 			continue
@@ -128,7 +145,7 @@ func TestFindNearestClimbsTree(t *testing.T) {
 
 	// A different request sees only init through the climb (cross-request
 	// feeding goes through logs, never the dictionary).
-	_, val, found := v.findNearestRPrecedingWrite(vv, core.Op{RID: "r2", HID: "root", Num: 1}, parentOf)
+	_, val, found := v.findNearestRPrecedingWrite(vv, core.Op{RID: "r2", HID: "root", Num: 1}, parentOf, nil)
 	if !found || val != "init" {
 		t.Errorf("other request read %v (found=%v), want init", val, found)
 	}

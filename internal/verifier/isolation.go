@@ -16,7 +16,7 @@ import (
 // It runs in two passes: the first registers every transaction operation in
 // OpMap (so read-from references can point at transactions validated later),
 // the second processes GETs and PUTs.
-func (v *Verifier) addExternalStateEdges() {
+func (v *Verifier) addExternalStateEdges(s *esink) {
 	seen := make(map[txRef]bool, len(v.adv.TxLogs))
 	for i := range v.adv.TxLogs {
 		tl := &v.adv.TxLogs[i]
@@ -34,7 +34,7 @@ func (v *Verifier) addExternalStateEdges() {
 			v.committed[ref] = true
 		}
 		for j := range tl.Ops {
-			v.poll()
+			s.poll()
 			op := &tl.Ops[j]
 			v.checkOpIsValid(tl.RID, op.HID, op.OpNum, opLoc{isTx: true, rid: tl.RID, tid: tl.TID, idx: j + 1})
 		}
@@ -45,7 +45,7 @@ func (v *Verifier) addExternalStateEdges() {
 		ref := txRef{rid: tl.RID, tid: tl.TID}
 		myWrites := make(map[string]advice.TxPos)
 		for j := range tl.Ops {
-			v.poll()
+			s.poll()
 			op := &tl.Ops[j]
 			pos := advice.TxPos{RID: tl.RID, TID: tl.TID, Index: j + 1}
 			switch op.Type {
@@ -69,7 +69,9 @@ func (v *Verifier) addExternalStateEdges() {
 					if opw == nil || opw.Type != core.TxPut || opw.Key != sr.Key {
 						core.Rejectf("SCAN %v row %q reads from missing or mismatched write %v", pos, sr.Key, sr.ReadFrom)
 					}
-					v.g.AddEdge(opNode(sr.ReadFrom.RID, opw.HID, opw.OpNum), opNode(tl.RID, op.HID, op.OpNum))
+					// The read-from target may be a carried prior-epoch
+					// write, outside the layout — addEdgeN interns it.
+					s.addEdgeN(opNode(sr.ReadFrom.RID, opw.HID, opw.OpNum), opNode(tl.RID, op.HID, op.OpNum))
 					v.readMap[sr.ReadFrom] = append(v.readMap[sr.ReadFrom], pos)
 					if mw, ok := myWrites[sr.Key]; ok && mw != sr.ReadFrom {
 						core.RejectCodef(core.RejectIsolationViolation, "SCAN %v ignores own write %v of key %q", pos, mw, sr.Key)
@@ -104,7 +106,7 @@ func (v *Verifier) addExternalStateEdges() {
 					// Write-read edge between external state operations
 					// (§4.4 footnote: only WR edges; WW/RW would wrongly
 					// constrain TxOp order for weakly ordered stores).
-					v.g.AddEdge(opNode(w.RID, opw.HID, opw.OpNum), opNode(tl.RID, op.HID, op.OpNum))
+					s.addEdgeN(opNode(w.RID, opw.HID, opw.OpNum), opNode(tl.RID, op.HID, op.OpNum))
 					v.readMap[w] = append(v.readMap[w], pos)
 					// Reading a key this transaction already wrote must
 					// observe its own last modification.

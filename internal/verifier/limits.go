@@ -77,23 +77,34 @@ func (v *Verifier) poll() {
 	v.checkBudgets()
 }
 
-// checkBudgets rejects with ResourceLimit when the audit context is done
-// (deadline or caller cancellation) or the execution graph outgrew its
-// bounds.
-func (v *Verifier) checkBudgets() {
-	if v.ctx != nil {
-		if err := v.ctx.Err(); err != nil {
-			if err == context.DeadlineExceeded {
-				core.RejectCodef(core.RejectResourceLimit, "audit deadline of %v exceeded", v.cfg.Limits.Deadline)
-			}
-			core.RejectCodef(core.RejectResourceLimit, "audit canceled: %v", err)
+// checkCtx rejects with ResourceLimit when the audit context is done
+// (deadline or caller cancellation). It reads only immutable verifier
+// fields, so shard and group workers may call it concurrently.
+func (v *Verifier) checkCtx() {
+	if v.ctx == nil {
+		return
+	}
+	if err := v.ctx.Err(); err != nil {
+		if err == context.DeadlineExceeded {
+			core.RejectCodef(core.RejectResourceLimit, "audit deadline of %v exceeded", v.cfg.Limits.Deadline)
 		}
+		core.RejectCodef(core.RejectResourceLimit, "audit canceled: %v", err)
+	}
+}
+
+// checkBudgets is checkCtx plus the execution-graph bounds. The graph checks
+// are skipped before buildLayout creates it (init replay and carry injection
+// poll too) and must only run on the coordinating goroutine.
+func (v *Verifier) checkBudgets() {
+	v.checkCtx()
+	if v.eg == nil {
+		return
 	}
 	lim := v.cfg.Limits
-	if lim.MaxGraphNodes > 0 && v.g.NumNodes() > lim.MaxGraphNodes {
+	if lim.MaxGraphNodes > 0 && v.eg.d.NumNodes() > lim.MaxGraphNodes {
 		core.RejectCodef(core.RejectResourceLimit, "execution graph exceeds %d nodes", lim.MaxGraphNodes)
 	}
-	if lim.MaxGraphEdges > 0 && v.g.NumEdges() > lim.MaxGraphEdges {
+	if lim.MaxGraphEdges > 0 && v.eg.d.NumEdges() > lim.MaxGraphEdges {
 		core.RejectCodef(core.RejectResourceLimit, "execution graph exceeds %d edges", lim.MaxGraphEdges)
 	}
 }

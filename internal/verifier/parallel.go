@@ -1,0 +1,271 @@
+package verifier
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/value"
+)
+
+// This file is the parallel audit engine's scaffolding: a deterministic
+// fan-out helper, per-phase preprocess sharding, and the per-group effect
+// buffers that make concurrent re-execution's verdict bit-identical to the
+// sequential engine's. The determinism argument lives in DESIGN.md §13; the
+// invariants it rests on are marked at the code they constrain.
+
+// workers resolves the configured worker count; 0 means GOMAXPROCS.
+func (v *Verifier) workers() int {
+	if v.cfg.Workers > 0 {
+		return v.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOut runs fn(0..n-1) over a pool of goroutines and returns when all
+// items finish. Work is claimed from an atomic counter; results must flow
+// through indexed slots the caller merges in canonical order afterwards —
+// the deterministic-fanout idiom detlint blesses. fn must contain its own
+// panics (see asReject): a panic escaping a pool goroutine would kill the
+// process, bypassing the audit's containment boundary.
+func fanOut(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// asReject converts a recovered panic value into the rejection the
+// coordinator re-panics during the deterministic merge. The wrapping matches
+// auditFull's containment exactly — same code, same reason format — so a
+// worker-side panic surfaces as the same error a sequential run would have
+// produced, with the worker's stack preserved for diagnosis.
+func asReject(r any) *core.Reject {
+	if rej, ok := r.(core.Reject); ok {
+		return &rej
+	}
+	return &core.Reject{
+		Code:   core.RejectInternalFault,
+		Reason: fmt.Sprintf("verifier panicked: %v", r),
+		Stack:  string(debug.Stack()),
+	}
+}
+
+// preprocessEdges runs the four edge-construction phases. Sequentially they
+// write straight into the dense graph; in parallel each phase fills a
+// private shard and the coordinator merges the shards in phase order, so the
+// assembled edge list — and with it every successor ordering and every cycle
+// report — is identical to the sequential run's.
+//
+// Phase 3 bundles the handler, external-state, and isolation passes into one
+// task: they share single-writer state (opMap, activated, txIndex, readMap,
+// lastMod, inWO, the overflow intern table) and their seed-relative order is
+// load-bearing for rejection precedence.
+func (v *Verifier) preprocessEdges() {
+	w := v.workers()
+	if w <= 1 {
+		s := &esink{v: v}
+		v.addTimePrecedenceEdges(s)
+		v.addProgramEdges(s)
+		v.addBoundaryEdges(s)
+		v.addHandlerRelatedEdges(s)
+		v.addExternalStateEdges(s)
+		v.isolationLevelVerification()
+		return
+	}
+	phases := []func(s *esink){
+		v.addTimePrecedenceEdges,
+		v.addProgramEdges,
+		v.addBoundaryEdges,
+		func(s *esink) {
+			v.addHandlerRelatedEdges(s)
+			v.addExternalStateEdges(s)
+			v.isolationLevelVerification()
+		},
+	}
+	shards := make([]*eshard, len(phases))
+	fanOut(w, len(phases), func(i int) {
+		sh := &eshard{}
+		defer func() {
+			if r := recover(); r != nil {
+				sh.rej = asReject(r)
+			}
+			shards[i] = sh
+		}()
+		phases[i](&esink{v: v, shard: sh})
+	})
+	// Merge in phase order. A rejection surfaces at its phase's position, so
+	// when several phases reject concurrently the earliest phase wins —
+	// exactly the phase that would have rejected first sequentially. Edges
+	// of phases after a rejecting one are discarded with it (sequentially
+	// they would never have been built).
+	for _, sh := range shards {
+		for _, id := range sh.nodes {
+			v.eg.d.AddNode(id)
+		}
+		v.eg.d.AddEdges(sh.edges)
+		v.checkBudgets()
+		if sh.rej != nil {
+			panic(*sh.rej)
+		}
+	}
+}
+
+// --- effect-buffered group re-execution ---
+
+// intentKind enumerates the shared-state mutations a group replay performs.
+// A worker records them in order instead of applying them; the coordinator
+// replays each group's stream in canonical group order, running the
+// cross-group conflict checks (write_observer, initializer) at exactly the
+// intent position where the sequential engine would have run them.
+type intentKind uint8
+
+const (
+	effDict        intentKind = iota // dictAppend(op, val) on variable varID
+	effVarConsumed                   // variable log entry op consumed
+	effReadObs                       // readObs[prec] append op
+	effWriteObs                      // writeObs[prec] = op (conflict-checked)
+	effInitial                       // initial = op (conflict-checked)
+	effOpConsumed                    // opConsumed[op] = true
+	effExecuted                      // executed[rid][hid] = true
+	effResponded                     // responded[rid] = true
+	effRerun                         // Stats.HandlersRerun++
+)
+
+// intent is one recorded mutation. One flat struct for all kinds keeps the
+// stream a single slice; unused fields stay zero.
+type intent struct {
+	kind  intentKind
+	varID core.VarID
+	op    core.Op
+	prec  core.Op
+	rid   core.RID
+	hid   core.HID
+	val   value.V
+}
+
+// vkey keys a group's private version-dictionary overlay.
+type vkey struct {
+	varID core.VarID
+	rid   core.RID
+	hid   core.HID
+}
+
+// groupEffects is one group's private effect buffer. The replay reads shared
+// verifier state that is frozen during reExec (logs, opMap, activated,
+// nondet, txIndex, carryTx, the graph) and writes only here.
+type groupEffects struct {
+	intents []intent
+	// overlay holds the group's own dictAppends; findNearest reads it for
+	// the group's rids and falls through to the frozen init-level dictionary
+	// — the only dictionary state another group could never have written.
+	overlay   map[vkey][]dictEntry
+	executed  map[core.RID]map[core.HID]bool
+	responded map[core.RID]bool
+	pollN     int
+	rej       *core.Reject
+}
+
+func newGroupEffects() *groupEffects {
+	return &groupEffects{
+		overlay:   make(map[vkey][]dictEntry),
+		executed:  make(map[core.RID]map[core.HID]bool),
+		responded: make(map[core.RID]bool),
+	}
+}
+
+func (eff *groupEffects) record(in intent) {
+	eff.intents = append(eff.intents, in)
+}
+
+// effPoll is poll for code that runs on group workers: cancellation is the
+// only budget a worker can check race-free (the graph is frozen during
+// reExec), and the counter is per-group so the global pollN stays unshared.
+func (v *Verifier) effPoll(eff *groupEffects) {
+	if eff == nil {
+		v.poll()
+		return
+	}
+	eff.pollN++
+	if eff.pollN%pollInterval != 0 {
+		return
+	}
+	v.checkCtx()
+}
+
+// applyEffects replays one group's intent stream onto the shared verifier
+// state, then surfaces the group's own contained rejection if it had one.
+// Cross-group conflicts are detected here, at the first conflicting intent —
+// which is exactly where the sequential engine would have rejected, because
+// intents are recorded at the same program points the sequential engine
+// mutates shared state. A worker's own later rejection (recorded in rej) is
+// correctly masked by an earlier conflicting intent, matching the sequential
+// engine's first-rejection order.
+func (v *Verifier) applyEffects(eff *groupEffects) {
+	for i := range eff.intents {
+		in := &eff.intents[i]
+		v.poll()
+		switch in.kind {
+		case effDict:
+			v.vars[in.varID].dictAppend(in.op, in.val)
+		case effVarConsumed:
+			v.vars[in.varID].consumed[in.op] = true
+		case effReadObs:
+			vv := v.vars[in.varID]
+			vv.readObs[in.prec] = append(vv.readObs[in.prec], in.op)
+		case effWriteObs:
+			vv := v.vars[in.varID]
+			if prev, set := vv.writeObs[in.prec]; set {
+				core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", prev, in.op, in.prec, vv.id)
+			}
+			vv.writeObs[in.prec] = in.op
+		case effInitial:
+			vv := v.vars[in.varID]
+			if vv.initial != nil {
+				core.RejectCodef(core.RejectLogMismatch, "variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, in.op)
+			}
+			cp := in.op
+			vv.initial = &cp
+		case effOpConsumed:
+			v.opConsumed[in.op] = true
+		case effExecuted:
+			ex := v.executed[in.rid]
+			if ex == nil {
+				ex = make(map[core.HID]bool)
+				v.executed[in.rid] = ex
+			}
+			ex[in.hid] = true
+		case effResponded:
+			v.responded[in.rid] = true
+		case effRerun:
+			v.Stats.HandlersRerun++
+		}
+	}
+	if eff.rej != nil {
+		panic(*eff.rej)
+	}
+}

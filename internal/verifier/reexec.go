@@ -28,8 +28,30 @@ func (v *Verifier) reExec() {
 		groups[tag] = append(groups[tag], rid)
 	}
 	v.Stats.Groups = len(order)
-	for _, tag := range order {
-		v.runGroup(groups[tag])
+	w := v.workers()
+	if w <= 1 || len(order) <= 1 {
+		for _, tag := range order {
+			v.runGroup(groups[tag], nil)
+		}
+	} else {
+		// Each group replays into a private effect buffer; buffers merge in
+		// canonical tag order, so the verdict, the first rejection, and every
+		// Stats counter are bit-identical to the sequential engine no matter
+		// how the scheduler interleaves the workers (DESIGN.md §13).
+		effs := make([]*groupEffects, len(order))
+		fanOut(w, len(order), func(i int) {
+			eff := newGroupEffects()
+			defer func() {
+				if r := recover(); r != nil {
+					eff.rej = asReject(r)
+				}
+				effs[i] = eff
+			}()
+			v.runGroup(groups[order[i]], eff)
+		})
+		for _, eff := range effs {
+			v.applyEffects(eff)
+		}
 	}
 
 	// Figure 18 line 64: every handler in the advice must have been
@@ -63,14 +85,57 @@ type groupExec struct {
 	parentOf map[core.HID]core.HID
 	active   []groupAct
 	txnum    map[core.TxID]int
+	// eff is the group's private effect buffer when re-execution runs on a
+	// worker pool; nil means mutate shared state directly (sequential mode).
+	eff *groupEffects
 }
 
-func (v *Verifier) runGroup(rids []core.RID) {
+// markExecuted performs the duplicate-activation check and marks (rid, hid)
+// re-executed. Requests are partitioned across groups by their tag, so the
+// executed set is rid-partitioned and a group's private view of its own rids
+// equals the sequential engine's shared view.
+func (g *groupExec) markExecuted(rid core.RID, hid core.HID) {
+	if g.eff == nil {
+		ex := g.v.executed[rid]
+		if ex == nil {
+			ex = make(map[core.HID]bool)
+			g.v.executed[rid] = ex
+		}
+		if ex[hid] {
+			core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) re-executed twice", rid, hid)
+		}
+		ex[hid] = true
+		return
+	}
+	ex := g.eff.executed[rid]
+	if ex == nil {
+		ex = make(map[core.HID]bool)
+		g.eff.executed[rid] = ex
+	}
+	if ex[hid] {
+		core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) re-executed twice", rid, hid)
+	}
+	ex[hid] = true
+	g.eff.record(intent{kind: effExecuted, rid: rid, hid: hid})
+}
+
+// consumeOp marks a handler-log or transaction-log entry consumed. Op
+// identities carry the rid, so consumption marks are rid-partitioned too.
+func (g *groupExec) consumeOp(op core.Op) {
+	if g.eff == nil {
+		g.v.opConsumed[op] = true
+		return
+	}
+	g.eff.record(intent{kind: effOpConsumed, op: op})
+}
+
+func (v *Verifier) runGroup(rids []core.RID, eff *groupEffects) {
 	g := &groupExec{
 		v:        v,
 		rids:     rids,
 		parentOf: make(map[core.HID]core.HID),
 		txnum:    make(map[core.TxID]int),
+		eff:      eff,
 	}
 	// Step (1) of Figure 18: enqueue the request handlers with the request
 	// inputs; every request in the group must advise every request handler.
@@ -91,19 +156,11 @@ func (v *Verifier) runGroup(rids []core.RID) {
 	}
 	// Step (2): run handlers from the active queue to completion.
 	for len(g.active) > 0 {
-		v.poll()
+		v.effPoll(eff)
 		act := g.active[0]
 		g.active = g.active[1:]
 		for _, rid := range rids {
-			ex := v.executed[rid]
-			if ex == nil {
-				ex = make(map[core.HID]bool)
-				v.executed[rid] = ex
-			}
-			if ex[act.hid] {
-				core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) re-executed twice", rid, act.hid)
-			}
-			ex[act.hid] = true
+			g.markExecuted(rid, act.hid)
 		}
 		ctx := core.NewContext(g, rids, act.hid, act.fn, act.event, core.InitLabel)
 		v.cfg.App.Func(act.fn)(ctx, act.payload)
@@ -114,14 +171,18 @@ func (v *Verifier) runGroup(rids []core.RID) {
 				core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) advised %d ops but re-executed %d", rid, act.hid, n, ctx.OpsIssued())
 			}
 		}
-		v.Stats.HandlersRerun++
+		if eff == nil {
+			v.Stats.HandlersRerun++
+		} else {
+			eff.record(intent{kind: effRerun})
+		}
 	}
 }
 
 // checkWithin enforces Figure 18 line 43 / Figure 19 lines 5 and 19: an op
 // number beyond the advised count is a divergence between advice and replay.
 func (g *groupExec) checkWithin(ctx *core.Context, opnum int) {
-	g.v.poll()
+	g.v.effPoll(g.eff)
 	for _, rid := range g.rids {
 		if n := g.v.adv.OpCounts[rid][ctx.HID()]; opnum > n {
 			core.RejectCodef(core.RejectLogMismatch, "handler (%s,%s) exceeded its advised %d operations", rid, ctx.HID(), n)
@@ -152,7 +213,7 @@ func (g *groupExec) checkHandlerOp(rid core.RID, hid core.HID, opnum int, want a
 			}
 		}
 	}
-	g.v.opConsumed[op] = true
+	g.consumeOp(op)
 	return e
 }
 
@@ -244,7 +305,7 @@ func (g *groupExec) TxOp(ctx *core.Context, opnum int, tx *core.Tx, op core.TxOp
 			core.RejectCodef(core.RejectLogMismatch, "state operation %v does not match transaction log position (%s,%d)", cur, tx.ID, idx)
 		}
 		e := g.v.txIndex[txRef{rid: rid, tid: tx.ID}].Ops[idx-1]
-		g.v.opConsumed[cur] = true
+		g.consumeOp(cur)
 		if e.Type == core.TxAbort && op != core.TxAbort {
 			// The store aborted this transaction at this operation
 			// (conflict) or the commit failed; replay the failure.
@@ -309,10 +370,20 @@ func (g *groupExec) Respond(ctx *core.Context, opsIssued int, payload *mv.MV) {
 		if at.HID != ctx.HID() || at.OpNum != opsIssued {
 			core.RejectCodef(core.RejectLogMismatch, "request %s responded at (%s,%d) but advice says (%s,%d)", rid, ctx.HID(), opsIssued, at.HID, at.OpNum)
 		}
-		if g.v.responded[rid] {
-			core.RejectCodef(core.RejectLogMismatch, "request %s responded twice during re-execution", rid)
+		// responded is rid-partitioned like executed: only this group can
+		// respond to its own rids, so the group-local view is complete.
+		if g.eff == nil {
+			if g.v.responded[rid] {
+				core.RejectCodef(core.RejectLogMismatch, "request %s responded twice during re-execution", rid)
+			}
+			g.v.responded[rid] = true
+		} else {
+			if g.eff.responded[rid] {
+				core.RejectCodef(core.RejectLogMismatch, "request %s responded twice during re-execution", rid)
+			}
+			g.eff.responded[rid] = true
+			g.eff.record(intent{kind: effResponded, rid: rid})
 		}
-		g.v.responded[rid] = true
 		got := value.Normalize(payload.At(i))
 		if !value.Equal(got, g.v.outputs[rid]) {
 			core.RejectCodef(core.RejectOutputMismatch, "request %s re-executed output %s does not match trace %s",
@@ -357,7 +428,7 @@ func (g *groupExec) VarRead(ctx *core.Context, vr *core.Variable, opnum int) *mv
 	vv := g.v.variable(vr.ID)
 	vals := make([]value.V, len(g.rids))
 	for i, rid := range g.rids {
-		vals[i] = g.v.annotateRead(vv, core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, g.parentOf)
+		vals[i] = g.v.annotateRead(vv, core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, g.parentOf, g.eff)
 	}
 	return mv.FromVals(vals)
 }
@@ -368,6 +439,6 @@ func (g *groupExec) VarWrite(ctx *core.Context, vr *core.Variable, opnum int, va
 	g.checkWithin(ctx, opnum)
 	vv := g.v.variable(vr.ID)
 	for i, rid := range g.rids {
-		g.v.annotateWrite(vv, core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, value.Normalize(val.At(i)), g.parentOf)
+		g.v.annotateWrite(vv, core.Op{RID: rid, HID: ctx.HID(), Num: opnum}, value.Normalize(val.At(i)), g.parentOf, g.eff)
 	}
 }

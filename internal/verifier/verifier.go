@@ -35,7 +35,6 @@ import (
 	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/adya"
 	"karousos.dev/karousos/internal/core"
-	"karousos.dev/karousos/internal/graph"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/value"
 )
@@ -66,6 +65,12 @@ type Config struct {
 	// unlogged reads and reads-from references resolve against prior
 	// epochs. See CarryState.
 	Carry *CarryState
+	// Workers is the audit's parallelism: preprocess edge phases and group
+	// re-execution fan out over this many goroutines, with effects merged
+	// deterministically so the verdict, reject code, and Stats are
+	// bit-identical to a sequential run (DESIGN.md §13). 0 means
+	// GOMAXPROCS; 1 forces the sequential engine.
+	Workers int
 }
 
 // node kinds of the execution graph G.
@@ -131,7 +136,9 @@ type Verifier struct {
 	ctx   context.Context
 	pollN int
 
-	g *graph.Graph[gnode]
+	// eg is the interned execution graph; buildLayout creates it once the
+	// trace and advice are known.
+	eg *egraph
 
 	inTrace map[core.RID]bool
 	inputs  map[core.RID]value.V
@@ -181,7 +188,6 @@ type Stats struct {
 func New(cfg Config) *Verifier {
 	return &Verifier{
 		cfg:        cfg,
-		g:          graph.New[gnode](),
 		inTrace:    make(map[core.RID]bool),
 		inputs:     make(map[core.RID]value.V),
 		outputs:    make(map[core.RID]value.V),
@@ -287,12 +293,8 @@ func (v *Verifier) preprocess() {
 	v.injectCarry()
 	v.checkVarLogsKnown()
 	v.buildNondetIndex()
-	v.addTimePrecedenceEdges()
-	v.addProgramEdges()
-	v.addBoundaryEdges()
-	v.addHandlerRelatedEdges()
-	v.addExternalStateEdges()
-	v.isolationLevelVerification()
+	v.buildLayout()
+	v.preprocessEdges()
 }
 
 // runInit executes the application's initialization function determinis-
@@ -329,22 +331,23 @@ func (v *Verifier) buildNondetIndex() {
 // edges: a chain of barrier nodes follows the trace; each response points
 // into the chain and each request is pointed at by the chain, so "response
 // delivered before request arrived" facts are all present transitively.
-func (v *Verifier) addTimePrecedenceEdges() {
+func (v *Verifier) addTimePrecedenceEdges(s *esink) {
+	eg := v.eg
 	prevBar := -1
 	for i, e := range v.tr.Events {
 		rid := core.RID(e.RID)
 		switch e.Kind {
 		case trace.Req:
-			v.g.AddNode(reqNode(rid))
+			s.addNode(eg.reqID(rid))
 			if prevBar >= 0 {
-				v.g.AddEdge(barNode(prevBar), reqNode(rid))
+				s.addEdge(eg.barID(prevBar), eg.reqID(rid))
 			}
 		case trace.Resp:
 			bar := i
 			if prevBar >= 0 {
-				v.g.AddEdge(barNode(prevBar), barNode(bar))
+				s.addEdge(eg.barID(prevBar), eg.barID(bar))
 			}
-			v.g.AddEdge(respNode(rid), barNode(bar))
+			s.addEdge(eg.respID(rid), eg.barID(bar))
 			prevBar = bar
 		}
 	}
@@ -352,52 +355,38 @@ func (v *Verifier) addTimePrecedenceEdges() {
 
 // addProgramEdges implements Figure 14's AddProgramEdges: one node per
 // operation of every advised handler activation, chained in program order.
-func (v *Verifier) addProgramEdges() {
-	lim := v.cfg.Limits
-	handlers := 0
-	for _, rid := range sortedKeys(v.adv.OpCounts) {
-		if !v.inTrace[rid] {
-			core.Rejectf("opcounts mention request %s absent from trace", rid)
+// Validation already happened in buildLayout, so this phase is pure integer
+// arithmetic over the slot table — the hottest preprocess loop runs with
+// zero map lookups.
+func (v *Verifier) addProgramEdges(s *esink) {
+	for _, sl := range v.eg.slotList {
+		hEnd := sl.base + uint32(sl.n) + 1
+		s.addNode(sl.base)
+		s.addNode(hEnd)
+		for i := uint32(1); i <= uint32(sl.n); i++ {
+			s.poll()
+			s.addEdge(sl.base+i-1, sl.base+i)
 		}
-		counts := v.adv.OpCounts[rid]
-		for _, hid := range sortedKeys(counts) {
-			n := counts[hid]
-			if n < 0 {
-				core.Rejectf("negative opcount for (%s,%s)", rid, hid)
-			}
-			handlers++
-			if lim.MaxHandlers > 0 && handlers > lim.MaxHandlers {
-				core.RejectCodef(core.RejectResourceLimit, "advice declares more than %d handler activations", lim.MaxHandlers)
-			}
-			if lim.MaxOpsPerHandler > 0 && n > lim.MaxOpsPerHandler {
-				core.RejectCodef(core.RejectResourceLimit, "opcount %d for (%s,%s) exceeds limit %d", n, rid, hid, lim.MaxOpsPerHandler)
-			}
-			v.g.AddNode(opNode(rid, hid, 0))
-			v.g.AddNode(hEndNode(rid, hid))
-			for i := 1; i <= n; i++ {
-				v.poll()
-				v.g.AddEdge(opNode(rid, hid, i-1), opNode(rid, hid, i))
-			}
-			v.g.AddEdge(opNode(rid, hid, n), hEndNode(rid, hid))
-		}
+		s.addEdge(sl.base+uint32(sl.n), hEnd)
 	}
 }
 
 // addBoundaryEdges implements Figure 15: request-start edges to request
 // handlers, and response edges around the operation that delivered the
 // response.
-func (v *Verifier) addBoundaryEdges() {
+func (v *Verifier) addBoundaryEdges(s *esink) {
+	eg := v.eg
 	// Request handler hids are computable from the globally registered
 	// request functions (hid = (fn, null, 0), Figure 18 line 11).
 	reqHIDs := make(map[core.HID]bool, len(v.requestFns))
 	for _, fn := range v.requestFns {
 		reqHIDs[core.RequestHID(fn, v.cfg.App.RequestEvent)] = true
 	}
-	for _, rid := range sortedKeys(v.adv.OpCounts) {
-		for _, hid := range sortedKeys(v.adv.OpCounts[rid]) {
-			if reqHIDs[hid] {
-				v.g.AddEdge(reqNode(rid), opNode(rid, hid, 0))
-			}
+	// slotList is ordered by (sorted rid, sorted hid) — the same nested
+	// sorted iteration the map-keyed engine used.
+	for _, sl := range eg.slotList {
+		if reqHIDs[sl.hid] {
+			s.addEdge(eg.reqID(sl.rid), sl.base)
 		}
 	}
 	for _, rid := range sortedKeys(v.inputs) {
@@ -410,11 +399,11 @@ func (v *Verifier) addBoundaryEdges() {
 		if !ok || at.OpNum < 0 || at.OpNum > n {
 			core.Rejectf("responseEmittedBy for %s names unknown operation (%s,%d)", rid, at.HID, at.OpNum)
 		}
-		v.g.AddEdge(opNode(rid, at.HID, at.OpNum), respNode(rid))
+		s.addEdge(eg.opID(rid, at.HID, at.OpNum), eg.respID(rid))
 		if at.OpNum == n {
-			v.g.AddEdge(respNode(rid), hEndNode(rid, at.HID))
+			s.addEdge(eg.respID(rid), eg.hEndID(rid, at.HID))
 		} else {
-			v.g.AddEdge(respNode(rid), opNode(rid, at.HID, at.OpNum+1))
+			s.addEdge(eg.respID(rid), eg.opID(rid, at.HID, at.OpNum+1))
 		}
 	}
 }
@@ -444,7 +433,8 @@ func (v *Verifier) checkOpIsValid(rid core.RID, hid core.HID, opnum int, loc opL
 // addHandlerRelatedEdges implements Figure 16's AddHandlerRelatedEdges:
 // handler-log precedence edges, the per-request Registered set, and
 // activation edges from emits to the handlers they activate.
-func (v *Verifier) addHandlerRelatedEdges() {
+func (v *Verifier) addHandlerRelatedEdges(s *esink) {
+	eg := v.eg
 	for _, rid := range sortedKeys(v.adv.HandlerLogs) {
 		log := v.adv.HandlerLogs[rid]
 		if !v.inTrace[rid] {
@@ -453,11 +443,11 @@ func (v *Verifier) addHandlerRelatedEdges() {
 		registered := make(map[regEntry]bool)
 		var prev core.Op
 		for i, op := range log {
-			v.poll()
+			s.poll()
 			v.checkOpIsValid(rid, op.HID, op.OpNum, opLoc{rid: rid, idx: i})
 			cur := core.Op{RID: rid, HID: op.HID, Num: op.OpNum}
 			if i != 0 {
-				v.g.AddEdge(opNode(prev.RID, prev.HID, prev.Num), opNode(rid, op.HID, op.OpNum))
+				s.addEdge(eg.opID(prev.RID, prev.HID, prev.Num), eg.opID(rid, op.HID, op.OpNum))
 			}
 			prev = cur
 			switch op.Kind {
@@ -475,7 +465,7 @@ func (v *Verifier) addHandlerRelatedEdges() {
 						core.Rejectf("emit %v activates handler %s not advised for %s", cur, hid, rid)
 					}
 					set[hid] = true
-					v.g.AddEdge(opNode(rid, op.HID, op.OpNum), opNode(rid, hid, 0))
+					s.addEdge(eg.opID(rid, op.HID, op.OpNum), eg.opID(rid, hid, 0))
 				}
 				for _, re := range v.globalHandlers {
 					if re.event == op.Event {

@@ -48,7 +48,6 @@ package karousos
 import (
 	"context"
 	"io"
-	"time"
 
 	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/adya"
@@ -173,6 +172,18 @@ func VerifyOrochi(spec AppSpec, tr *Trace, adv *Advice) *VerifyResult {
 	return harness.VerifyOrochi(spec, tr, adv)
 }
 
+// VerifyOptions selects the audit configuration beyond the app spec; see
+// harness.VerifyOptions. The zero value is the Karousos verifier, unbounded,
+// at GOMAXPROCS workers.
+type VerifyOptions = harness.VerifyOptions
+
+// VerifyWith audits with explicit options — notably Workers, the audit's
+// parallelism. The verdict, reject code, and Stats are identical at every
+// worker count; only wall-clock time changes.
+func VerifyWith(spec AppSpec, tr *Trace, adv *Advice, opt VerifyOptions) *VerifyResult {
+	return harness.VerifyWith(spec, tr, adv, opt)
+}
+
 // VerifySequential replays the trace one request at a time with no advice.
 func VerifySequential(spec AppSpec, tr *Trace) *SequentialResult {
 	return harness.VerifySequential(spec, tr)
@@ -280,11 +291,7 @@ func VerifyKarousosUnbatched(spec AppSpec, tr *Trace, adv *Advice) *VerifyResult
 // the execution graph G in Graphviz DOT format to w — with the offending
 // cycle highlighted when the audit rejects on acyclicity.
 func VerifyKarousosWithGraph(spec AppSpec, tr *Trace, adv *Advice, w io.Writer) *VerifyResult {
-	app, _ := spec.New()
-	cfg := verifier.Config{App: app, Mode: advice.ModeKarousos, Isolation: spec.Isolation, DumpGraph: w}
-	start := time.Now()
-	stats, err := verifier.Audit(cfg, tr, adv)
-	return &VerifyResult{Elapsed: time.Since(start), Stats: stats, Err: err}
+	return harness.VerifyWith(spec, tr, adv, VerifyOptions{DumpGraph: w})
 }
 
 // Rejection taxonomy: every audit rejection carries a machine-readable
@@ -369,9 +376,11 @@ func AuditCarry(ctx context.Context, cfg verifier.Config, tr *Trace, adv *Advice
 // AuditEpochDir audits every sealed epoch of an epoch log directory in
 // order, resolving the application from the directory's sidecar. The error,
 // if any, is an *EpochReject for server misbehavior and an ordinary error
-// for infrastructure failure.
-func AuditEpochDir(ctx context.Context, dir string, lim Limits) (AuditorStatus, error) {
-	aud, err := auditd.New(auditd.Config{Dir: dir, Limits: lim})
+// for infrastructure failure. workers is each epoch audit's parallelism
+// (0 = GOMAXPROCS, 1 = the sequential engine); the verdict is identical at
+// every setting.
+func AuditEpochDir(ctx context.Context, dir string, lim Limits, workers int) (AuditorStatus, error) {
+	aud, err := auditd.New(auditd.Config{Dir: dir, Limits: lim, AuditWorkers: workers})
 	if err != nil {
 		return AuditorStatus{}, err
 	}
