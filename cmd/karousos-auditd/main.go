@@ -115,6 +115,13 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	maxAge := fs.Duration("epoch-max-age", 0, "seal non-empty epochs older than this (0 = disabled)")
 	seed := fs.Int64("seed", 42, "scheduler seed")
 	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	commit := fs.String("commit", "group", "trace commit mode: group (one fsync per batch), per-request (one fsync per append), async")
+	maxInflight := fs.Int("max-inflight", 0, "admission window: max requests between admit and durable commit (0 = default 256)")
+	maxQueuedBytes := fs.Int64("max-queued-bytes", 0, "admission ceiling on queued request bytes (0 = default 32 MiB)")
+	retryAfter := fs.Duration("retry-after", 0, "base Retry-After hint on 429 responses (0 = default 1s)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline through serve and commit (0 = none)")
+	maxAuditLag := fs.Int("max-audit-lag", 0, "tighten admission and fail /readyz when the auditor falls this many epochs behind (0 = default when a checkpoint is followed)")
+	auditCkpt := fs.String("audit-checkpoint", "", "auditor checkpoint file to follow for lag-based backpressure (\"\" = none)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -122,13 +129,27 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	var progress func() (uint64, bool)
+	if *auditCkpt != "" {
+		// The auditor is a separate process; its durable checkpoint is the
+		// one signal both sides already agree on, so lag-based backpressure
+		// reads it instead of inventing an RPC.
+		progress = func() (uint64, bool) { return auditd.ReadCheckpointProgress(nil, *auditCkpt) }
+	}
 	col, err := collectorhttp.New(collectorhttp.Config{
-		Spec:          spec,
-		Dir:           *dir,
-		EpochRequests: *epochReqs,
-		EpochMaxAge:   *maxAge,
-		Seed:          *seed,
-		Limits:        verifier.DefaultLimits(),
+		Spec:           spec,
+		Dir:            *dir,
+		EpochRequests:  *epochReqs,
+		EpochMaxAge:    *maxAge,
+		Seed:           *seed,
+		Limits:         verifier.DefaultLimits(),
+		Commit:         collectorhttp.CommitMode(*commit),
+		MaxInflight:    *maxInflight,
+		MaxQueuedBytes: *maxQueuedBytes,
+		RetryAfter:     *retryAfter,
+		RequestTimeout: *reqTimeout,
+		MaxAuditLag:    *maxAuditLag,
+		AuditProgress:  progress,
 	})
 	if err != nil {
 		return fail(stderr, err)

@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/experiments"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/workload"
@@ -132,6 +133,24 @@ func baselineBenches() []baselineBench {
 			}
 		}},
 		{"audit-components/full-audit", baselineVerify("wiki", workload.Mixed, 0)},
+		{"record/per-request-fsync-c32", baselineRecord(false, 32)},
+		{"record/group-commit-c32", baselineRecord(true, 32)},
+	}
+}
+
+// baselineRecord mirrors the Figure-13 panel: durable-append throughput of
+// the epoch log at one commit discipline and concurrency level. One op is
+// a fixed batch of events, so ns/op regressions gate the record path the
+// same way the serve/verify entries gate theirs.
+func baselineRecord(group bool, conc int) func(*testing.B) {
+	return func(b *testing.B) {
+		const events = 2048
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RecordThroughput(group, conc, events); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 
@@ -164,6 +183,46 @@ func writeBaseline(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// updateBaseline measures only the benchmarks a committed baseline is
+// missing and merges them in, leaving every existing entry byte-identical.
+// This is how a PR that adds benchmarks lands their baseline numbers
+// without re-measuring (and so silently re-centering) everyone else's.
+func updateBaseline(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Results == nil {
+		f.Results = make(map[string]baselineResult)
+	}
+	added := 0
+	for _, bb := range baselineBenches() {
+		if _, ok := f.Results[bb.name]; ok {
+			continue
+		}
+		res, err := measureBaseline(bb)
+		if err != nil {
+			return err
+		}
+		f.Results[bb.name] = res
+		added++
+		fmt.Printf("%-45s %14.0f ns/op %10d allocs/op (new)\n", bb.name, res.NsPerOp, res.AllocsPerOp)
+	}
+	if added == 0 {
+		fmt.Println("baseline already covers every benchmark; nothing to do")
+		return nil
+	}
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // checkBaseline compares the working tree against a committed baseline and

@@ -1,12 +1,15 @@
 // karousos-bench regenerates the tables behind every figure of the paper's
-// evaluation (Figures 6–12). Without flags it reproduces the paper's setup:
-// 600-request workloads (server-overhead panels warm up on the first 120),
-// concurrency swept over 1–60, medians of 3 trials.
+// evaluation (Figures 6–12), plus Figure 13 — this module's own sustained
+// record-throughput panel (group commit vs per-request fsync, DESIGN.md
+// §14). Without flags it reproduces the paper's setup: 600-request
+// workloads (server-overhead panels warm up on the first 120), concurrency
+// swept over 1–60, medians of 3 trials.
 //
 // Usage:
 //
 //	karousos-bench                  # all figures
 //	karousos-bench -fig 7           # one figure
+//	karousos-bench -fig 13          # record throughput only
 //	karousos-bench -requests 300 -trials 1 -conc 1,30   # a quick pass
 package main
 
@@ -30,15 +33,22 @@ func main() {
 		seed     = flag.Int64("seed", 42, "base seed for workloads and schedulers")
 		workers  = flag.String("workers", "", "comma-separated audit worker levels for the Figure-7 worker sweep (default: 1,2,4,GOMAXPROCS)")
 
-		baselineOut   = flag.String("baseline-out", "", "write a performance baseline (ns/op, allocs/op) to this JSON file and exit")
-		baselineCheck = flag.String("baseline-check", "", "check the working tree against a committed baseline JSON file and exit non-zero on regression")
-		baselineTol   = flag.Float64("baseline-tolerance", 0.25, "fractional ns/op slowdown allowed by -baseline-check")
+		baselineOut    = flag.String("baseline-out", "", "write a performance baseline (ns/op, allocs/op) to this JSON file and exit")
+		baselineUpdate = flag.String("baseline-update", "", "measure only the benchmarks missing from this baseline JSON file, merge them in, and exit")
+		baselineCheck  = flag.String("baseline-check", "", "check the working tree against a committed baseline JSON file and exit non-zero on regression")
+		baselineTol    = flag.Float64("baseline-tolerance", 0.25, "fractional ns/op slowdown allowed by -baseline-check")
 	)
 	flag.Parse()
 
-	if *baselineOut != "" || *baselineCheck != "" {
+	if *baselineOut != "" || *baselineUpdate != "" || *baselineCheck != "" {
 		if *baselineOut != "" {
 			if err := writeBaseline(*baselineOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *baselineUpdate != "" {
+			if err := updateBaseline(*baselineUpdate); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSelfContainedBurstWithAudit is the CLI's acceptance loop: boot a
+// collector, offer a burst past a tight admission window, then re-audit
+// the sealed log at both worker counts.
+func TestSelfContainedBurstWithAudit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-app", "motd", "-n", "64", "-seed", "9",
+		"-epoch-requests", "16", "-max-inflight", "4", "-outstanding", "16",
+		"-dir", t.TempDir(), "-audit",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	for _, want := range []string{"offered 64", "AUDIT ACCEPTED", "LOADGEN OK"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestJSONOutput checks the machine-readable path parses and balances.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-app", "wiki", "-n", "8", "-dir", t.TempDir(), "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"offered": 8`) {
+		t.Fatalf("json output missing offered count:\n%s", stdout.String())
+	}
+}
+
+// TestBadFlagsFail covers the refusal paths: unknown mix, and -audit
+// against an external URL.
+func TestBadFlagsFail(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-mix", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown mix: exit %d", code)
+	}
+	if code := run([]string{"-url", "http://127.0.0.1:1", "-audit"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-audit with -url: exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-audit") {
+		t.Fatalf("stderr should explain the -audit restriction: %s", stderr.String())
+	}
+}

@@ -53,6 +53,13 @@ type Config struct {
 	Checkpoint string
 	// Workers bounds concurrent epoch prefetches. Defaults to 2.
 	Workers int
+	// MaxPrefetchBytes bounds the estimated bytes of fetched-but-unaudited
+	// epochs resident at once (manifest TraceBytes + AdviceBytes). The
+	// count window alone is not enough: 2×Workers epochs of a byte-heavy
+	// workload can dwarf the count bound. At least one epoch is always in
+	// flight, so an oversized epoch stalls the window instead of wedging
+	// it. <=0 means 256 MiB.
+	MaxPrefetchBytes int64
 	// AuditWorkers is each epoch audit's parallelism (verifier.Config.
 	// Workers): 0 means GOMAXPROCS, 1 forces the sequential engine. The
 	// verdict is identical at every setting.
@@ -114,6 +121,11 @@ type Status struct {
 	Unauditable   int           `json:"unauditable"`
 	LastAudit     time.Duration `json:"lastAuditNanos"`
 	TotalAudit    time.Duration `json:"totalAuditNanos"`
+	// PeakPrefetchEpochs and PeakPrefetchBytes are the prefetch window's
+	// high-water marks since this auditor started — the overload tests
+	// assert boundedness against them.
+	PeakPrefetchEpochs int   `json:"peakPrefetchEpochs,omitempty"`
+	PeakPrefetchBytes  int64 `json:"peakPrefetchBytes,omitempty"`
 }
 
 // checkpoint is the resume file's schema. The carry is the dictionary state
@@ -164,6 +176,9 @@ func New(cfg Config) (*Auditor, error) {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
+	}
+	if cfg.MaxPrefetchBytes <= 0 {
+		cfg.MaxPrefetchBytes = 256 << 20
 	}
 	if cfg.Poll <= 0 {
 		cfg.Poll = 200 * time.Millisecond
@@ -271,9 +286,22 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 	// many fetched epochs can sit in memory waiting for the in-order
 	// audit — without it, a large backlog (auditor restarted without its
 	// checkpoint, long outage) would hold every pending epoch's trace and
-	// advice resident at once.
+	// advice resident at once. The window is bounded twice: by epoch count
+	// (2×Workers) and by estimated bytes (MaxPrefetchBytes), since a
+	// byte-heavy workload can dwarf the count bound. A slot stays claimed
+	// until its epoch's audit finishes — the fetched trace and advice are
+	// resident for exactly that long.
 	opt := epochlog.Options{MaxAdviceBytes: a.cfg.Limits.MaxAdviceBytes, FS: a.cfg.FS}
 	window := 2 * a.cfg.Workers
+	est := func(m epochlog.Manifest) int64 {
+		n := m.TraceBytes + int64(m.AdviceBytes)
+		if n <= 0 {
+			// Manifests sealed before sizes were recorded: assume 1 MiB so
+			// old logs still prefetch with some look-ahead.
+			n = 1 << 20
+		}
+		return n
+	}
 	sem := make(chan struct{}, a.cfg.Workers)
 	results := make([]chan fetched, len(pending))
 	for i := range pending {
@@ -292,10 +320,29 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 			ch <- f
 		}(pending[i].Seq, results[i])
 	}
-	next := 0
-	for ; next < len(pending) && next < window; next++ {
-		prefetch(next)
+	next, inWindow := 0, 0
+	var windowBytes int64
+	issue := func() {
+		for next < len(pending) && inWindow < window {
+			e := est(pending[next])
+			if inWindow > 0 && windowBytes+e > a.cfg.MaxPrefetchBytes {
+				break
+			}
+			inWindow++
+			windowBytes += e
+			a.mu.Lock()
+			if inWindow > a.status.PeakPrefetchEpochs {
+				a.status.PeakPrefetchEpochs = inWindow
+			}
+			if windowBytes > a.status.PeakPrefetchBytes {
+				a.status.PeakPrefetchBytes = windowBytes
+			}
+			a.mu.Unlock()
+			prefetch(next)
+			next++
+		}
 	}
+	issue()
 
 	processed := 0
 	for i, m := range pending {
@@ -303,16 +350,15 @@ func (a *Auditor) RunOnce(ctx context.Context) (int, error) {
 			return processed, err
 		}
 		f := <-results[i]
-		if next < len(pending) {
-			prefetch(next)
-			next++
-		}
 		if f.err != nil {
 			return processed, fmt.Errorf("auditd: epoch %d: %w", m.Seq, f.err)
 		}
 		if err := a.auditEpoch(ctx, m, f); err != nil {
 			return processed, err
 		}
+		inWindow--
+		windowBytes -= est(m)
+		issue()
 		processed++
 	}
 	return processed, nil
@@ -474,6 +520,31 @@ func writeCheckpoint(fsys iofault.FS, path string, cp checkpoint) error {
 		return fmt.Errorf("checkpoint directory fsync: %w", err)
 	}
 	return nil
+}
+
+// ReadCheckpointProgress reports the newest epoch an auditor process has
+// graded, read from its checkpoint file; ok is false while there is no
+// readable checkpoint. The probe is advisory — collectors poll it to
+// measure audit lag for admission backpressure — so every failure mode
+// degrades to "unknown" rather than surfacing: unknown lag leaves the
+// window open, which is the safe default for a signal that only ever
+// tightens service.
+func ReadCheckpointProgress(fsys iofault.FS, path string) (lastProcessed uint64, ok bool) {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	blob, err := fsys.ReadFile(path)
+	if err != nil {
+		return 0, false //karousos:errladder-ok advisory progress probe; no checkpoint yet reads as unknown
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		return 0, false //karousos:errladder-ok advisory progress probe; a torn checkpoint reads as unknown
+	}
+	if cp.LastProcessed < cp.LastAccepted {
+		cp.LastProcessed = cp.LastAccepted
+	}
+	return cp.LastProcessed, true
 }
 
 // Run follows the log: it audits sealed epochs as they appear until the

@@ -317,3 +317,86 @@ func TestCheckpointResume(t *testing.T) {
 		t.Fatalf("third auditor re-audited %d epochs (err %v)", n, err)
 	}
 }
+
+// TestPrefetchByteBound: with MaxPrefetchBytes squeezed below a single
+// epoch's size, the window degenerates to one epoch in flight (the floor —
+// an oversized epoch must stall the window, not wedge it), every epoch
+// still audits, and the peak gauges record the boundedness.
+func TestPrefetchByteBound(t *testing.T) {
+	dir := t.TempDir()
+	col, err := collectorhttp.New(collectorhttp.Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLoopback(t, col)
+	driveHTTP(t, ts, requestsFor(harness.MOTDApp(), 6, 5))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	aud, err := New(Config{Dir: dir, Workers: 4, MaxPrefetchBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := aud.RunOnce(context.Background())
+	if err != nil || n != 6 {
+		t.Fatalf("audited %d epochs (err %v), want 6", n, err)
+	}
+	st := aud.Status()
+	if st.PeakPrefetchEpochs != 1 {
+		t.Fatalf("peak prefetch epochs = %d, want 1 (byte bound must floor the window)", st.PeakPrefetchEpochs)
+	}
+	if st.PeakPrefetchBytes <= 0 {
+		t.Fatalf("peak prefetch bytes = %d, want > 0", st.PeakPrefetchBytes)
+	}
+
+	// Without the squeeze the same backlog fills the count window.
+	aud2, err := New(Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aud2.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := aud2.Status().PeakPrefetchEpochs; p != 4 {
+		t.Fatalf("peak prefetch epochs = %d, want 4 (2×Workers)", p)
+	}
+}
+
+// TestReadCheckpointProgress: the advisory lag probe reads the checkpoint
+// another auditor wrote; absence or corruption reads as unknown.
+func TestReadCheckpointProgress(t *testing.T) {
+	cpPath := filepath.Join(t.TempDir(), "checkpoint.json")
+	if _, ok := ReadCheckpointProgress(nil, cpPath); ok {
+		t.Fatal("missing checkpoint reported progress")
+	}
+
+	dir := t.TempDir()
+	col, err := collectorhttp.New(collectorhttp.Config{Spec: harness.MOTDApp(), Dir: dir, EpochRequests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newLoopback(t, col)
+	driveHTTP(t, ts, requestsFor(harness.MOTDApp(), 3, 7))
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	aud, err := New(Config{Dir: dir, Checkpoint: cpPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aud.RunOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ReadCheckpointProgress(nil, cpPath)
+	if !ok || got != aud.Status().LastProcessed {
+		t.Fatalf("progress = %d, %v; want %d, true", got, ok, aud.Status().LastProcessed)
+	}
+
+	if err := os.WriteFile(cpPath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ReadCheckpointProgress(nil, cpPath); ok {
+		t.Fatal("corrupt checkpoint reported progress")
+	}
+}

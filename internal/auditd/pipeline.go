@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"karousos.dev/karousos/internal/advice"
@@ -68,6 +69,10 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 	if opts.EpochRequests < 1 {
 		opts.EpochRequests = 50
 	}
+	// The collector polls the supervisor's audit progress for lag-based
+	// backpressure; the supervisor is built after the collector, so the
+	// probe reads an atomic pointer and reports "unknown" until it lands.
+	var supPtr atomic.Pointer[Supervisor]
 	col, err := collectorhttp.New(collectorhttp.Config{
 		Spec:          spec,
 		Dir:           opts.Dir,
@@ -76,6 +81,14 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		Seed:          opts.Seed,
 		Limits:        opts.Limits,
 		FS:            opts.FS,
+		AuditProgress: func() (uint64, bool) {
+			s := supPtr.Load()
+			if s == nil {
+				return 0, false
+			}
+			st, _ := s.Status()
+			return st.LastProcessed, true
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -101,6 +114,7 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		FS:           opts.FS,
 		AuditWorkers: opts.AuditWorkers,
 	}, SupervisorOptions{MaxRestarts: opts.MaxRestarts})
+	supPtr.Store(sup)
 	followCtx, stopFollow := context.WithCancel(ctx)
 	defer stopFollow()
 	auditErr := make(chan error, 1)

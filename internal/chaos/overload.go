@@ -1,0 +1,357 @@
+// Overload scenarios: where chaos.Run scripts infrastructure *faults*,
+// RunOverload scripts infrastructure *pressure* — an open-loop arrival
+// stream offered well past the collector's admission window, optionally
+// with slow fsyncs or slow clients stirred in. The invariants are the
+// serving-path promises of DESIGN.md §14:
+//
+//   - overload is shed, never queued without bound: every arrival resolves
+//     to 200 or 429, and the admission gauges never exceed their
+//     configured ceilings;
+//   - shedding loses no evidence: every 200-acked request appears as a
+//     REQ in some sealed epoch;
+//   - the accepted load audits clean, and the verdict — including the
+//     verifier's work counters — is identical at every audit parallelism.
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"time"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/auditd"
+	"karousos.dev/karousos/internal/collectorhttp"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/epochlog"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/iofault"
+	"karousos.dev/karousos/internal/loadgen"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// Overload chaos ingredients.
+const (
+	// OverloadNone is pure burst arrival against a small admission window.
+	OverloadNone = ""
+	// OverloadSlowFsync injects latency into every trace-file I/O call, so
+	// group commits (the fsync the whole batch waits on) run slow and
+	// backpressure builds behind the commit queue.
+	OverloadSlowFsync = "slow-fsync"
+	// OverloadSlowClient trickles every Nth request body a few bytes at a
+	// time — the slowloris shape. Slow bodies must tie up neither admission
+	// slots nor the commit path.
+	OverloadSlowClient = "slow-client"
+)
+
+// OverloadScenario scripts one overload run.
+type OverloadScenario struct {
+	// App names the application (harness.SpecByName). "" means motd.
+	App string `json:"app"`
+	// Seed seeds the workload generator and the collector's scheduler.
+	Seed int64 `json:"seed"`
+	// Requests is how many arrivals the generator offers.
+	Requests int `json:"requests"`
+	// EpochRequests is the collector's seal threshold.
+	EpochRequests int `json:"epochRequests"`
+	// MaxInflight is the collector's admission window. <=0 means 8. The
+	// generator always offers 4× this concurrently, so the run is
+	// overloaded by construction.
+	MaxInflight int `json:"maxInflight"`
+	// MaxQueuedBytes is the collector's queued-bytes ceiling. <=0 means
+	// 1 MiB.
+	MaxQueuedBytes int64 `json:"maxQueuedBytes"`
+	// Rate is the open-loop arrival rate (req/s); 0 is a pure burst.
+	Rate float64 `json:"rate,omitempty"`
+	// Chaos selects the extra pressure ingredient: OverloadNone,
+	// OverloadSlowFsync, or OverloadSlowClient.
+	Chaos string `json:"chaos,omitempty"`
+	// SlowEvery trickles every Nth request body when Chaos is
+	// OverloadSlowClient. <=0 means 4.
+	SlowEvery int `json:"slowEvery,omitempty"`
+}
+
+// OverloadResult is what an overload run observed.
+type OverloadResult struct {
+	// Load is the generator-side ledger: every arrival in exactly one
+	// bucket.
+	Load *loadgen.Result `json:"load"`
+	// Admission is the collector's admission state at shutdown, including
+	// the peak gauges the boundedness invariant checks.
+	Admission collectorhttp.AdmissionState `json:"admission"`
+	Sealed    int                          `json:"sealed"`
+	// Verdicts is the sequential (workers=1) re-audit of every sealed
+	// epoch; Stats1 and Stats4 are the summed verifier work counters at
+	// parallelism 1 and 4, which must be identical.
+	Verdicts []auditd.Verdict `json:"verdicts"`
+	Stats1   verifier.Stats   `json:"stats1"`
+	Stats4   verifier.Stats   `json:"stats4"`
+	// Violations are overload-invariant breaches; empty on a sound run.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// AuditSealedAt re-audits every sealed epoch in dir at the given verifier
+// parallelism and returns the verdict sequence plus the summed work
+// counters. It mirrors the auditor's grading semantics — Fresh re-anchors
+// the carry, a degraded epoch whose audit fails grades Unauditable and
+// unanchors until the next Fresh manifest, a clean rejection halts — but
+// keeps the Stats the auditor discards, so two passes at different worker
+// counts can be compared counter for counter.
+func AuditSealedAt(ctx context.Context, dir string, workers int) ([]auditd.Verdict, verifier.Stats, error) {
+	var total verifier.Stats
+	meta, err := collectorhttp.ReadMeta(dir)
+	if err != nil {
+		return nil, total, err
+	}
+	spec, err := harness.SpecByName(meta.App)
+	if err != nil {
+		return nil, total, err
+	}
+
+	sealed, err := epochlog.ListSealed(dir)
+	if err != nil {
+		return nil, total, err
+	}
+	var (
+		verdicts   []auditd.Verdict
+		carry      *verifier.CarryState
+		unanchored bool
+	)
+	for _, m := range sealed {
+		if m.Fresh {
+			carry, unanchored = nil, false
+		}
+		if unanchored {
+			verdicts = append(verdicts, auditd.Verdict{Epoch: m.Seq, Code: core.RejectUnauditable, Reason: "unanchored: an earlier epoch graded unauditable"})
+			continue
+		}
+		tr, blob, _, err := epochlog.ReadSealed(dir, m.Seq, epochlog.Options{})
+		if err != nil {
+			return verdicts, total, err
+		}
+		grade := func(auditErr error) auditd.Verdict {
+			code := core.RejectCodeOf(auditErr)
+			if code == "" {
+				code = core.RejectMalformedAdvice
+			}
+			if m.Degraded != "" && code != core.RejectInternalFault {
+				unanchored, carry = true, nil
+				return auditd.Verdict{Epoch: m.Seq, Code: core.RejectUnauditable,
+					Reason: fmt.Sprintf("degraded (%s); audit failed [%s]: %s", m.Degraded, code, auditErr)}
+			}
+			return auditd.Verdict{Epoch: m.Seq, Code: code, Reason: auditErr.Error()}
+		}
+		adv, err := advice.UnmarshalBinary(blob)
+		if err != nil {
+			v := grade(core.Reject{Code: core.RejectMalformedAdvice, Reason: err.Error()})
+			verdicts = append(verdicts, v)
+			if v.Code != core.RejectUnauditable {
+				return verdicts, total, nil
+			}
+			continue
+		}
+		app, _ := spec.New()
+		st, next, err := verifier.AuditCarry(ctx, verifier.Config{
+			App:       app,
+			Mode:      meta.Mode,
+			Isolation: spec.Isolation,
+			Carry:     carry,
+			Workers:   workers,
+		}, tr, adv)
+		total.Groups += st.Groups
+		total.Requests += st.Requests
+		total.GraphNodes += st.GraphNodes
+		total.GraphEdges += st.GraphEdges
+		total.HandlersRerun += st.HandlersRerun
+		if err != nil {
+			v := grade(err)
+			verdicts = append(verdicts, v)
+			if v.Code != core.RejectUnauditable {
+				// A clean rejection halts grading, exactly as the live
+				// auditor halts: nothing past an accusation is trusted.
+				return verdicts, total, nil
+			}
+			continue
+		}
+		carry = next
+		verdicts = append(verdicts, auditd.Verdict{Epoch: m.Seq})
+	}
+	return verdicts, total, nil
+}
+
+// RunOverload replays the overload scenario in dir (a scratch directory
+// the caller owns). The error return is for runner breakage — invariant
+// violations land in Result.Violations.
+func RunOverload(dir string, sc OverloadScenario) (*OverloadResult, error) {
+	if sc.App == "" {
+		sc.App = "motd"
+	}
+	spec, err := harness.SpecByName(sc.App)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Requests <= 0 || sc.EpochRequests <= 0 {
+		return nil, fmt.Errorf("chaos: overload scenario needs positive Requests and EpochRequests")
+	}
+	if sc.MaxInflight <= 0 {
+		sc.MaxInflight = 8
+	}
+	if sc.MaxQueuedBytes <= 0 {
+		sc.MaxQueuedBytes = 1 << 20
+	}
+	slowEvery := 0
+	inj := iofault.NewInjector(nil)
+	switch sc.Chaos {
+	case OverloadNone:
+	case OverloadSlowFsync:
+		// Latency on every trace-file call slows the group commit's
+		// write+fsync, which is exactly the stall the commit queue and the
+		// admission window have to absorb without growing unboundedly.
+		inj.Arm(iofault.OpLatency, iofault.ArmConfig{Times: -1, PathContains: ".trace"})
+	case OverloadSlowClient:
+		slowEvery = sc.SlowEvery
+		if slowEvery <= 0 {
+			slowEvery = 4
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown overload chaos %q", sc.Chaos)
+	}
+
+	logDir := filepath.Join(dir, "log")
+	col, err := collectorhttp.New(collectorhttp.Config{
+		Spec:           spec,
+		Dir:            logDir,
+		Seed:           sc.Seed,
+		EpochRequests:  sc.EpochRequests,
+		Commit:         collectorhttp.CommitGroup,
+		MaxInflight:    sc.MaxInflight,
+		MaxQueuedBytes: sc.MaxQueuedBytes,
+		RetryAfter:     50 * time.Millisecond,
+		FS:             inj,
+		Backoff:        iofault.Backoff{Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(col.Handler())
+	defer ts.Close()
+	defer col.Close()
+
+	res := &OverloadResult{}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	load, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:        ts.URL,
+		App:            sc.App,
+		Requests:       sc.Requests,
+		Rate:           sc.Rate,
+		MaxOutstanding: 4 * sc.MaxInflight,
+		Seed:           sc.Seed,
+		SlowEvery:      slowEvery,
+		Client:         ts.Client(),
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Load = load
+
+	// Snapshot the admission gauges over HTTP before shutdown, the same
+	// view an operator's scrape would get.
+	var health collectorhttp.Health
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		return res, err
+	}
+	err = json.NewDecoder(hr.Body).Decode(&health)
+	hr.Body.Close() //karousos:errladder-ok response body fully consumed by the decoder; Close here only returns the connection
+	if err != nil || hr.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("chaos: healthz scrape: status %d, %v", hr.StatusCode, err)
+	}
+	res.Admission = health.Admission
+
+	ts.Close()
+	if err := col.Close(); err != nil {
+		violate("final seal failed: %v", err)
+	}
+
+	// Invariant: overload resolves every arrival to 200 or 429 (or a local
+	// shed at the generator) — never a 5xx, a hang, or a mystery status.
+	if load.ServerErr != 0 || load.NetErr != 0 || load.OtherStatus != 0 {
+		violate("overload produced non-200/429 outcomes: serverErr %d netErr %d other %d",
+			load.ServerErr, load.NetErr, load.OtherStatus)
+	}
+	if load.OK+load.Shed429+load.ShedLocal != load.Offered {
+		violate("arrival ledger does not balance: %+v", load)
+	}
+
+	// Invariant: the admission gauges never exceeded their ceilings — the
+	// collector shed rather than queued.
+	if res.Admission.PeakInflight > sc.MaxInflight {
+		violate("peak inflight %d exceeded window %d", res.Admission.PeakInflight, sc.MaxInflight)
+	}
+	if res.Admission.PeakQueuedBytes > sc.MaxQueuedBytes {
+		violate("peak queued bytes %d exceeded ceiling %d", res.Admission.PeakQueuedBytes, sc.MaxQueuedBytes)
+	}
+
+	// Invariant: zero evidence loss — every 200-acked RID is a REQ in some
+	// sealed epoch.
+	sealed, err := epochlog.ListSealed(logDir)
+	if err != nil {
+		return res, err
+	}
+	res.Sealed = len(sealed)
+	inLog := map[string]bool{}
+	for _, m := range sealed {
+		tr, _, _, err := epochlog.ReadSealed(logDir, m.Seq, epochlog.Options{})
+		if err != nil {
+			return res, err
+		}
+		if err := tr.CheckBalanced(); err != nil {
+			violate("epoch %d sealed unbalanced: %v", m.Seq, err)
+		}
+		for _, rid := range tr.RIDs() {
+			inLog[rid] = true
+		}
+	}
+	for _, rid := range load.AckedRIDs {
+		if !inLog[rid] {
+			violate("acked rid %s missing from the sealed log", rid)
+		}
+	}
+
+	// Invariant: the admitted load audits to Accept, and the verdict and
+	// work counters are identical at audit parallelism 1 and 4.
+	ctx := context.Background()
+	v1, s1, err := AuditSealedAt(ctx, logDir, 1)
+	if err != nil {
+		return res, err
+	}
+	v4, s4, err := AuditSealedAt(ctx, logDir, 4)
+	if err != nil {
+		return res, err
+	}
+	res.Verdicts, res.Stats1, res.Stats4 = v1, s1, s4
+	for _, v := range v1 {
+		if !v.Accepted() {
+			violate("epoch %d graded %s under overload: %s", v.Epoch, v.Code, v.Reason)
+		}
+	}
+	if len(v1) != len(v4) {
+		violate("audit graded %d epochs at workers=1 but %d at workers=4", len(v1), len(v4))
+	} else {
+		for i := range v1 {
+			if v1[i].Epoch != v4[i].Epoch || v1[i].Code != v4[i].Code {
+				violate("epoch %d verdict differs across worker counts: %q vs %q", v1[i].Epoch, v1[i].Code, v4[i].Code)
+			}
+		}
+	}
+	if s1 != s4 {
+		violate("audit stats differ across worker counts: %+v vs %+v", s1, s4)
+	}
+	return res, nil
+}

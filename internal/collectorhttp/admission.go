@@ -1,0 +1,130 @@
+package collectorhttp
+
+import (
+	"sync"
+)
+
+// admission is the collector's bounded intake: a request is admitted only
+// if both the in-flight count and the summed admitted body bytes fit the
+// window; everything beyond is shed immediately with 429. The alternative
+// — an unbounded queue in front of a disk that cannot keep up — is exactly
+// how a collector dies still holding evidence it never made durable
+// (DESIGN.md §14). The window also tightens when the auditor falls behind:
+// serving faster than the audit pipeline can check is racing ahead of the
+// only thing that makes the responses trustworthy.
+type admission struct {
+	mu          sync.Mutex
+	maxInflight int
+	maxBytes    int64
+	lagLimit    int // epochs of audit lag tolerated before tightening; 0 = never
+
+	inflight     int
+	bytes        int64
+	lag          int // latest observed audit lag, in epochs
+	peakInflight int
+	peakBytes    int64
+	shed         uint64
+}
+
+// AdmissionState is the admission window's observable state, served on
+// /healthz and folded into /readyz.
+type AdmissionState struct {
+	Inflight       int   `json:"inflight"`
+	QueuedBytes    int64 `json:"queuedBytes"`
+	MaxInflight    int   `json:"maxInflight"`
+	MaxQueuedBytes int64 `json:"maxQueuedBytes"`
+	// EffectiveWindow is MaxInflight after lag-based tightening.
+	EffectiveWindow int `json:"effectiveWindow"`
+	// PeakInflight and PeakQueuedBytes are high-water marks since boot —
+	// the overload scenarios assert boundedness against them.
+	PeakInflight    int    `json:"peakInflight"`
+	PeakQueuedBytes int64  `json:"peakQueuedBytes"`
+	Shed            uint64 `json:"shed"`
+	AuditLag        int    `json:"auditLag"`
+	MaxAuditLag     int    `json:"maxAuditLag,omitempty"`
+	// Saturated means the next arrival would be shed; /readyz flips on it
+	// so load balancers drain traffic before clients start seeing 429s.
+	Saturated bool `json:"saturated"`
+}
+
+func newAdmission(maxInflight int, maxBytes int64, lagLimit int) *admission {
+	return &admission{maxInflight: maxInflight, maxBytes: maxBytes, lagLimit: lagLimit}
+}
+
+// effectiveWindowLocked scales the in-flight window down in proportion to
+// how far the auditor has fallen behind: at lag = 2×limit the window
+// halves, and it never drops below 1. This is backpressure, not a
+// brown-out — the collector keeps serving, at the rate the audit pipeline
+// can absorb. Caller holds a.mu.
+func (a *admission) effectiveWindowLocked() int {
+	w := a.maxInflight
+	if a.lagLimit > 0 && a.lag > a.lagLimit {
+		w = a.maxInflight * a.lagLimit / a.lag
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// tryAdmit claims one in-flight slot and n body bytes; false sheds the
+// arrival (the caller answers 429 and must not call release).
+func (a *admission) tryAdmit(n int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight+1 > a.effectiveWindowLocked() || a.bytes+n > a.maxBytes {
+		a.shed++
+		return false
+	}
+	a.inflight++
+	a.bytes += n
+	if a.inflight > a.peakInflight {
+		a.peakInflight = a.inflight
+	}
+	if a.bytes > a.peakBytes {
+		a.peakBytes = a.bytes
+	}
+	return true
+}
+
+// release returns an admitted request's slot and bytes.
+func (a *admission) release(n int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	a.bytes -= n
+}
+
+// noteShed counts a shed that happened past admission (a full commit
+// queue), so the shed counter covers every 429 the collector sends.
+func (a *admission) noteShed() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.shed++
+}
+
+// observeLag feeds the latest audit lag (in epochs) into the window.
+func (a *admission) observeLag(lag int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lag = lag
+}
+
+func (a *admission) snapshot() AdmissionState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := a.effectiveWindowLocked()
+	return AdmissionState{
+		Inflight:        a.inflight,
+		QueuedBytes:     a.bytes,
+		MaxInflight:     a.maxInflight,
+		MaxQueuedBytes:  a.maxBytes,
+		EffectiveWindow: w,
+		PeakInflight:    a.peakInflight,
+		PeakQueuedBytes: a.peakBytes,
+		Shed:            a.shed,
+		AuditLag:        a.lag,
+		MaxAuditLag:     a.lagLimit,
+		Saturated:       a.inflight >= w,
+	}
+}

@@ -10,10 +10,22 @@
 // active epoch, so a deployment where the server process is distinct from
 // the collector uses the same wire path our in-process pipeline does.
 //
+// The serving path is built to survive overload (DESIGN.md §14). Admission
+// is bounded: past a window of in-flight requests and queued body bytes,
+// arrivals are shed immediately with 429 and a jittered Retry-After —
+// never queued without bound. Admitted requests ride the epoch log's group
+// commit, so concurrent arrivals amortize one fsync instead of paying one
+// each, and a request is only ever acknowledged after its evidence is
+// durable. When the audit pipeline falls behind, the admission window
+// tightens in proportion to the lag: the collector serves at the rate its
+// responses can actually be checked.
+//
 // Epochs seal on a request-count threshold, on age, or on demand; sealing
 // drains the server's accumulated advice (rebasing its in-memory state onto
 // carry identities, see server.DrainAdvice) and makes the epoch visible to
-// the incremental auditor.
+// the incremental auditor. The seal itself is split so serving never stalls
+// behind an fsync: the rotation under the epoch gate is memory-only, and
+// the durable half (data fsync, manifest) runs after the gate is released.
 package collectorhttp
 
 import (
@@ -22,9 +34,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +51,23 @@ import (
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/value"
 	"karousos.dev/karousos/internal/verifier"
+)
+
+// CommitMode selects the trusted channel's durability discipline.
+type CommitMode string
+
+const (
+	// CommitGroup (the default) makes every append durable before its
+	// request is acknowledged, amortizing fsyncs across concurrent
+	// arrivals via the epoch log's group commit.
+	CommitGroup CommitMode = "group"
+	// CommitPerRequest fsyncs every append individually — the naive
+	// durable baseline the bench panel compares group commit against.
+	CommitPerRequest CommitMode = "per-request"
+	// CommitAsync is the legacy mode: appends are buffered by the OS and
+	// only the seal fsyncs. Cheapest, but a crash can lose acknowledged
+	// requests (the recovered epoch seals degraded).
+	CommitAsync CommitMode = "async"
 )
 
 // Config describes one collector instance.
@@ -62,9 +93,38 @@ type Config struct {
 	// nil means the real OS; tests and chaos scenarios pass an
 	// iofault.Injector.
 	FS iofault.FS
-	// Backoff bounds the retry loop around trusted-channel appends.
+	// Backoff bounds the retry loops around trusted-channel appends.
 	// Zero-valued fields take iofault's defaults.
 	Backoff iofault.Backoff
+
+	// Commit selects the trusted channel's durability discipline; ""
+	// means CommitGroup.
+	Commit CommitMode
+	// MaxInflight bounds concurrently admitted /invoke requests; arrivals
+	// beyond the window are shed with 429. <=0 means 256.
+	MaxInflight int
+	// MaxQueuedBytes bounds the summed body bytes of admitted requests.
+	// <=0 means 32 MiB.
+	MaxQueuedBytes int64
+	// MaxRequestBytes bounds one /invoke body (413 past it). <=0 means
+	// 1 MiB.
+	MaxRequestBytes int64
+	// RetryAfter is the base retry hint attached to 429s; the value sent
+	// is jittered across [RetryAfter, 2×RetryAfter). <=0 means 1s.
+	RetryAfter time.Duration
+	// RequestTimeout bounds one admitted request end to end, including
+	// its wait in the commit queue. 0 disables the collector-side
+	// deadline (the client's context still applies).
+	RequestTimeout time.Duration
+	// AuditProgress, when set, reports the audit pipeline's progress as
+	// the last fully audited epoch seq (ok=false while unknown). The
+	// collector polls it and tightens admission when the auditor falls
+	// behind the sealed frontier.
+	AuditProgress func() (lastAudited uint64, ok bool)
+	// MaxAuditLag is how many sealed-but-unaudited epochs the collector
+	// tolerates before tightening admission and failing /readyz. <=0
+	// means 64 when AuditProgress is set, disabled otherwise.
+	MaxAuditLag int
 }
 
 func (cfg Config) fs() iofault.FS {
@@ -72,6 +132,13 @@ func (cfg Config) fs() iofault.FS {
 		return iofault.OS
 	}
 	return cfg.FS
+}
+
+func (cfg Config) commitMode() CommitMode {
+	if cfg.Commit == "" {
+		return CommitGroup
+	}
+	return cfg.Commit
 }
 
 // Meta is the sidecar record written next to the epoch log so offline tools
@@ -86,18 +153,37 @@ const MetaFile = "meta.json"
 
 // Collector is the HTTP front-end plus its serving runtime and epoch log.
 type Collector struct {
-	cfg Config
+	cfg    Config
+	commit CommitMode
+	adm    *admission
 
-	mu          sync.Mutex
-	srv         *server.Server
-	log         *epochlog.Log
-	nextRID     uint64
+	srv *server.Server // immutable; ServeOne under serveMu, DrainAdvice under the gate's write lock
+	log *epochlog.Log  // immutable pointer; the log is internally synchronized
+
+	// gate is the epoch gate: a request holds it shared from its REQ
+	// append through its RESP append, and a rotation holds it exclusively
+	// — so a seal can never split a REQ/RESP pair across epochs.
+	gate sync.RWMutex
+	// ridMu orders RID assignment with the REQ enqueue, so the trace
+	// admits requests in RID order even under concurrency.
+	ridMu   sync.Mutex
+	nextRID uint64
+	// serveMu serializes the deterministic dispatch loop: server.ServeOne
+	// is single-threaded by design, the concurrency lives in the commit
+	// path on either side of it.
+	serveMu sync.Mutex
+	// sealMu serializes whole seals (rotate + finish) across their
+	// triggers: threshold, age, /seal, Close.
+	sealMu sync.Mutex
+
+	mu          sync.Mutex // guards the mutable state below
 	served      int
 	lastSeal    time.Time
 	lastSealErr error
 	closed      bool
-	ageTicker   *time.Ticker
-	ageDone     chan struct{}
+
+	loopTicker *time.Ticker
+	loopDone   chan struct{}
 }
 
 // New opens (or creates) the epoch log and boots a fresh application
@@ -110,13 +196,36 @@ func New(cfg Config) (*Collector, error) {
 	if cfg.Mode == "" {
 		cfg.Mode = advice.ModeKarousos
 	}
+	commit := cfg.commitMode()
+	switch commit {
+	case CommitGroup, CommitPerRequest, CommitAsync:
+	default:
+		return nil, fmt.Errorf("collectorhttp: unknown commit mode %q", commit)
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.MaxQueuedBytes <= 0 {
+		cfg.MaxQueuedBytes = 32 << 20
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 1 << 20
+	}
+	if cfg.AuditProgress != nil && cfg.MaxAuditLag <= 0 {
+		cfg.MaxAuditLag = 64
+	}
 	if err := cfg.fs().MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	if err := writeMeta(cfg.fs(), cfg.Dir, Meta{App: cfg.Spec.Name, Mode: cfg.Mode}); err != nil {
 		return nil, err
 	}
-	l, err := epochlog.Open(cfg.Dir, epochlog.Options{MaxAdviceBytes: cfg.Limits.MaxAdviceBytes, FS: cfg.FS})
+	l, err := epochlog.Open(cfg.Dir, epochlog.Options{
+		MaxAdviceBytes: cfg.Limits.MaxAdviceBytes,
+		FS:             cfg.FS,
+		GroupCommit:    commit == CommitGroup,
+		Backoff:        cfg.Backoff,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -133,11 +242,27 @@ func New(cfg Config) (*Collector, error) {
 		CollectKarousos: cfg.Mode == advice.ModeKarousos,
 		CollectOrochi:   cfg.Mode == advice.ModeOrochiJS,
 	})
-	c := &Collector{cfg: cfg, srv: srv, log: l, nextRID: nextRID, lastSeal: time.Now()}
-	if cfg.EpochMaxAge > 0 {
-		c.ageTicker = time.NewTicker(cfg.EpochMaxAge / 2)
-		c.ageDone = make(chan struct{})
-		go c.ageLoop()
+	lagLimit := 0
+	if cfg.AuditProgress != nil {
+		lagLimit = cfg.MaxAuditLag
+	}
+	c := &Collector{
+		cfg:      cfg,
+		commit:   commit,
+		adm:      newAdmission(cfg.MaxInflight, cfg.MaxQueuedBytes, lagLimit),
+		srv:      srv,
+		log:      l,
+		nextRID:  nextRID,
+		lastSeal: time.Now(),
+	}
+	if cfg.EpochMaxAge > 0 || cfg.AuditProgress != nil {
+		interval := 250 * time.Millisecond
+		if cfg.EpochMaxAge > 0 {
+			interval = cfg.EpochMaxAge / 2
+		}
+		c.loopTicker = time.NewTicker(interval)
+		c.loopDone = make(chan struct{})
+		go c.maintenanceLoop()
 	}
 	return c, nil
 }
@@ -211,19 +336,48 @@ func ReadMeta(dir string) (Meta, error) {
 	return m, nil
 }
 
-func (c *Collector) ageLoop() {
+// maintenanceLoop is the collector's background tick: it refreshes the
+// audit-lag signal feeding the admission window, and seals the active
+// epoch when it outlives EpochMaxAge.
+func (c *Collector) maintenanceLoop() {
 	for {
 		select {
-		case <-c.ageDone:
+		case <-c.loopDone:
 			return
-		case <-c.ageTicker.C:
-			c.mu.Lock()
-			if !c.closed && time.Since(c.lastSeal) >= c.cfg.EpochMaxAge {
-				_, _ = c.sealLocked() //karousos:errladder-ok seal failure is held in lastSealErr (flips /readyz) and retried
+		case <-c.loopTicker.C:
+			c.refreshLag()
+			if c.cfg.EpochMaxAge <= 0 {
+				continue
 			}
+			c.mu.Lock()
+			due := !c.closed && time.Since(c.lastSeal) >= c.cfg.EpochMaxAge
 			c.mu.Unlock()
+			if due {
+				//karousos:errladder-ok seal failure is held in lastSealErr (flips /readyz) and retried on the next tick
+				_, _ = c.seal()
+			}
 		}
 	}
+}
+
+// refreshLag polls the auditor's progress and feeds the admission window.
+// Lag is measured in sealed-but-unaudited epochs: the distance between the
+// newest epoch the collector has made auditable and the newest one the
+// auditor has actually graded.
+func (c *Collector) refreshLag() {
+	if c.cfg.AuditProgress == nil {
+		return
+	}
+	audited, ok := c.cfg.AuditProgress()
+	if !ok {
+		return
+	}
+	sealedThrough := c.log.ActiveSeq() - 1
+	lag := 0
+	if sealedThrough > audited {
+		lag = int(sealedThrough - audited)
+	}
+	c.adm.observeLag(lag)
 }
 
 // Handler returns the collector's HTTP mux:
@@ -232,8 +386,9 @@ func (c *Collector) ageLoop() {
 //	POST /advice  raw advice blob for the active epoch (untrusted)
 //	POST /seal    force-seal the active epoch → manifest (204 when empty)
 //	GET  /status  counters and epoch positions
-//	GET  /healthz epoch-log health detail, always 200 while the process lives
-//	GET  /readyz  200 when accepting traffic, 503 when closed or seal-stuck
+//	GET  /healthz epoch-log + admission detail, always 200 while the process lives
+//	GET  /readyz  200 when accepting traffic, 503 when closed, seal-stuck,
+//	              saturated, or too far ahead of the auditor
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /invoke", c.handleInvoke)
@@ -245,20 +400,57 @@ func (c *Collector) Handler() http.Handler {
 	return mux
 }
 
-// retryAppend re-issues a trusted-channel append through transient faults.
-// The caller holds c.mu; the backoff is bounded, so holding the lock across
-// retries keeps the trace ordered without starving other requests for long.
-func (c *Collector) retryAppend(ctx context.Context, e trace.Event) error {
-	return iofault.Retry(ctx, c.cfg.Backoff, func() error {
-		return c.log.AppendEvent(e)
-	})
+// ack is the durability handle of one trusted-channel append, whichever
+// commit mode produced it.
+type ack interface{ Wait() error }
+
+// doneAck is an already-resolved ack (the CommitAsync path, where the
+// append returns before anything is durable).
+type doneAck struct{ err error }
+
+func (a doneAck) Wait() error { return a.err }
+
+// appendAsync starts one trusted-channel append in the configured commit
+// mode. The durable modes (group, per-request) hand the frame to the epoch
+// log's commit path, which retries transient faults internally; the legacy
+// async mode keeps the retry loop here and defers durability to the seal.
+func (c *Collector) appendAsync(ctx context.Context, e trace.Event) ack {
+	if c.commit == CommitAsync {
+		return doneAck{err: iofault.Retry(ctx, c.cfg.Backoff, func() error {
+			return c.log.AppendEvent(e)
+		})}
+	}
+	return c.log.AppendEventAsync(ctx, e)
+}
+
+// shed refuses an arrival with 429 and a jittered Retry-After hint, so a
+// synchronized burst's retries do not come back in phase.
+func (c *Collector) shed(w http.ResponseWriter, reason string) {
+	base := c.cfg.RetryAfter
+	if base <= 0 {
+		base = time.Second
+	}
+	d := base + time.Duration(rand.Int63n(int64(base)))
+	secs := int((d + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, reason, http.StatusTooManyRequests)
 }
 
 func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request exceeds byte limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	var body struct {
 		Input json.RawMessage `json:"input"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(raw, &body); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -271,45 +463,36 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	input = value.Normalize(input)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		http.Error(w, "collector closed", http.StatusServiceUnavailable)
+	// Admission: claim a slot in the bounded window or shed now. Queuing
+	// past the window would only move the overload into an unbounded
+	// queue the disk cannot drain — and a collector that dies with a deep
+	// queue dies holding evidence it never made durable.
+	cost := int64(len(raw))
+	if !c.adm.tryAdmit(cost) {
+		c.shed(w, "admission window full")
 		return
 	}
-	c.nextRID++
-	rid := core.RID(fmt.Sprintf("r%08d", c.nextRID))
+	defer c.adm.release(cost)
 
-	// Trusted path: the request is ground truth the moment it is admitted,
-	// before any untrusted execution runs. Transient I/O faults are retried
-	// here; if the append still fails the request is refused outright —
-	// serving a request the trace never admitted would make the collector
-	// itself the gap in the evidence. The RID is not rolled back: RIDs must
-	// only ever grow, and audit keys on the trace, not the counter.
-	if err := c.retryAppend(r.Context(), trace.Event{Kind: trace.Req, RID: string(rid), Data: input}); err != nil {
-		http.Error(w, "epoch log: "+err.Error(), http.StatusServiceUnavailable)
+	ctx := r.Context()
+	if c.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	rid, out, status, refuse := c.serveAdmitted(ctx, input)
+	if refuse != "" {
+		if status == http.StatusTooManyRequests {
+			// Shed past admission (the commit queue itself is full); count
+			// it so the shed gauge covers every 429 the collector sends.
+			c.adm.noteShed()
+			c.shed(w, refuse)
+			return
+		}
+		http.Error(w, refuse, status)
 		return
 	}
-	out, serveErr := c.srv.ServeOne(server.Request{RID: rid, Input: input})
-	if serveErr != nil {
-		// The request was admitted, so the trace must still balance: record
-		// the failure as the response the client observed. An audit of this
-		// epoch will reject — correctly, since re-execution cannot
-		// reproduce a response the handler never produced.
-		out = value.Normalize(value.Map("error", serveErr.Error()))
-	}
-	if err := c.retryAppend(r.Context(), trace.Event{Kind: trace.Resp, RID: string(rid), Data: out}); err != nil {
-		// The response already left the application; refusing it now would
-		// lose work the client may retry non-idempotently. Keep serving,
-		// flag the epoch: its trace is unbalanced through an infrastructure
-		// fault, so the auditor grades it Unauditable rather than rejected.
-		c.log.MarkDegraded("response append failed for " + string(rid) + ": " + err.Error())
-	}
-	// The internal collector recorded the same pair; drain it so a
-	// long-running collector's memory stays bounded. The epoch log copy is
-	// the ground truth the auditor reads.
-	_ = c.srv.TakeTrace()
-	c.served++
 
 	if c.cfg.EpochRequests > 0 {
 		if _, reqs := c.log.ActiveEvents(); reqs >= c.cfg.EpochRequests {
@@ -318,15 +501,82 @@ func (c *Collector) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			// is held in lastSealErr (flips /readyz) and the seal retries on
 			// the next request or age tick.
 			//karousos:errladder-ok seal failure must not fail the admitted request; held in lastSealErr and retried
-			_, _ = c.sealLocked()
+			_, _ = c.seal()
 		}
 	}
+	writeJSON(w, status, map[string]any{"rid": string(rid), "output": out})
+}
 
+// serveAdmitted runs one admitted request under the epoch gate: REQ
+// append, execution, and RESP append all happen inside one shared hold, so
+// a concurrent rotation can never split the pair across epochs. It returns
+// either a served result (refuse == "", status 200/500) or a refusal
+// (refuse != "" with its status code).
+func (c *Collector) serveAdmitted(ctx context.Context, input value.V) (core.RID, value.V, int, string) {
+	c.gate.RLock()
+	defer c.gate.RUnlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return "", nil, http.StatusServiceUnavailable, "collector closed"
+	}
+
+	// Trusted path: the request is ground truth the moment it is admitted,
+	// before any untrusted execution runs. RID assignment and the REQ
+	// enqueue share one critical section so the trace admits requests in
+	// RID order. If the append fails past the retry budget the request is
+	// refused outright — serving a request the trace never admitted would
+	// make the collector itself the gap in the evidence. The RID is not
+	// rolled back: RIDs must only ever grow, and audit keys on the trace,
+	// not the counter.
+	c.ridMu.Lock()
+	c.nextRID++
+	rid := core.RID(fmt.Sprintf("r%08d", c.nextRID))
+	reqAck := c.appendAsync(ctx, trace.Event{Kind: trace.Req, RID: string(rid), Data: input})
+	c.ridMu.Unlock()
+	if err := reqAck.Wait(); err != nil {
+		if errors.Is(err, epochlog.ErrCommitQueueFull) {
+			return "", nil, http.StatusTooManyRequests, "epoch log: " + err.Error()
+		}
+		return "", nil, http.StatusServiceUnavailable, "epoch log: " + err.Error()
+	}
+
+	c.serveMu.Lock()
+	out, serveErr := c.srv.ServeOne(server.Request{RID: rid, Input: input})
+	// The internal collector recorded the same pair; drain it so a
+	// long-running collector's memory stays bounded. The epoch log copy is
+	// the ground truth the auditor reads.
+	_ = c.srv.TakeTrace()
+	c.serveMu.Unlock()
+	if serveErr != nil {
+		// The request was admitted, so the trace must still balance: record
+		// the failure as the response the client observed. An audit of this
+		// epoch will reject — correctly, since re-execution cannot
+		// reproduce a response the handler never produced.
+		out = value.Normalize(value.Map("error", serveErr.Error()))
+	}
+
+	// The RESP rides a background context: the response already left the
+	// application, so its record must not be abandoned to a client
+	// deadline — the trace has to balance. If the append still fails, the
+	// client keeps its response (refusing it now would lose work a client
+	// may retry non-idempotently) and the epoch is flagged: its trace is
+	// unbalanced through an infrastructure fault, so the auditor grades it
+	// Unauditable rather than rejected.
+	respAck := c.appendAsync(context.Background(), trace.Event{Kind: trace.Resp, RID: string(rid), Data: out})
+	if err := respAck.Wait(); err != nil {
+		c.log.MarkDegraded("response append failed for " + string(rid) + ": " + err.Error())
+	}
+
+	c.mu.Lock()
+	c.served++
+	c.mu.Unlock()
 	status := http.StatusOK
 	if serveErr != nil {
 		status = http.StatusInternalServerError
 	}
-	writeJSON(w, status, map[string]any{"rid": string(rid), "output": out})
+	return rid, out, status, ""
 }
 
 func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
@@ -347,9 +597,14 @@ func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "reading advice body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The upload holds the epoch gate shared so the blob cannot straddle a
+	// rotation and land in an epoch it does not describe.
+	c.gate.RLock()
+	defer c.gate.RUnlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
 		http.Error(w, "collector closed", http.StatusServiceUnavailable)
 		return
 	}
@@ -377,9 +632,7 @@ func (c *Collector) handleAdvice(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Collector) handleSeal(w http.ResponseWriter, r *http.Request) {
-	c.mu.Lock()
-	m, err := c.sealLocked()
-	c.mu.Unlock()
+	m, err := c.seal()
 	if err != nil {
 		http.Error(w, "seal: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -400,6 +653,8 @@ type Status struct {
 	ActiveEvents   int    `json:"activeEvents"`
 	ActiveRequests int    `json:"activeRequests"`
 	SealedEpochs   int    `json:"sealedEpochs"`
+	// Shed counts arrivals refused with 429 since boot.
+	Shed uint64 `json:"shed,omitempty"`
 }
 
 func (c *Collector) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -409,27 +664,32 @@ func (c *Collector) handleStatus(w http.ResponseWriter, r *http.Request) {
 // Status reports the collector's counters.
 func (c *Collector) Status() Status {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	served := c.served
+	c.mu.Unlock()
 	events, reqs := c.log.ActiveEvents()
 	return Status{
 		App:            c.cfg.Spec.Name,
 		Mode:           string(c.cfg.Mode),
-		Served:         c.served,
+		Served:         served,
 		ActiveSeq:      c.log.ActiveSeq(),
 		ActiveEvents:   events,
 		ActiveRequests: reqs,
 		SealedEpochs:   len(c.log.Sealed()),
+		Shed:           c.adm.snapshot().Shed,
 	}
 }
 
-// Health is the epoch-log health detail served on /healthz.
+// Health is the epoch-log and admission health detail served on /healthz.
 type Health struct {
 	App            string `json:"app"`
 	Mode           string `json:"mode"`
+	CommitMode     string `json:"commitMode"`
 	ActiveSeq      uint64 `json:"activeSeq"`
 	ActiveEvents   int    `json:"activeEvents"`
 	ActiveRequests int    `json:"activeRequests"`
 	SealedEpochs   int    `json:"sealedEpochs"`
+	// PendingSeals counts epochs rotated out but not yet durably sealed.
+	PendingSeals int `json:"pendingSeals,omitempty"`
 	// OpenEpochAgeMS is how long ago the last seal completed — how stale
 	// the auditable prefix is.
 	OpenEpochAgeMS int64 `json:"openEpochAgeMs"`
@@ -440,57 +700,103 @@ type Health struct {
 	// current evidence is complete.
 	Degraded string `json:"degraded,omitempty"`
 	Closed   bool   `json:"closed,omitempty"`
+	// Admission is the bounded intake's state, including the audit-lag
+	// signal it tightens on.
+	Admission AdmissionState `json:"admission"`
 }
 
-// HealthSnapshot reports the collector's epoch-log health.
+// HealthSnapshot reports the collector's epoch-log and admission health.
 func (c *Collector) HealthSnapshot() Health {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	lastSeal, lastSealErr, closed := c.lastSeal, c.lastSealErr, c.closed
+	c.mu.Unlock()
 	events, reqs := c.log.ActiveEvents()
 	h := Health{
 		App:            c.cfg.Spec.Name,
 		Mode:           string(c.cfg.Mode),
+		CommitMode:     string(c.commit),
 		ActiveSeq:      c.log.ActiveSeq(),
 		ActiveEvents:   events,
 		ActiveRequests: reqs,
 		SealedEpochs:   len(c.log.Sealed()),
-		OpenEpochAgeMS: time.Since(c.lastSeal).Milliseconds(),
+		PendingSeals:   c.log.PendingSeals(),
+		OpenEpochAgeMS: time.Since(lastSeal).Milliseconds(),
 		Degraded:       c.log.Degraded(),
-		Closed:         c.closed,
+		Closed:         closed,
+		Admission:      c.adm.snapshot(),
 	}
-	if c.lastSealErr != nil {
-		h.LastSealError = c.lastSealErr.Error()
+	if lastSealErr != nil {
+		h.LastSealError = lastSealErr.Error()
 	}
 	return h
 }
 
 func (c *Collector) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.refreshLag()
 	writeJSON(w, http.StatusOK, c.HealthSnapshot())
 }
 
 func (c *Collector) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	c.refreshLag()
 	h := c.HealthSnapshot()
 	switch {
 	case h.Closed:
 		http.Error(w, "collector closed", http.StatusServiceUnavailable)
 	case h.LastSealError != "":
 		http.Error(w, "seal failing: "+h.LastSealError, http.StatusServiceUnavailable)
+	case h.Admission.Saturated:
+		// Not an error state — the collector is doing its job — but a load
+		// balancer should drain traffic before clients start seeing 429s.
+		http.Error(w, "admission window saturated", http.StatusServiceUnavailable)
+	case h.Admission.MaxAuditLag > 0 && h.Admission.AuditLag > h.Admission.MaxAuditLag:
+		http.Error(w, fmt.Sprintf("audit lag %d epochs exceeds %d", h.Admission.AuditLag, h.Admission.MaxAuditLag), http.StatusServiceUnavailable)
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}
 }
 
 // Seal drains the runtime's advice into the active epoch and seals it.
-// Sealing an empty epoch is a no-op returning (nil, nil).
+// Sealing an empty epoch is a no-op returning (nil, nil) — unless earlier
+// rotated epochs are still pending their durable seal, in which case those
+// are finished.
 func (c *Collector) Seal() (*epochlog.Manifest, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sealLocked()
+	return c.seal()
 }
 
-func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
+// seal rotates the active epoch out and finishes its durable seal. The
+// rotation runs under the epoch gate's write lock — no request holds the
+// gate, so no REQ/RESP pair can straddle the boundary — and is memory-only;
+// the fsync-heavy half runs after the gate is released, so in-flight
+// traffic resumes while the rotated epoch syncs. sealMu keeps concurrent
+// seal triggers from interleaving, and a failed finish stays pending:
+// the next seal attempt retries it before anything newer.
+func (c *Collector) seal() (*epochlog.Manifest, error) {
+	c.sealMu.Lock()
+	defer c.sealMu.Unlock()
+	c.gate.Lock()
+	err := c.rotateGated()
+	c.gate.Unlock()
+	var m *epochlog.Manifest
+	if err == nil {
+		m, err = c.log.FinishSeals()
+	}
+	c.mu.Lock()
+	c.lastSealErr = err
+	if m != nil {
+		// Even a partially failed finish that sealed something restarts the
+		// age clock: the auditable prefix did advance.
+		c.lastSeal = time.Now()
+	}
+	c.mu.Unlock()
+	c.refreshLag()
+	return m, err
+}
+
+// rotateGated drains the runtime's advice into the active epoch and
+// rotates it out. Caller holds c.gate exclusively and c.sealMu.
+func (c *Collector) rotateGated() error {
 	if events, _ := c.log.ActiveEvents(); events == 0 {
-		return nil, nil
+		return nil
 	}
 	kar, oro := c.srv.DrainAdvice()
 	adv := kar
@@ -509,14 +815,8 @@ func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
 			c.log.MarkDegraded("advice lost at seal: " + err.Error())
 		}
 	}
-	m, err := c.log.Seal()
-	c.lastSealErr = err
-	if m != nil {
-		// Even when rotation failed (m != nil with an error), the manifest
-		// is durable: the epoch is sealed and the age clock restarts.
-		c.lastSeal = time.Now()
-	}
-	return m, err
+	_, err := c.log.Rotate()
+	return err
 }
 
 // Crash abandons the collector the way a killed process would: no seal,
@@ -524,15 +824,13 @@ func (c *Collector) sealLocked() (*epochlog.Manifest, error) {
 // Chaos scenarios use it; production code wants Close.
 func (c *Collector) Crash() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.ageTicker != nil {
-		c.ageTicker.Stop()
-		close(c.ageDone)
-	}
+	c.stopLoopLocked()
+	c.mu.Unlock()
 	return c.log.Close()
 }
 
@@ -544,17 +842,24 @@ func (c *Collector) Close() error {
 		return nil
 	}
 	c.closed = true
-	if c.ageTicker != nil {
-		c.ageTicker.Stop()
-		close(c.ageDone)
-	}
-	_, sealErr := c.sealLocked()
-	logErr := c.log.Close()
+	c.stopLoopLocked()
 	c.mu.Unlock()
+	// In-flight requests finish under the gate before the final seal's
+	// rotation; new arrivals see closed and are refused.
+	_, sealErr := c.seal()
+	logErr := c.log.Close()
 	if sealErr != nil {
 		return sealErr
 	}
 	return logErr
+}
+
+// stopLoopLocked stops the maintenance loop. Caller holds c.mu.
+func (c *Collector) stopLoopLocked() {
+	if c.loopTicker != nil {
+		c.loopTicker.Stop()
+		close(c.loopDone)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

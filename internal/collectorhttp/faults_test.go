@@ -168,8 +168,10 @@ func TestHealthAndReadyEndpoints(t *testing.T) {
 	}
 
 	// Break sealing: the threshold seal fails, the response still flows,
-	// and readiness flips.
-	if err := inj.Arm(iofault.OpFsyncFail, iofault.ArmConfig{Times: -1}); err != nil {
+	// and readiness flips. The fault targets only the manifest fsync — the
+	// trace's group-commit fsync must keep working or the second invoke
+	// would (correctly) be refused before it ever reached the seal.
+	if err := inj.Arm(iofault.OpFsyncFail, iofault.ArmConfig{Times: -1, PathContains: ".manifest"}); err != nil {
 		t.Fatal(err)
 	}
 	invoke(t, ts.URL, map[string]any{"op": "get", "day": "mon"})

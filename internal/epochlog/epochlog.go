@@ -50,6 +50,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrAdviceTooLarge reports an advice record over Options.MaxAdviceBytes.
 var ErrAdviceTooLarge = errors.New("advice record exceeds byte limit")
 
+// ErrCommitQueueFull reports that a durable append was refused because the
+// group-commit queue is at capacity. The caller admitted more work than the
+// disk can absorb; shedding here (the collector answers 429) is what keeps
+// the queue bounded instead of stretching latency without limit.
+var ErrCommitQueueFull = errors.New("commit queue full")
+
 const frameHeader = 8 // u32le length + u32le CRC32C
 
 // quarantineSuffix is appended to files Open moves aside instead of
@@ -70,6 +76,11 @@ type Manifest struct {
 	// AdviceBytes is the size of the winning advice record (0 if the
 	// server uploaded none).
 	AdviceBytes int `json:"adviceBytes"`
+	// TraceBytes is the byte length of the sealed trace file. The auditor
+	// bounds its prefetch memory with it (plus AdviceBytes); manifests
+	// written before this field existed carry 0, which readers treat as
+	// "size unknown".
+	TraceBytes int64 `json:"traceBytes,omitempty"`
 	// LastRID is the RID of the epoch's last REQ event. The HTTP collector
 	// assigns RIDs monotonically and recovers its counter from this field
 	// on restart, so RIDs never repeat across epochs or incarnations.
@@ -97,6 +108,20 @@ type Options struct {
 	// real filesystem (iofault.OS). Fault-injection harnesses pass an
 	// *iofault.Injector.
 	FS iofault.FS
+	// GroupCommit starts a commit-queue goroutine that coalesces
+	// AppendEventDurable calls into amortized batch fsyncs (one fsync per
+	// batch rather than per frame). Off by default: the legacy append path
+	// and its call-count fault semantics are unchanged unless opted in.
+	GroupCommit bool
+	// MaxBatchFrames caps how many frames one group-commit batch carries
+	// (default 512).
+	MaxBatchFrames int
+	// CommitQueue caps enqueued-but-uncommitted durable appends (default
+	// 4096). A full queue refuses with ErrCommitQueueFull rather than
+	// queueing unboundedly.
+	CommitQueue int
+	// Backoff bounds the committer's retries of transient write faults.
+	Backoff iofault.Backoff
 }
 
 // fs resolves the configured I/O layer.
@@ -124,11 +149,38 @@ type Log struct {
 	events      int
 	requests    int
 	digest      hash.Hash
+	written     int64  // intact bytes of the active trace file (counted frames only)
+	tailBroken  bool   // a torn tail repair failed; repair again before the next write
 	adviceBytes int    // size of the last intact advice record
 	lastRID     string // RID of the active epoch's last REQ event
 	fresh       bool   // active epoch began with fresh application state
 	degraded    string // why the active epoch's evidence may be incomplete
 	closed      bool
+
+	// pending holds epochs rotated out of the active slot (Rotate) whose
+	// durable seal has not finished yet (FinishSeals); sealMu serializes
+	// seal completion so manifests land strictly in epoch order.
+	pending []*pendingSeal
+	sealMu  sync.Mutex
+
+	// commitCh feeds the group-commit goroutine (nil unless
+	// Options.GroupCommit; set once in Open, immutable after). Enqueues
+	// deliberately avoid l.mu — the committer holds l.mu for a whole batch
+	// commit, and an enqueue that waited on it would turn the bounded
+	// queue into unbounded mutex blocking. commitMu only fences enqueues
+	// against Close closing the channel; commitWG tracks the goroutine.
+	commitCh     chan *commitWaiter
+	commitMu     sync.RWMutex
+	commitClosed bool
+	commitWG     sync.WaitGroup
+}
+
+// pendingSeal is an epoch whose accounting is frozen (Rotate snapshotted
+// its manifest) but whose data fsync + manifest write are still owed.
+type pendingSeal struct {
+	m       Manifest
+	traceF  iofault.File
+	adviceF iofault.File
 }
 
 func tracePath(dir string, seq uint64) string {
@@ -159,13 +211,31 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opt: opt, fs: fsys, sealed: sealed, active: uint64(len(sealed)) + 1}
 
+	// A crash between Rotate and FinishSeals leaves whole epochs with
+	// durable data but no manifest, and the successor epoch already
+	// accumulating frames. Walk the contiguous chain of data-bearing epochs
+	// starting at the first unsealed one: every epoch in the chain except
+	// the last gets recovery-sealed below; the last becomes active again.
+	chainEnd := l.active
+	for {
+		ok, err := hasIntactFrames(fsys, tracePath(dir, chainEnd+1))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		chainEnd++
+	}
+
 	// Recovery must never destroy audit evidence. A *valid* manifest past
 	// the contiguous sealed prefix means a gap — one corrupted manifest in
 	// the middle of otherwise-intact history — so refuse to open rather
 	// than touch the still-verifiable epochs beyond it. Everything else
-	// past the prefix (data files of epochs beyond the active one, a torn
-	// manifest at the active epoch) is unreachable garbage from a crashed
-	// seal: move it aside with a .quarantined suffix, never delete it.
+	// past the prefix (data files of epochs beyond the recoverable chain,
+	// a torn manifest at or past the active epoch) is unreachable garbage
+	// from a crashed seal: move it aside with a .quarantined suffix, never
+	// delete it.
 	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("epochlog: %w", err)
@@ -191,7 +261,7 @@ func Open(dir string, opt Options) (*Log, error) {
 				return nil, fmt.Errorf("epochlog: sealed epoch %d exists beyond a gap at epoch %d; refusing to open rather than discard audit evidence", seq, l.active)
 			}
 		}
-		if seq > l.active || (seq == l.active && kind == "manifest") {
+		if seq > chainEnd || (seq >= l.active && kind == "manifest") {
 			strays = append(strays, name)
 		}
 	}
@@ -202,10 +272,48 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 	}
 
+	// Seal the chain's non-final epochs from their on-disk frames alone.
+	// Group-commit acks are durable, so every frame a client was ever told
+	// about is in those files; the epochs seal degraded because advice that
+	// was never uploaded (or synced) is gone for good.
+	for l.active < chainEnd {
+		m, err := recoverySeal(fsys, dir, l.active)
+		if err != nil {
+			return nil, err
+		}
+		l.sealed = append(l.sealed, *m)
+		l.active++
+	}
+
 	if err := l.openActive(); err != nil {
 		return nil, err
 	}
+	if opt.GroupCommit {
+		if l.opt.MaxBatchFrames <= 0 {
+			l.opt.MaxBatchFrames = 512
+		}
+		if l.opt.CommitQueue <= 0 {
+			l.opt.CommitQueue = 4096
+		}
+		l.commitCh = make(chan *commitWaiter, l.opt.CommitQueue)
+		l.commitWG.Add(1)
+		go l.committer()
+	}
 	return l, nil
+}
+
+// hasIntactFrames reports whether path exists and holds at least one intact
+// frame. A missing file, or one holding only a torn tail, is "no".
+func hasIntactFrames(fsys iofault.FS, path string) (bool, error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("epochlog: %w", err)
+	}
+	_, payload := nextFrame(data, 0, 0)
+	return payload != nil, nil
 }
 
 // openActive recovers the active epoch's data files — truncating torn
@@ -213,6 +321,7 @@ func Open(dir string, opt Options) (*Log, error) {
 // appending. Caller holds no lock (Open) or l.mu (Seal).
 func (l *Log) openActive() error {
 	l.events, l.requests, l.adviceBytes, l.lastRID, l.degraded = 0, 0, 0, "", ""
+	l.written, l.tailBroken = 0, false
 	l.digest = sha256.New()
 	_, statErr := l.fs.Stat(freshPath(l.dir, l.active))
 	l.fresh = statErr == nil
@@ -231,6 +340,7 @@ func (l *Log) openActive() error {
 			l.requests++
 			l.lastRID = e.RID
 		}
+		l.written += int64(frameHeader + len(payload))
 		l.digest.Write(payload) //karousos:errladder-ok hash.Hash.Write is documented never to return an error
 		return nil
 	}); err != nil {
@@ -278,9 +388,20 @@ func (l *Log) AppendEvent(e trace.Event) error {
 	if l.closed {
 		return errors.New("epochlog: log is closed")
 	}
-	if _, err := l.traceF.Write(frame(payload)); err != nil {
+	if err := l.ensureTailLocked(); err != nil {
+		return err
+	}
+	buf := frame(payload)
+	if _, err := l.traceF.Write(buf); err != nil {
+		// The write may have torn a partial frame onto the file. Cut back
+		// to the counted length now, so a retried append cannot strand its
+		// frame behind an unreadable tail.
+		if terr := l.repairTailLocked(); terr != nil {
+			l.tailBroken = true
+		}
 		return fmt.Errorf("epochlog: %w", err)
 	}
+	l.written += int64(len(buf))
 	l.events++
 	if e.Kind == trace.Req {
 		l.requests++
@@ -374,55 +495,40 @@ func (l *Log) Degraded() string {
 	return l.degraded
 }
 
-// Seal durably closes the active epoch: data files are fsynced, the
-// manifest (carrying the trace digest) is written and fsynced, and a fresh
-// active epoch begins. Sealing an epoch with no events is a no-op.
-//
-// A failed seal leaves the log fully usable: the data handles stay open
-// until the manifest is durable, and a manifest that failed partway is
-// removed — the manifest's presence IS the seal, so one must never survive
-// a seal that did not complete. Appends may continue and Seal may be
-// retried. When the manifest is durable but rotating to the next epoch
-// fails, Seal returns the manifest *and* an error: the epoch is sealed,
-// the log is closed.
-func (l *Log) Seal() (*Manifest, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil, errors.New("epochlog: log is closed")
-	}
-	if l.events == 0 {
-		return nil, nil
-	}
-	for _, f := range []iofault.File{l.traceF, l.adviceF} {
-		if err := f.Sync(); err != nil {
-			return nil, fmt.Errorf("epochlog: sealing epoch %d: data fsync: %w", l.active, err)
-		}
-	}
-	m := Manifest{
+// manifestLocked snapshots the active epoch's accounting as a manifest.
+// Caller holds l.mu.
+func (l *Log) manifestLocked() Manifest {
+	return Manifest{
 		Seq:         l.active,
 		Events:      l.events,
 		Requests:    l.requests,
 		TraceDigest: fmt.Sprintf("%x", l.digest.Sum(nil)),
 		AdviceBytes: l.adviceBytes,
+		TraceBytes:  l.written,
 		LastRID:     l.lastRID,
 		Fresh:       l.fresh,
 		Degraded:    l.degraded,
 	}
+}
+
+// writeManifestDurable writes and fsyncs one epoch's manifest, then fsyncs
+// the directory. The manifest's presence IS the seal, so a manifest that
+// failed partway is removed — one must never survive a seal that did not
+// complete, and without a durable directory entry it could vanish on power
+// loss while later epochs accumulate, leaving a gap recovery refuses.
+func writeManifestDurable(fsys iofault.FS, dir string, m Manifest) error {
 	mj, err := json.Marshal(&m)
 	if err != nil {
-		return nil, fmt.Errorf("epochlog: %w", err)
+		return fmt.Errorf("epochlog: %w", err)
 	}
-	mp := manifestPath(l.dir, l.active)
-	mf, err := l.fs.OpenFile(mp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	mp := manifestPath(dir, m.Seq)
+	mf, err := fsys.OpenFile(mp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("epochlog: %w", err)
+		return fmt.Errorf("epochlog: %w", err)
 	}
-	// The data files — the evidence — are durable; their handles stay open
-	// so an aborted seal leaves an appendable log behind.
-	abort := func(stage string, err error) (*Manifest, error) {
-		_ = l.fs.Remove(mp) //karousos:errladder-ok best-effort cleanup of a failed seal; the staged error surfaces via abort
-		return nil, fmt.Errorf("epochlog: sealing epoch %d: %s: %w", m.Seq, stage, err)
+	abort := func(stage string, err error) error {
+		_ = fsys.Remove(mp) //karousos:errladder-ok best-effort cleanup of a failed seal; the staged error surfaces via abort
+		return fmt.Errorf("epochlog: sealing epoch %d: %s: %w", m.Seq, stage, err)
 	}
 	if _, err := mf.Write(frame(mj)); err != nil {
 		mf.Close() //karousos:errladder-ok close-after-error; the manifest write error is the one that surfaces
@@ -435,11 +541,50 @@ func (l *Log) Seal() (*Manifest, error) {
 	if err := mf.Close(); err != nil {
 		return abort("manifest close", err)
 	}
-	if err := l.fs.SyncDir(l.dir); err != nil {
-		// Without a durable directory entry the manifest can vanish on
-		// power loss while later epochs accumulate — recovery would then
-		// see a gap and refuse to open. Treat the seal as failed.
+	if err := fsys.SyncDir(dir); err != nil {
 		return abort("directory fsync", err)
+	}
+	return nil
+}
+
+// Seal durably closes the active epoch: data files are fsynced, the
+// manifest (carrying the trace digest) is written and fsynced, and a fresh
+// active epoch begins. Sealing an epoch with no events is a no-op.
+//
+// A failed seal leaves the log fully usable: the data handles stay open
+// until the manifest is durable, and a manifest that failed partway is
+// removed — the manifest's presence IS the seal, so one must never survive
+// a seal that did not complete. Appends may continue and Seal may be
+// retried. When the manifest is durable but rotating to the next epoch
+// fails, Seal returns the manifest *and* an error: the epoch is sealed,
+// the log is closed.
+func (l *Log) Seal() (*Manifest, error) {
+	l.sealMu.Lock()
+	defer l.sealMu.Unlock()
+	// Earlier rotated-out epochs must seal first: manifests land strictly
+	// in epoch order so the sealed prefix never has a gap.
+	if _, err := l.finishPending(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("epochlog: log is closed")
+	}
+	// A seal linearizes after every append already accepted into the
+	// group-commit queue: commit the stragglers into this epoch now.
+	l.drainCommitQueueLocked()
+	if l.events == 0 {
+		return nil, nil
+	}
+	for _, f := range []iofault.File{l.traceF, l.adviceF} {
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("epochlog: sealing epoch %d: data fsync: %w", l.active, err)
+		}
+	}
+	m := l.manifestLocked()
+	if err := writeManifestDurable(l.fs, l.dir, m); err != nil {
+		return nil, err
 	}
 	// The epoch is sealed. Release the data handles (close errors after a
 	// successful fsync carry no durability information) and clean up the
@@ -468,16 +613,33 @@ func (l *Log) Sealed() []Manifest {
 }
 
 // Close releases the active epoch's file handles without sealing; the
-// unsealed tail is recovered by the next Open.
+// unsealed tail — including any rotated-but-unfinished epochs — is
+// recovered by the next Open. Durable appends already accepted into the
+// group-commit queue are committed (or honestly failed) before the files
+// close: an enqueued waiter is never left hanging.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	l.mu.Unlock()
+	if l.commitCh != nil {
+		l.commitMu.Lock()
+		l.commitClosed = true
+		close(l.commitCh)
+		l.commitMu.Unlock()
+		l.commitWG.Wait()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	err1 := l.traceF.Close()
 	err2 := l.adviceF.Close()
+	for _, ps := range l.pending {
+		_ = ps.traceF.Close()  //karousos:errladder-ok close-on-shutdown; the epoch is recovery-sealed by the next Open
+		_ = ps.adviceF.Close() //karousos:errladder-ok close-on-shutdown; the epoch is recovery-sealed by the next Open
+	}
 	if err1 != nil {
 		return err1
 	}

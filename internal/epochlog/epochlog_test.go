@@ -433,8 +433,12 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		}
 	}
 
-	// Killing the seal itself: a torn manifest unseals its epoch, and the
-	// log recovers to the previous sealed prefix without panicking.
+	// Killing the seal itself: a torn manifest unseals its epoch, leaving
+	// exactly the state a crash between Rotate and FinishSeals leaves —
+	// durable data for epoch 2, a successor epoch already bearing frames.
+	// Recovery reseals epoch 2 from its data (flagged degraded: the torn
+	// manifest means its seal never finished cleanly) and keeps epoch 3's
+	// frames as the active epoch instead of quarantining good evidence.
 	for off := 0; off <= 20; off += 2 {
 		dir := copyDir(t)
 		mp := filepath.Join(dir, "ep000002.manifest")
@@ -448,6 +452,14 @@ func TestCrashRecoveryProperty(t *testing.T) {
 		if err := os.Truncate(mp, int64(off)); err != nil {
 			t.Fatal(err)
 		}
-		check(t, dir, 1)
+		check(t, dir, 2)
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := l2.Sealed()[1]; m.Degraded == "" {
+			t.Fatalf("recovery-sealed epoch 2 not flagged degraded: %+v", m)
+		}
+		l2.Close()
 	}
 }

@@ -215,6 +215,8 @@ func AdviceSizePanel(app string, mix workload.Mix, cfg Config) Panel {
 //	Fig 10: MOTD 90% reads
 //	Fig 11: stacks mixed
 //	Fig 12: stacks 90% writes
+//	Fig 13: sustained record throughput — group commit vs per-request fsync
+//	        (not from the paper; the serving-path load story of DESIGN.md §14)
 func Figure(n int, cfg Config) []Panel {
 	switch n {
 	case 6:
@@ -243,6 +245,8 @@ func Figure(n int, cfg Config) []Panel {
 		return appFigure("stacks", workload.Mixed, cfg)
 	case 12:
 		return appFigure("stacks", workload.WriteHeavy, cfg)
+	case 13:
+		return []Panel{RecordThroughputPanel(cfg)}
 	}
 	panic(fmt.Sprintf("experiments: no figure %d", n))
 }
@@ -258,7 +262,7 @@ func appFigure(app string, mix workload.Mix, cfg Config) []Panel {
 }
 
 // Figures lists the figure numbers this package can regenerate.
-func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12} }
+func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12, 13} }
 
 func must(err error) {
 	if err != nil {

@@ -56,3 +56,30 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 		t.Error("concurrency sweep should span 1..60")
 	}
 }
+
+// TestGroupCommitSpeedup pins the Figure-13 acceptance criterion: at
+// concurrency 32, group commit sustains at least 3x the per-request-fsync
+// record throughput. Throughput on shared runners is noisy, so the gate
+// takes the best of three attempts.
+func TestGroupCommitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement")
+	}
+	best := 0.0
+	for attempt := 0; attempt < 3 && best < 3; attempt++ {
+		per, err := RecordThroughput(false, 32, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grp, err := RecordThroughput(true, 32, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := grp / per; s > best {
+			best = s
+		}
+	}
+	if best < 3 {
+		t.Fatalf("group commit speedup %.2fx at concurrency 32, want >= 3x", best)
+	}
+}

@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram: 64 buckets
+// starting at 10µs, each 1.25× the last (reaching past 20 minutes), so
+// tail quantiles cost O(1) memory no matter how many requests a run
+// offers. Quantiles come back as the upper bound of the bucket the rank
+// falls in — pessimistic by at most one bucket width (25%), which is the
+// right bias for latency SLO reporting.
+type Histogram struct {
+	counts [64]uint64
+	total  uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBase   = 10 * time.Microsecond
+	histGrowth = 1.25
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func bucketFor(d time.Duration) int {
+	bound := histBase
+	for i := 0; i < len(Histogram{}.counts)-1; i++ {
+		if d <= bound {
+			return i
+		}
+		bound = time.Duration(float64(bound) * histGrowth)
+	}
+	return len(Histogram{}.counts) - 1
+}
+
+// bucketBound returns bucket i's upper latency bound.
+func bucketBound(i int) time.Duration {
+	bound := histBase
+	for ; i > 0; i-- {
+		bound = time.Duration(float64(bound) * histGrowth)
+	}
+	return bound
+}
+
+// Observe records one latency. Not safe for concurrent use; callers hold
+// their own lock.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)]++
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact mean latency (the sum is tracked outside the
+// buckets), zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the latency bound below which a q fraction of
+// observations fall; q outside (0,1] is clamped. Empty histograms report 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0.0000001
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i == len(h.counts)-1 {
+				return h.max
+			}
+			return bucketBound(i)
+		}
+	}
+	return h.max
+}
+
+// String renders the populated buckets, one per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count %d mean %v max %v\n", h.total, h.Mean().Round(time.Microsecond), h.max.Round(time.Microsecond))
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  ≤%-12v %d\n", bucketBound(i).Round(time.Microsecond), c)
+	}
+	return b.String()
+}
