@@ -9,6 +9,13 @@
 //	    audits every sealed epoch past the checkpoint in order, carrying
 //	    dictionary state across epochs; -follow keeps tailing the log;
 //
+//	karousos-auditd audit -shards 4 -dir shards [-lanes 2]
+//	    audits a sharded topology (as written by karousos-gateway): one
+//	    audit lane per shard-NN epoch log under the root, run
+//	    concurrently up to -lanes, joined by the cross-shard merge check
+//	    into one combined verdict; -shard-dirs overrides the directory
+//	    layout;
+//
 //	karousos-auditd status -dir epochs [-checkpoint cp.json]
 //	    prints the log's sealed manifests and the auditor's cursor;
 //
@@ -19,7 +26,9 @@
 //	karousos-auditd chaos -app motd -seed 11
 //	    runs the fault-injection acceptance scenario (collector crash,
 //	    transient EIO on auditor reads, one-epoch advice outage) and
-//	    exits 0 only if every robustness invariant held.
+//	    exits 0 only if every robustness invariant held; -shards N runs
+//	    the sharded acceptance scenario instead (one shard killed and
+//	    restarted mid-workload behind a gateway).
 //
 // Exit codes are scriptable like karousos-audit's: 0 every audited epoch
 // accepted (chaos: every invariant held), 2 an epoch rejected or an
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +56,7 @@ import (
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/shard"
 	"karousos.dev/karousos/internal/verifier"
 	"karousos.dev/karousos/internal/workload"
 )
@@ -83,6 +94,7 @@ func usage(w io.Writer) {
 
   serve     serve an app over HTTP, recording a durable epoch log
   audit     audit sealed epochs in order; exits 0 ACCEPT, 2 REJECT, 1 error
+            (-shards N audits a sharded topology root shard-parallel)
   status    print the epoch log's manifests and the audit cursor
   pipeline  serve + seal + audit in one process (exit code is the verdict)
   chaos     run the fault-injection acceptance scenario; exits 0 if every
@@ -196,16 +208,22 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("dir", "karousos-epochs", "epoch log directory")
-	cp := fs.String("checkpoint", "", "resume file; written after every accepted epoch")
+	cp := fs.String("checkpoint", "", "resume file; written after every accepted epoch (sharded mode: a directory holding one resume file per shard)")
 	follow := fs.Bool("follow", false, "keep tailing the log until interrupted")
 	deadline := fs.Duration("deadline", verifier.DefaultLimits().Deadline, "wall-clock budget per epoch audit (0 = unbounded)")
 	reasonCode := fs.Bool("reason-code", false, "on rejection, print only the bare reason code on stdout")
 	workers := fs.Int("workers", 0, "audit parallelism per epoch: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
+	shards := fs.Int("shards", 0, "audit a sharded topology: -dir is its root and this must match its shard map (0 = single log)")
+	shardDirs := fs.String("shard-dirs", "", "comma-separated per-shard epoch-log directories, indexed by shard (default: shard-NN under -dir)")
+	lanes := fs.Int("lanes", 0, "concurrent audit lanes in sharded mode (0 = one per shard; the verdict is identical at every setting)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	lim := verifier.DefaultLimits()
 	lim.Deadline = *deadline
+	if *shards > 0 || *shardDirs != "" {
+		return shardedAuditCmd(*dir, *shardDirs, *cp, *shards, *lanes, *workers, *follow, *reasonCode, lim, stdout, stderr)
+	}
 	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim, AuditWorkers: *workers})
 	if err != nil {
 		return fail(stderr, err)
@@ -232,6 +250,67 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "AUDIT ACCEPTED through epoch %d: %d epochs this run, %v total audit time\n",
 		st.LastAccepted, st.Accepted, st.TotalAudit)
+	return 0
+}
+
+// shardedAuditCmd is the audit subcommand's shard-parallel path: one
+// audit lane per shard log, run concurrently up to the lane budget, then
+// the cross-shard merge check. The combined verdict is the exit code.
+func shardedAuditCmd(root, shardDirs, cp string, shards, lanes, workers int, follow, reasonCode bool, lim verifier.Limits, stdout, stderr io.Writer) int {
+	cfg := auditd.ShardedConfig{
+		Root:          root,
+		Lanes:         lanes,
+		CheckpointDir: cp,
+		Limits:        lim,
+		AuditWorkers:  workers,
+	}
+	if shardDirs != "" {
+		cfg.Dirs = strings.Split(shardDirs, ",")
+	}
+	if shards > 0 {
+		// -shards is a sanity pin, not configuration: the topology's own map
+		// file is authoritative, and a mismatch means the operator is
+		// pointing at the wrong root.
+		if m, err := shard.ReadMap(root); err == nil && m.Shards != shards {
+			return fail(stderr, fmt.Errorf("-shards %d, but the map under %s has %d shards", shards, root, m.Shards))
+		}
+	}
+	sh, err := auditd.NewSharded(cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var res auditd.ShardedResult
+	if follow {
+		if err := sh.Run(ctx); err != nil {
+			return fail(stderr, err)
+		}
+		res = sh.Result()
+	} else {
+		if res, err = sh.Audit(ctx); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	for _, rep := range res.Shards {
+		verdict := "accepted"
+		if rep.Code != "" {
+			verdict = fmt.Sprintf("[%s] %s", rep.Code, rep.Reason)
+		}
+		fmt.Fprintf(stdout, "shard %d (%s): %d epochs audited, %s\n", rep.Shard, rep.Dir, rep.Status.LastProcessed, verdict)
+	}
+	if !res.Accepted() {
+		if reasonCode {
+			fmt.Fprintln(stdout, res.Merge.Code)
+		}
+		fmt.Fprintf(stderr, "SHARDED AUDIT REJECTED [%s]: %s\n", res.Merge.Code, res.Merge.Reason)
+		for _, c := range res.Merge.Conflicts {
+			fmt.Fprintf(stderr, "  conflict: key %q claimed by shards %v\n", c.Key, c.Shards)
+		}
+		return 2
+	}
+	fmt.Fprintf(stdout, "SHARDED AUDIT ACCEPTED: %d shards, %d handlers re-run\n",
+		len(res.Shards), res.Stats.HandlersRerun)
 	return 0
 }
 
@@ -324,9 +403,13 @@ func chaosCmd(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 11, "fault-schedule and workload seed")
 	dir := fs.String("dir", "", "scenario scratch directory (default: a fresh temp dir)")
 	file := fs.String("scenario", "", "JSON scenario file (default: the built-in acceptance scenario)")
+	shards := fs.Int("shards", 0, "run the sharded acceptance scenario over this many shards (0 = classic single-log scenario)")
 	verbose := fs.Bool("v", false, "print the full result as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	if *shards > 0 {
+		return shardChaosCmd(*shards, *seed, *dir, *verbose, stdout, stderr)
 	}
 	var sc chaos.Scenario
 	if *file != "" {
@@ -374,5 +457,45 @@ func chaosCmd(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintln(stdout, "CHAOS OK: all invariants held")
+	return 0
+}
+
+// shardChaosCmd runs the sharded acceptance scenario: a gateway-fronted
+// wiki topology with one shard killed and restarted mid-workload, then
+// the lane-count differential audit.
+func shardChaosCmd(shards int, seed int64, dir string, verbose bool, stdout, stderr io.Writer) int {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "karousos-shard-chaos-")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	sc := chaos.ShardAcceptanceScenario(shards, seed)
+	res, err := chaos.RunShardChaos(dir, sc)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if verbose {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	merge := "accepted"
+	if res.Merge.Code != "" {
+		merge = fmt.Sprintf("[%s] %s", res.Merge.Code, res.Merge.Reason)
+	}
+	fmt.Fprintf(stdout, "SHARD CHAOS %s shards=%d seed=%d: served=%d refused=%d accepted=%d unauditable=%d rejected=%d merge=%s\n",
+		sc.App, sc.Shards, sc.Seed, res.Served, res.Refused, res.Accepted, res.Unauditable, res.Rejected, merge)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(stderr, "SHARD CHAOS INVARIANT VIOLATED:", v)
+		}
+		return 2
+	}
+	fmt.Fprintln(stdout, "SHARD CHAOS OK: all invariants held")
 	return 0
 }

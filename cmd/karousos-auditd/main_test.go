@@ -3,10 +3,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"karousos.dev/karousos/internal/gateway"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/shard"
+	"karousos.dev/karousos/internal/workload"
 )
 
 // TestPipelineAuditStatusWorkflow exercises the daemon's scriptable
@@ -121,6 +128,79 @@ func TestChaosCmd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"rejected": 0`) || !strings.Contains(out.String(), "unauditable=0") {
 		t.Fatalf("scripted chaos output: %s", out.String())
+	}
+}
+
+// TestShardedAuditCmd: a topology driven through the gateway audits
+// clean via -shards, the checkpoint directory makes a re-audit a no-op
+// that still accepts, and a wrong -shards pin is an error.
+func TestShardedAuditCmd(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "shards")
+	top, err := gateway.NewLocal(gateway.LocalConfig{
+		Spec: harness.WikiApp(), Root: root,
+		Map:           shard.Map{Shards: 2, KeyFields: []string{"id", "page"}},
+		EpochRequests: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(top.Gateway.Handler())
+	defer ts.Close()
+	for _, r := range workload.Wiki(30, 9) {
+		body, err := json.Marshal(map[string]any{"input": r.Input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/invoke", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("invoke: status %d", resp.StatusCode)
+		}
+	}
+	if err := top.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cpDir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"audit", "-shards", "2", "-dir", root, "-checkpoint", cpDir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("sharded audit exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "SHARDED AUDIT ACCEPTED: 2 shards") {
+		t.Fatalf("sharded audit output: %s", out.String())
+	}
+
+	// Per-shard checkpoints advanced: the re-audit grades nothing new but
+	// still accepts the topology.
+	out.Reset()
+	if code := run([]string{"audit", "-shards", "2", "-dir", root, "-checkpoint", cpDir, "-lanes", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("sharded re-audit exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "SHARDED AUDIT ACCEPTED") {
+		t.Fatalf("sharded re-audit output: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"audit", "-shards", "3", "-dir", root}, &out, &errb); code != 1 {
+		t.Fatalf("wrong -shards pin exit %d: %s", code, errb.String())
+	}
+}
+
+// TestShardChaosCmd: the sharded acceptance scenario passes end to end
+// through the CLI.
+func TestShardChaosCmd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"chaos", "-shards", "2", "-seed", "17", "-dir", filepath.Join(t.TempDir(), "sc")}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("shard chaos exit %d: %s / %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "SHARD CHAOS OK") || !strings.Contains(out.String(), "rejected=0") {
+		t.Fatalf("shard chaos output: %s", out.String())
 	}
 }
 

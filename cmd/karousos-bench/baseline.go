@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -19,9 +20,11 @@ import (
 	"testing"
 
 	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/auditd"
 	"karousos.dev/karousos/internal/experiments"
 	"karousos.dev/karousos/internal/harness"
 	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/verifier"
 	"karousos.dev/karousos/internal/workload"
 )
 
@@ -135,6 +138,45 @@ func baselineBenches() []baselineBench {
 		{"audit-components/full-audit", baselineVerify("wiki", workload.Mixed, 0)},
 		{"record/per-request-fsync-c32", baselineRecord(false, 32)},
 		{"record/group-commit-c32", baselineRecord(true, 32)},
+		{"shard-audit/shards-1", baselineShardAudit(1)},
+		{"shard-audit/shards-4", baselineShardAudit(4)},
+		{"shard-audit/shards-8", baselineShardAudit(8)},
+	}
+}
+
+// baselineShardAudit mirrors the Figure-14 panel: full shard-parallel
+// audit turnaround (one lane per shard, per-epoch workers pinned to 1)
+// over a sealed wiki topology built once outside the timer. No
+// checkpoints, so every op grades the whole topology from scratch.
+func baselineShardAudit(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		root, err := os.MkdirTemp("", "karousos-shard-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+		if err := experiments.BuildShardTopology(root, shards, baselineRequests, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sh, err := auditd.NewSharded(auditd.ShardedConfig{
+				Root:         root,
+				Limits:       verifier.DefaultLimits(),
+				AuditWorkers: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sh.Audit(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Accepted() {
+				b.Fatalf("honest topology rejected: [%s] %s", res.Merge.Code, res.Merge.Reason)
+			}
+		}
 	}
 }
 

@@ -47,6 +47,7 @@ var Packages = []string{
 	"internal/seqreexec",
 	"internal/mv",
 	"internal/auditd",
+	"internal/shard",
 }
 
 // Analyzer is the detlint pass.

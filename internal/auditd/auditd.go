@@ -126,6 +126,11 @@ type Status struct {
 	// assert boundedness against them.
 	PeakPrefetchEpochs int   `json:"peakPrefetchEpochs,omitempty"`
 	PeakPrefetchBytes  int64 `json:"peakPrefetchBytes,omitempty"`
+	// Stats sums the verifier work counters of every accepted epoch this
+	// instance audited. Deterministic in the evidence (unlike the latency
+	// fields), so the sharded differential tests compare it bit-for-bit
+	// across lane counts.
+	Stats verifier.Stats `json:"stats"`
 }
 
 // checkpoint is the resume file's schema. The carry is the dictionary state
@@ -235,6 +240,25 @@ func (a *Auditor) Verdicts() []Verdict {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return append([]Verdict(nil), a.verdicts...)
+}
+
+// Carry returns the auditor's current cross-epoch carry state — the
+// verified server state after its newest accepting audit, or nil when
+// there is none (nothing audited yet, or the run is unanchored). The
+// sharded merge check reads it after a lane drains; callers must not
+// mutate it while the auditor is still running.
+func (a *Auditor) Carry() *verifier.CarryState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.carry
+}
+
+// Unanchored reports whether the auditor's carry is unknown because an
+// epoch graded Unauditable and no Fresh manifest has re-anchored it yet.
+func (a *Auditor) Unanchored() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.unauditable
 }
 
 // recordVerdict appends the verdict under the lock and fires OnVerdict
@@ -428,13 +452,14 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		Carry:     a.carry,
 		Workers:   a.cfg.AuditWorkers,
 	}
-	_, next, err := verifier.AuditCarry(ctx, cfg, f.tr, adv)
+	st, next, err := verifier.AuditCarry(ctx, cfg, f.tr, adv)
 	if err != nil {
 		return reject(rejectCode(err), err.Error())
 	}
 
 	a.mu.Lock()
 	a.carry = next
+	a.status.Stats.Add(st)
 	a.status.LastAccepted = m.Seq
 	a.status.LastProcessed = m.Seq
 	a.status.Accepted++
@@ -522,29 +547,62 @@ func writeCheckpoint(fsys iofault.FS, path string, cp checkpoint) error {
 	return nil
 }
 
-// ReadCheckpointProgress reports the newest epoch an auditor process has
-// graded, read from its checkpoint file; ok is false while there is no
-// readable checkpoint. The probe is advisory — collectors poll it to
-// measure audit lag for admission backpressure — so every failure mode
-// degrades to "unknown" rather than surfacing: unknown lag leaves the
-// window open, which is the safe default for a signal that only ever
-// tightens service.
-func ReadCheckpointProgress(fsys iofault.FS, path string) (lastProcessed uint64, ok bool) {
+// CheckpointProbe classifies what ProbeCheckpointProgress found at the
+// checkpoint path. The distinction matters to admission control: "no
+// checkpoint yet" means no auditor has been attached, so there is no lag
+// signal and the window stays open, while a corrupt checkpoint means an
+// auditor exists but its progress marker is unreadable — the auditor will
+// quarantine it and restart from zero, so progress *is* known (zero) and
+// the window should tighten against the real backlog.
+type CheckpointProbe int
+
+const (
+	// CheckpointMissing: the file does not exist — no auditor has graded
+	// anything (or none is attached).
+	CheckpointMissing CheckpointProbe = iota
+	// CheckpointOK: the checkpoint decoded; lastProcessed is authoritative.
+	CheckpointOK
+	// CheckpointCorrupt: the file exists but cannot be read or decoded — a
+	// torn write or I/O fault. The attached auditor restarts from zero, so
+	// effective progress is zero, not unknown.
+	CheckpointCorrupt
+)
+
+// ProbeCheckpointProgress reports the newest epoch an auditor process has
+// graded, read from its checkpoint file, along with what it found there.
+// The probe is advisory — collectors poll it to measure audit lag for
+// admission backpressure — so no failure mode surfaces as an error.
+func ProbeCheckpointProgress(fsys iofault.FS, path string) (lastProcessed uint64, probe CheckpointProbe) {
 	if fsys == nil {
 		fsys = iofault.OS
 	}
 	blob, err := fsys.ReadFile(path)
-	if err != nil {
-		return 0, false //karousos:errladder-ok advisory progress probe; no checkpoint yet reads as unknown
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return 0, CheckpointMissing //karousos:errladder-ok advisory progress probe; no checkpoint yet reads as missing
+	case err != nil:
+		return 0, CheckpointCorrupt //karousos:errladder-ok advisory progress probe; an unreadable checkpoint reads as corrupt, not surfaced
 	}
 	var cp checkpoint
 	if err := json.Unmarshal(blob, &cp); err != nil {
-		return 0, false //karousos:errladder-ok advisory progress probe; a torn checkpoint reads as unknown
+		return 0, CheckpointCorrupt //karousos:errladder-ok advisory progress probe; a torn checkpoint reads as corrupt, not surfaced
 	}
 	if cp.LastProcessed < cp.LastAccepted {
 		cp.LastProcessed = cp.LastAccepted
 	}
-	return cp.LastProcessed, true
+	return cp.LastProcessed, CheckpointOK
+}
+
+// ReadCheckpointProgress is the admission-control view of the probe: ok is
+// false only when there is no checkpoint at all (no lag signal — the
+// window stays open). A corrupt checkpoint reports progress zero with
+// ok=true: the attached auditor restarts from zero, so the whole sealed
+// prefix is real lag and the window must tighten. Before this
+// distinction, a torn checkpoint read as "no auditor", silently releasing
+// backpressure exactly when the backlog was at its largest.
+func ReadCheckpointProgress(fsys iofault.FS, path string) (lastProcessed uint64, ok bool) {
+	last, probe := ProbeCheckpointProgress(fsys, path)
+	return last, probe != CheckpointMissing
 }
 
 // Run follows the log: it audits sealed epochs as they appear until the

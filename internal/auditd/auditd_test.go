@@ -16,6 +16,7 @@ import (
 	"karousos.dev/karousos/internal/epochlog"
 	"karousos.dev/karousos/internal/faultinject"
 	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/value"
 	"karousos.dev/karousos/internal/workload"
@@ -396,7 +397,53 @@ func TestReadCheckpointProgress(t *testing.T) {
 	if err := os.WriteFile(cpPath, []byte("{torn"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	got, ok = ReadCheckpointProgress(nil, cpPath)
+	if !ok || got != 0 {
+		t.Fatalf("corrupt checkpoint = %d, %v; want 0, true (auditor restarts from zero — real lag, not absence)", got, ok)
+	}
+}
+
+// TestProbeCheckpointProgress: regression for the missing-vs-corrupt
+// conflation. A missing checkpoint means no auditor is attached (no lag
+// signal; admission window stays open); a corrupt one means the auditor
+// will quarantine it and restart from zero (progress zero is *known*, and
+// the window must tighten against the whole sealed prefix). The old probe
+// reported both as "unknown", releasing backpressure exactly when a torn
+// checkpoint had made the backlog largest.
+func TestProbeCheckpointProgress(t *testing.T) {
+	cpPath := filepath.Join(t.TempDir(), "checkpoint.json")
+
+	if last, probe := ProbeCheckpointProgress(nil, cpPath); probe != CheckpointMissing || last != 0 {
+		t.Fatalf("missing file: probe = %d, %v; want 0, CheckpointMissing", last, probe)
+	}
 	if _, ok := ReadCheckpointProgress(nil, cpPath); ok {
-		t.Fatal("corrupt checkpoint reported progress")
+		t.Fatal("missing checkpoint must read as no-signal (ok=false)")
+	}
+
+	if err := os.WriteFile(cpPath, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if last, probe := ProbeCheckpointProgress(nil, cpPath); probe != CheckpointCorrupt || last != 0 {
+		t.Fatalf("torn file: probe = %d, %v; want 0, CheckpointCorrupt", last, probe)
+	}
+	if last, ok := ReadCheckpointProgress(nil, cpPath); !ok || last != 0 {
+		t.Fatalf("torn file: progress = %d, %v; want 0, true", last, ok)
+	}
+
+	if err := os.WriteFile(cpPath, []byte(`{"lastAccepted":3,"lastProcessed":5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if last, probe := ProbeCheckpointProgress(nil, cpPath); probe != CheckpointOK || last != 5 {
+		t.Fatalf("good file: probe = %d, %v; want 5, CheckpointOK", last, probe)
+	}
+
+	// An unreadable-but-present checkpoint (read fault injected via
+	// iofault) is corrupt, not missing: the auditor cannot resume from it.
+	inj := iofault.NewInjector(iofault.OS)
+	if err := inj.Arm(iofault.OpTransientEIO, iofault.ArmConfig{Times: -1, PathContains: "checkpoint.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if last, probe := ProbeCheckpointProgress(inj, cpPath); probe != CheckpointCorrupt || last != 0 {
+		t.Fatalf("read-faulted file: probe = %d, %v; want 0, CheckpointCorrupt", last, probe)
 	}
 }

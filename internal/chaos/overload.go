@@ -161,11 +161,7 @@ func AuditSealedAt(ctx context.Context, dir string, workers int) ([]auditd.Verdi
 			Carry:     carry,
 			Workers:   workers,
 		}, tr, adv)
-		total.Groups += st.Groups
-		total.Requests += st.Requests
-		total.GraphNodes += st.GraphNodes
-		total.GraphEdges += st.GraphEdges
-		total.HandlersRerun += st.HandlersRerun
+		total.Add(st)
 		if err != nil {
 			v := grade(err)
 			verdicts = append(verdicts, v)

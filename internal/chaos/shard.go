@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"karousos.dev/karousos/internal/auditd"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/gateway"
+	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/shard"
+	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/workload"
+)
+
+// ShardScenario scripts misfortune against a gateway-fronted shard
+// topology: a workload fanned across shards with one shard's collector
+// killed (no seal, its active epoch's tail abandoned) and later
+// restarted. The invariants are the sharded restatement of this
+// package's doc comment: the kill may cost auditability of the partial
+// epoch, never an accusation; the combined verdict is identical whether
+// the shard logs are audited by one lane or one lane per shard; and no
+// evidence file any shard ever sealed disappears.
+type ShardScenario struct {
+	// App names the application; only "wiki" is shardable (its store keys
+	// are page-local), so that is the default and the only accepted value.
+	App  string `json:"app"`
+	Seed int64  `json:"seed"`
+	// Shards is the topology width.
+	Shards int `json:"shards"`
+	// Requests and EpochRequests are as in Scenario, per the whole
+	// topology (EpochRequests is each shard's seal threshold).
+	Requests      int `json:"requests"`
+	EpochRequests int `json:"epochRequests"`
+	// KillShard is crashed after KillAt requests and restarted after
+	// RestartAt requests (KillAt <= RestartAt < Requests).
+	KillShard int `json:"killShard"`
+	KillAt    int `json:"killAt"`
+	RestartAt int `json:"restartAt"`
+}
+
+// ShardResult is what a shard scenario run observed.
+type ShardResult struct {
+	Served  int `json:"served"`
+	Refused int `json:"refused"`
+	// Shards is the per-lane report of the full-width audit; Merge its
+	// combined verdict.
+	Shards []auditd.ShardReport `json:"shards"`
+	Merge  shard.MergeResult    `json:"merge"`
+	// Accepted/Unauditable/Rejected tally per-shard epoch verdicts across
+	// the topology.
+	Accepted    int `json:"accepted"`
+	Rejected    int `json:"rejected"`
+	Unauditable int `json:"unauditable"`
+	// Violations are robustness-invariant breaches; empty on a sound run.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ShardAcceptanceScenario is the fixed-seed shard-chaos criterion: a
+// mid-run kill+restart of one shard under a wiki workload wide enough to
+// touch every shard. Expected outcome: no rejection anywhere, at most
+// Unauditable for the killed shard's partial epoch, and a combined
+// verdict identical at every lane count.
+func ShardAcceptanceScenario(shards int, seed int64) ShardScenario {
+	if shards <= 0 {
+		shards = 4
+	}
+	return ShardScenario{
+		App:           "wiki",
+		Seed:          seed,
+		Shards:        shards,
+		Requests:      60,
+		EpochRequests: 5,
+		KillShard:     1 % shards,
+		KillAt:        30,
+		RestartAt:     30,
+	}
+}
+
+// RunShardChaos replays the scenario in dir (a scratch directory the
+// caller owns). The error return is for runner breakage — invariant
+// violations land in ShardResult.Violations.
+func RunShardChaos(dir string, sc ShardScenario) (*ShardResult, error) {
+	if sc.App == "" {
+		sc.App = "wiki"
+	}
+	if sc.App != "wiki" {
+		return nil, fmt.Errorf("chaos: shard scenario needs a shardable app; %q's store keys cross shards", sc.App)
+	}
+	if sc.Shards <= 0 || sc.Requests <= 0 || sc.EpochRequests <= 0 {
+		return nil, fmt.Errorf("chaos: shard scenario needs positive Shards, Requests and EpochRequests")
+	}
+	if sc.KillShard < 0 || sc.KillShard >= sc.Shards || sc.KillAt > sc.RestartAt || sc.RestartAt >= sc.Requests {
+		return nil, fmt.Errorf("chaos: shard scenario kill schedule out of range")
+	}
+	root := filepath.Join(dir, "shards")
+	top, err := gateway.NewLocal(gateway.LocalConfig{
+		Spec:          harness.WikiApp(),
+		Root:          root,
+		Map:           shard.Map{Shards: sc.Shards, KeyFields: []string{"id", "page"}},
+		EpochRequests: sc.EpochRequests,
+		Seed:          sc.Seed,
+		Limits:        verifier.DefaultLimits(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer top.Close()
+	ts := httptest.NewServer(top.Gateway.Handler())
+	defer ts.Close()
+
+	res := &ShardResult{}
+	down := false
+	for i, req := range workload.Wiki(sc.Requests, sc.Seed) {
+		if i == sc.KillAt && !down {
+			if err := top.Crash(sc.KillShard); err != nil {
+				return res, fmt.Errorf("chaos: crashing shard %d: %w", sc.KillShard, err)
+			}
+			down = true
+		}
+		if i == sc.RestartAt && down {
+			if err := top.Restart(sc.KillShard); err != nil {
+				return res, fmt.Errorf("chaos: restarting shard %d: %w", sc.KillShard, err)
+			}
+			down = false
+		}
+		body, err := json.Marshal(map[string]any{"input": req.Input})
+		if err != nil {
+			return res, err
+		}
+		resp, err := http.Post(ts.URL+"/invoke", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.Refused++
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			res.Served++
+		} else {
+			// The killed shard's requests bounce off the gateway as 502
+			// until the restart; that is load shedding, not a violation.
+			res.Refused++
+		}
+	}
+	if down {
+		if err := top.Restart(sc.KillShard); err != nil {
+			return res, fmt.Errorf("chaos: restarting shard %d: %w", sc.KillShard, err)
+		}
+	}
+	if err := top.Close(); err != nil {
+		return res, fmt.Errorf("chaos: sealing topology: %w", err)
+	}
+
+	evidence, err := shardEvidence(root, sc.Shards)
+	if err != nil {
+		return res, err
+	}
+
+	// The differential: the same shard logs audited with one lane per
+	// shard and with a single lane must reach bit-identical per-shard
+	// verdicts, merged verdict, and summed Stats.
+	ctx := context.Background()
+	var keys []string
+	for _, lanes := range []int{sc.Shards, 1} {
+		sh, err := auditd.NewSharded(auditd.ShardedConfig{
+			Root: root, Lanes: lanes, Limits: verifier.DefaultLimits(),
+		})
+		if err != nil {
+			return res, err
+		}
+		out, err := sh.Audit(ctx)
+		if err != nil {
+			return res, err
+		}
+		keys = append(keys, shardVerdictKey(out))
+		if lanes != sc.Shards {
+			continue
+		}
+		res.Shards, res.Merge = out.Shards, out.Merge
+		for _, rep := range out.Shards {
+			for _, v := range rep.Verdicts {
+				switch v.Code {
+				case "":
+					res.Accepted++
+				case core.RejectUnauditable:
+					res.Unauditable++
+				default:
+					res.Rejected++
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"false reject: shard %d epoch %d [%s] %s", rep.Shard, v.Epoch, v.Code, v.Reason))
+				}
+			}
+		}
+		switch out.Merge.Code {
+		case "", core.RejectUnauditable:
+		default:
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"combined verdict accuses after an infrastructure kill: [%s] %s", out.Merge.Code, out.Merge.Reason))
+		}
+	}
+	if keys[0] != keys[1] {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"lane-count divergence:\n%d lanes: %s\n1 lane:  %s", sc.Shards, keys[0], keys[1]))
+	}
+
+	// Every evidence file sealed before the audits must still exist: an
+	// auditor never destroys what it grades.
+	after, err := shardEvidence(root, sc.Shards)
+	if err != nil {
+		return res, err
+	}
+	for name := range evidence {
+		if !after[name] {
+			res.Violations = append(res.Violations, "evidence deleted: "+name)
+		}
+	}
+	return res, nil
+}
+
+// shardVerdictKey renders a sharded audit's verdict-affecting content as
+// one comparable string, mirroring Result.VerdictKey.
+func shardVerdictKey(res auditd.ShardedResult) string {
+	var b strings.Builder
+	for _, rep := range res.Shards {
+		fmt.Fprintf(&b, "shard%d[%s]:", rep.Shard, rep.Code)
+		for _, v := range rep.Verdicts {
+			fmt.Fprintf(&b, "%d=%s;", v.Epoch, v.Code)
+		}
+		b.WriteString(" ")
+	}
+	fmt.Fprintf(&b, "merge=%s conflicts=%d stats=%+v", res.Merge.Code, len(res.Merge.Conflicts), res.Stats)
+	return b.String()
+}
+
+// shardEvidence lists every evidence file across all shard directories,
+// keyed shard-relative, using the real OS filesystem.
+func shardEvidence(root string, shards int) (map[string]bool, error) {
+	present := map[string]bool{}
+	for s := 0; s < shards; s++ {
+		dir := shard.Dir(root, s)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: evidence scan of shard %d: %w", s, err)
+		}
+		for _, ent := range entries {
+			if isEvidence(ent.Name()) {
+				present[fmt.Sprintf("shard-%02d/%s", s, strings.TrimSuffix(ent.Name(), ".quarantined"))] = true
+			}
+		}
+	}
+	return present, nil
+}

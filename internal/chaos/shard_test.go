@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardChaosAcceptance: the fixed-seed shard-kill scenario holds
+// every invariant — no accusation, lane-count-identical verdicts,
+// evidence preserved — and the surviving shards' epochs all accept.
+func TestShardChaosAcceptance(t *testing.T) {
+	sc := ShardAcceptanceScenario(4, 11)
+	res, err := RunShardChaos(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0", res.Rejected)
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no epoch accepted; the scenario audited nothing")
+	}
+	if res.Served == 0 {
+		t.Fatal("no request served")
+	}
+	if len(res.Shards) != 4 {
+		t.Fatalf("reports for %d shards, want 4", len(res.Shards))
+	}
+}
+
+// TestShardChaosDeterministic: same seed, same verdict tallies and
+// combined code — the scenario is replayable evidence, not noise.
+func TestShardChaosDeterministic(t *testing.T) {
+	sc := ShardAcceptanceScenario(2, 23)
+	a, err := RunShardChaos(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardChaos(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations)+len(b.Violations) > 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.Accepted != b.Accepted || a.Unauditable != b.Unauditable || a.Merge.Code != b.Merge.Code {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestShardScenarioValidation: malformed scripts are runner errors, not
+// violations.
+func TestShardScenarioValidation(t *testing.T) {
+	if _, err := RunShardChaos(t.TempDir(), ShardScenario{App: "motd", Shards: 2, Requests: 10, EpochRequests: 5, RestartAt: 5}); err == nil {
+		t.Fatal("unshardable app accepted")
+	}
+	if _, err := RunShardChaos(t.TempDir(), ShardScenario{App: "wiki", Shards: 0, Requests: 10, EpochRequests: 5}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := RunShardChaos(t.TempDir(), ShardScenario{App: "wiki", Shards: 2, Requests: 10, EpochRequests: 5, KillAt: 8, RestartAt: 4}); err == nil {
+		t.Fatal("restart before kill accepted")
+	}
+}

@@ -34,6 +34,14 @@ const (
 	// (verifier.Limits) — attacker-inflated opcounts, graph blow-up, or a
 	// wall-clock deadline. The advice is rejected, not the auditor killed.
 	RejectResourceLimit RejectCode = "ResourceLimit"
+	// RejectShardConflict: the sharded audit plane's cross-shard merge
+	// check failed — a store key's surviving write is claimed by more than
+	// one shard's carry, or a shard's trace contains a request the shard
+	// map routes elsewhere. Each shard's audit is sound in isolation; this
+	// code says the shards do not compose into one partitioned server:
+	// either the gateway misrouted (evidence: the trace) or two shards
+	// both claim ownership of the same state.
+	RejectShardConflict RejectCode = "ShardConflict"
 	// RejectInternalFault: the verifier itself panicked on this input. The
 	// audit boundary converts the panic into this rejection (stack attached)
 	// so one malformed blob cannot take down the audit process; an
@@ -73,6 +81,7 @@ func AllRejectCodes() []RejectCode {
 		RejectIsolationViolation,
 		RejectOutputMismatch,
 		RejectResourceLimit,
+		RejectShardConflict,
 		RejectInternalFault,
 		RejectUnauditable,
 	}

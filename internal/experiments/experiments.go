@@ -217,6 +217,9 @@ func AdviceSizePanel(app string, mix workload.Mix, cfg Config) Panel {
 //	Fig 12: stacks 90% writes
 //	Fig 13: sustained record throughput — group commit vs per-request fsync
 //	        (not from the paper; the serving-path load story of DESIGN.md §14)
+//	Fig 14: shard scaling — audit throughput of the shard-parallel auditd
+//	        over 1/2/4/8-shard topologies (not from the paper; the sharded
+//	        audit plane of DESIGN.md §15)
 func Figure(n int, cfg Config) []Panel {
 	switch n {
 	case 6:
@@ -247,6 +250,8 @@ func Figure(n int, cfg Config) []Panel {
 		return appFigure("stacks", workload.WriteHeavy, cfg)
 	case 13:
 		return []Panel{RecordThroughputPanel(cfg)}
+	case 14:
+		return []Panel{ShardScalingPanel(cfg)}
 	}
 	panic(fmt.Sprintf("experiments: no figure %d", n))
 }
@@ -262,7 +267,7 @@ func appFigure(app string, mix workload.Mix, cfg Config) []Panel {
 }
 
 // Figures lists the figure numbers this package can regenerate.
-func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12, 13} }
+func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12, 13, 14} }
 
 func must(err error) {
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,9 @@ func TestAllFiguresProducePanels(t *testing.T) {
 			wantRows := len(cfg.Conc)
 			if strings.Contains(p.Title, "worker sweep") {
 				wantRows = len(cfg.workerLevels())
+			}
+			if strings.Contains(p.Title, "shard scaling") {
+				wantRows = len(shardLevels())
 			}
 			if len(p.Rows) != wantRows {
 				t.Errorf("figure %d %q: %d rows, want %d", n, p.Title, len(p.Rows), wantRows)
@@ -54,6 +58,49 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 	}
 	if len(cfg.Conc) == 0 || cfg.Conc[0] != 1 || cfg.Conc[len(cfg.Conc)-1] != 60 {
 		t.Error("concurrency sweep should span 1..60")
+	}
+}
+
+// TestShardScalingSpeedup pins the Figure-14 acceptance criterion: the
+// same workload audits at least 3x faster over a 4-shard topology with
+// one lane per shard than over a single shard. The measurement needs four
+// real cores and is noisy on shared runners, so the gate takes the best
+// of three attempts.
+func TestShardScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("need 4 cores for the 4-lane speedup, have %d", runtime.GOMAXPROCS(0))
+	}
+	const requests = 320
+	roots := map[int]string{}
+	for _, shards := range []int{1, 4} {
+		root := t.TempDir()
+		if err := BuildShardTopology(root, shards, requests, 42); err != nil {
+			t.Fatal(err)
+		}
+		roots[shards] = root
+	}
+	best := 0.0
+	for attempt := 0; attempt < 3 && best < 3; attempt++ {
+		d1, r1, err := auditShardTopology(roots[1], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d4, r4, err := auditShardTopology(roots[4], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r1.Accepted() || !r4.Accepted() {
+			t.Fatalf("honest topologies rejected: %+v / %+v", r1.Merge, r4.Merge)
+		}
+		if s := float64(d1) / float64(d4); s > best {
+			best = s
+		}
+	}
+	if best < 3 {
+		t.Fatalf("4-shard audit speedup %.2fx, want >= 3x", best)
 	}
 }
 

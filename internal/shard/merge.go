@@ -1,0 +1,138 @@
+// Cross-shard soundness: the deferred merge check. Each audit lane proves
+// its shard replayed its own trace correctly and ends with a per-shard
+// carry — the surviving write of every store key that shard ever
+// committed. Those proofs compose into a verdict about the whole
+// partitioned deployment only if the shards' state claims are disjoint:
+// a key whose surviving write is claimed by two shards means writes to the
+// same logical state were audited against two independent histories, and
+// neither audit saw the interleaving. The check is deferred (it runs once,
+// after every lane drains) and cheap (set intersection over carried keys)
+// — the same shape as the parallel engine's deferred cross-group conflict
+// checks, lifted from tag groups to shards.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+// Outcome is one audit lane's end state, the merge check's input.
+type Outcome struct {
+	// Shard is the lane's shard index.
+	Shard int
+	// Dir is the shard's epoch-log directory (for reporting).
+	Dir string
+	// Code is the lane's own verdict: "" every graded epoch accepted (or
+	// the lane is empty), RejectUnauditable the lane's tail is unanchored,
+	// any other code a rejection that halted the lane.
+	Code core.RejectCode
+	// Reason is the human-readable detail behind a non-accept Code.
+	Reason string
+	// Carry is the lane's final verified state; nil for an empty shard or
+	// an unanchored one.
+	Carry *verifier.CarryState
+	// Unanchored marks a lane whose carry is unknown because its newest
+	// graded epoch was Unauditable: the shard makes no state claims, so it
+	// cannot conflict — but the merged verdict cannot vouch for it either.
+	Unanchored bool
+}
+
+// Conflict is one violation of the state partition: a store key whose
+// surviving write is claimed by more than one shard.
+type Conflict struct {
+	Key    string `json:"key"`
+	Shards []int  `json:"shards"`
+}
+
+// MergeResult is the composed verdict over all shards.
+type MergeResult struct {
+	// Code is the combined verdict: "" accept, RejectShardConflict the
+	// partition was violated, RejectUnauditable at least one lane ended
+	// unanchored (no accusation — the merged state is simply unknown), or
+	// a lane's own rejection code, which always wins over the merge-level
+	// codes: a proven per-shard misbehavior is the sharper claim.
+	Code   core.RejectCode `json:"code,omitempty"`
+	Reason string          `json:"reason,omitempty"`
+	// Conflicts lists every partition violation, sorted by key.
+	Conflicts []Conflict `json:"conflicts,omitempty"`
+}
+
+// Accepted reports whether the merged verdict cleared the topology.
+func (r MergeResult) Accepted() bool { return r.Code == "" }
+
+// Merge composes per-shard outcomes into one verdict. It is deterministic
+// in the outcomes alone: lanes are ordered by shard index, conflicts by
+// key, so any two auditors that graded the same shards the same way merge
+// to the identical result regardless of lane scheduling.
+func Merge(m Map, outs []Outcome) MergeResult {
+	ordered := append([]Outcome(nil), outs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Shard < ordered[j].Shard })
+
+	// A lane's own rejection is the sharpest claim: that shard's server
+	// provably misbehaved, and no cross-shard composition can soften it.
+	for _, o := range ordered {
+		if o.Code != "" && o.Code != core.RejectUnauditable {
+			return MergeResult{
+				Code:   o.Code,
+				Reason: fmt.Sprintf("shard %d: %s", o.Shard, o.Reason),
+			}
+		}
+	}
+
+	// The partition check: collect each shard's claimed keys, then flag
+	// every key claimed twice. Unanchored lanes claim nothing (their state
+	// is unknown, which the verdict accounts for below).
+	claims := make(map[string][]int)
+	for _, o := range ordered {
+		if o.Unanchored || o.Carry == nil {
+			continue
+		}
+		keys := make([]string, 0, len(o.Carry.Store))
+		for key := range o.Carry.Store {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			if m.SharedKey(key) {
+				continue
+			}
+			claims[key] = append(claims[key], o.Shard)
+		}
+	}
+	var conflicts []Conflict
+	keys := make([]string, 0, len(claims))
+	for key := range claims {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if owners := claims[key]; len(owners) > 1 {
+			conflicts = append(conflicts, Conflict{Key: key, Shards: owners})
+		}
+	}
+	if len(conflicts) > 0 {
+		names := make([]string, 0, len(conflicts))
+		for _, c := range conflicts {
+			names = append(names, fmt.Sprintf("%s claimed by shards %v", c.Key, c.Shards))
+		}
+		return MergeResult{
+			Code:      core.RejectShardConflict,
+			Reason:    fmt.Sprintf("%d key(s) violate the shard partition: %s", len(conflicts), strings.Join(names, "; ")),
+			Conflicts: conflicts,
+		}
+	}
+
+	for _, o := range ordered {
+		if o.Unanchored || o.Code == core.RejectUnauditable {
+			return MergeResult{
+				Code:   core.RejectUnauditable,
+				Reason: fmt.Sprintf("shard %d ended unanchored: %s", o.Shard, o.Reason),
+			}
+		}
+	}
+	return MergeResult{}
+}

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"encoding/json"
+	"testing"
+
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/verifier"
+)
+
+func carryOf(keys ...string) *verifier.CarryState {
+	c := &verifier.CarryState{Store: map[string]verifier.CarriedWrite{}}
+	for _, k := range keys {
+		c.Store[k] = verifier.CarriedWrite{}
+	}
+	return c
+}
+
+func mergeKey(t *testing.T, r MergeResult) string {
+	t.Helper()
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestMergeAccepts: disjoint carries compose to an accept.
+func TestMergeAccepts(t *testing.T) {
+	m := Map{Shards: 2}
+	r := Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:a", "page:b")},
+		{Shard: 1, Carry: carryOf("page:c")},
+	})
+	if !r.Accepted() {
+		t.Fatalf("disjoint shards rejected: %+v", r)
+	}
+}
+
+// TestMergeEmptyShard (satellite edge case): a shard that served nothing —
+// nil carry, no verdicts — claims nothing and blocks nothing.
+func TestMergeEmptyShard(t *testing.T) {
+	m := Map{Shards: 3}
+	r := Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:a")},
+		{Shard: 1}, // empty: no epochs, no carry
+		{Shard: 2, Carry: carryOf("page:b")},
+	})
+	if !r.Accepted() {
+		t.Fatalf("empty shard blocked the merge: %+v", r)
+	}
+	if r := Merge(m, nil); !r.Accepted() {
+		t.Fatalf("no outcomes at all rejected: %+v", r)
+	}
+}
+
+// TestMergeConflict: a store key claimed by two shards is a ShardConflict
+// naming the key and both claimants; SharedKeyPrefixes exempt intentional
+// replication.
+func TestMergeConflict(t *testing.T) {
+	m := Map{Shards: 3, SharedKeyPrefixes: []string{"config:"}}
+	outs := []Outcome{
+		{Shard: 0, Carry: carryOf("page:a", "config:limits", "page:dup")},
+		{Shard: 1, Carry: carryOf("page:b", "config:limits")},
+		{Shard: 2, Carry: carryOf("page:dup")},
+	}
+	r := Merge(m, outs)
+	if r.Code != core.RejectShardConflict {
+		t.Fatalf("code = %s, want ShardConflict", r.Code)
+	}
+	if len(r.Conflicts) != 1 || r.Conflicts[0].Key != "page:dup" {
+		t.Fatalf("conflicts = %+v, want exactly page:dup", r.Conflicts)
+	}
+	if got := r.Conflicts[0].Shards; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("claimants = %v, want [0 2]", got)
+	}
+	// Without the exemption the replicated config key conflicts too, and
+	// conflicts come out sorted by key.
+	r2 := Merge(Map{Shards: 3}, outs)
+	if len(r2.Conflicts) != 2 || r2.Conflicts[0].Key != "config:limits" || r2.Conflicts[1].Key != "page:dup" {
+		t.Fatalf("unexempted conflicts = %+v", r2.Conflicts)
+	}
+}
+
+// TestMergeLaneRejectionWins: a lane's own rejection is sharper than any
+// merge-level code, and the lowest shard index wins deterministically.
+func TestMergeLaneRejectionWins(t *testing.T) {
+	m := Map{Shards: 3}
+	r := Merge(m, []Outcome{
+		{Shard: 2, Code: core.RejectOutputMismatch, Reason: "resp diverged"},
+		{Shard: 1, Code: core.RejectLogMismatch, Reason: "unlogged op"},
+		{Shard: 0, Carry: carryOf("page:dup")},
+	})
+	if r.Code != core.RejectLogMismatch {
+		t.Fatalf("code = %s, want the lowest rejecting shard's LogMismatch", r.Code)
+	}
+	// Even a cross-shard conflict does not mask a per-shard rejection.
+	r = Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:dup")},
+		{Shard: 1, Carry: carryOf("page:dup")},
+		{Shard: 2, Code: core.RejectGraphCycle, Reason: "cycle"},
+	})
+	if r.Code != core.RejectGraphCycle {
+		t.Fatalf("code = %s, want GraphCycle over ShardConflict", r.Code)
+	}
+}
+
+// TestMergeUnauditableShard (satellite edge case): a lane whose tail is
+// unanchored makes the merged verdict Unauditable — the topology's state
+// is unknown, not wrong — but a conflict among the anchored shards still
+// wins, and an unanchored shard never conflicts (it claims nothing).
+func TestMergeUnauditableShard(t *testing.T) {
+	m := Map{Shards: 3}
+	r := Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:a")},
+		{Shard: 1, Code: core.RejectUnauditable, Reason: "carry unanchored", Unanchored: true},
+		{Shard: 2, Carry: carryOf("page:b")},
+	})
+	if r.Code != core.RejectUnauditable {
+		t.Fatalf("code = %s, want Unauditable", r.Code)
+	}
+	// All shards unauditable: still Unauditable, never a rejection.
+	all := []Outcome{
+		{Shard: 0, Code: core.RejectUnauditable, Unanchored: true},
+		{Shard: 1, Code: core.RejectUnauditable, Unanchored: true},
+	}
+	if r := Merge(Map{Shards: 2}, all); r.Code != core.RejectUnauditable {
+		t.Fatalf("all-unauditable code = %s", r.Code)
+	}
+	// Conflict between the anchored shards beats the unanchored lane's
+	// Unauditable: the conflict is proven on evidence we do hold.
+	r = Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:dup")},
+		{Shard: 1, Code: core.RejectUnauditable, Unanchored: true},
+		{Shard: 2, Carry: carryOf("page:dup")},
+	})
+	if r.Code != core.RejectShardConflict {
+		t.Fatalf("code = %s, want ShardConflict over Unauditable", r.Code)
+	}
+	// A lane re-anchored by a Fresh boundary (Unanchored false, carry from
+	// rebuilt state) contributes normally: one shard having crashed and
+	// recovered does not block acceptance.
+	r = Merge(m, []Outcome{
+		{Shard: 0, Carry: carryOf("page:a")},
+		{Shard: 1, Carry: carryOf("page:b")}, // post-Fresh carry
+		{Shard: 2, Carry: carryOf("page:c")},
+	})
+	if !r.Accepted() {
+		t.Fatalf("re-anchored topology rejected: %+v", r)
+	}
+}
+
+// TestMergeDeterministic: the merged verdict is a function of the outcome
+// set, not the order lanes finished in.
+func TestMergeDeterministic(t *testing.T) {
+	m := Map{Shards: 4}
+	outs := []Outcome{
+		{Shard: 0, Carry: carryOf("page:a", "page:dup")},
+		{Shard: 1, Code: core.RejectUnauditable, Unanchored: true},
+		{Shard: 2, Carry: carryOf("page:dup", "page:z")},
+		{Shard: 3, Carry: carryOf("page:q")},
+	}
+	want := mergeKey(t, Merge(m, outs))
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, p := range perms {
+		shuffled := make([]Outcome, len(outs))
+		for i, j := range p {
+			shuffled[i] = outs[j]
+		}
+		if got := mergeKey(t, Merge(m, shuffled)); got != want {
+			t.Fatalf("merge depends on outcome order:\n%s\nvs\n%s", got, want)
+		}
+	}
+}

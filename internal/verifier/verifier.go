@@ -184,6 +184,16 @@ type Stats struct {
 	HandlersRerun int
 }
 
+// Add accumulates another audit's work counters into s — how multi-epoch
+// and multi-shard pipelines sum per-audit Stats into one comparable total.
+func (s *Stats) Add(o Stats) {
+	s.Groups += o.Groups
+	s.Requests += o.Requests
+	s.GraphNodes += o.GraphNodes
+	s.GraphEdges += o.GraphEdges
+	s.HandlersRerun += o.HandlersRerun
+}
+
 // New builds a verifier for one audit.
 func New(cfg Config) *Verifier {
 	return &Verifier{
