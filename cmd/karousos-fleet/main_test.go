@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles as the fleet's member executable: the accept scenario
+// spawns os.Executable() — this very test binary — with the internal
+// "__collector"/"__gateway" verbs, which are dispatched here before the
+// test framework ever parses flags.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && strings.HasPrefix(os.Args[1], "__") {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestFleetAccept: the full supervised-fleet acceptance scenario — spawn
+// collectors + gateway as real processes, SIGKILL one collector
+// mid-epoch, verify the supervisor repairs it, drain, and audit — exits 0
+// with the OK banner.
+func TestFleetAccept(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process fleet")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"accept", "-shards", "2", "-n", "40", "-epoch-requests", "5",
+		"-seed", "11", "-root", t.TempDir()}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("accept exit %d:\n%s\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "FLEET ACCEPT OK") {
+		t.Fatalf("no OK banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "restart 1/") {
+		t.Fatalf("supervisor log shows no restart:\n%s", out.String())
+	}
+}
+
+// TestBadArgs: unknown verbs and malformed member-role invocations are
+// infrastructure errors, not panics.
+func TestBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("no args exit %d", code)
+	}
+	if code := run([]string{"frobnicate"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown verb exit %d", code)
+	}
+	if code := run([]string{"__collector", "-app", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("collector role with unknown app exit %d", code)
+	}
+	if code := run([]string{"__collector", "-app", "wiki"}, &out, &errb); code != 1 {
+		t.Fatalf("collector role without -dir exit %d", code)
+	}
+	if code := run([]string{"__gateway"}, &out, &errb); code != 1 {
+		t.Fatalf("gateway role without -root/-backends exit %d", code)
+	}
+	if code := run([]string{"accept", "-shards", "0"}, &out, &errb); code != 1 {
+		t.Fatalf("accept with zero shards exit %d", code)
+	}
+}

@@ -39,9 +39,11 @@ import (
 	"time"
 
 	"karousos.dev/karousos/internal/auditd"
+	"karousos.dev/karousos/internal/chaos"
 	"karousos.dev/karousos/internal/collectorhttp"
 	"karousos.dev/karousos/internal/gateway"
 	"karousos.dev/karousos/internal/harness"
+	"karousos.dev/karousos/internal/netfault"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/shard"
 	"karousos.dev/karousos/internal/verifier"
@@ -64,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return serveCmd(args[1:], stdout, stderr)
 	case "pipeline":
 		return pipelineCmd(args[1:], stdout, stderr)
+	case "chaos":
+		return chaosCmd(args[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return 1
@@ -71,12 +75,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: karousos-gateway serve|pipeline [flags]
+	fmt.Fprintln(w, `usage: karousos-gateway serve|pipeline|chaos [flags]
 
   serve     front a shard topology: -local boots collectors in-process,
             -backends fronts external ones (map read from -root)
   pipeline  gateway + shards + shard-parallel audit in one process; the
-            exit code is the combined verdict`)
+            exit code is the combined verdict
+  chaos     run a partition scenario (blackhole + kill, flapping link, or
+            gateway restart) against a local topology; exits 0 if every
+            partition-tolerance invariant held`)
 }
 
 func fail(stderr io.Writer, err error) int {
@@ -114,8 +121,29 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 	commit := fs.String("commit", "group", "trace commit mode per shard: group, per-request, async (-local mode)")
 	maxInflight := fs.Int("max-inflight", 0, "per-shard admission window (0 = default, -local mode)")
 	drain := fs.Duration("drain", 15*time.Second, "grace period for in-flight requests on shutdown")
+	perTry := fs.Duration("per-try-timeout", 0, "per-attempt budget on proxied requests (0 = default 2s)")
+	maxRetries := fs.Int("max-retries", 0, "extra attempts for provably-unsent requests (0 = default 2, -1 = none)")
+	breakerFailures := fs.Int("breaker-failures", 0, "consecutive transport failures that open a shard's circuit (0 = default 5)")
+	breakerOpenFor := fs.Duration("breaker-open-for", 0, "open-circuit window before a half-open probe (0 = default 1s)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "race a second idempotent health probe after this long (0 = no hedging)")
+	netfaultSpec := fs.String("netfault", "", "arm a network fault on the proxy path, \"op[:seed[:times]]\" (testing)")
 	if err := fs.Parse(args); err != nil {
 		return 1
+	}
+	tuning := gateway.Tuning{
+		PerTryTimeout:   *perTry,
+		MaxRetries:      *maxRetries,
+		BreakerFailures: *breakerFailures,
+		BreakerOpenFor:  *breakerOpenFor,
+		HedgeAfter:      *hedgeAfter,
+	}
+	var transport http.RoundTripper
+	if *netfaultSpec != "" {
+		inj := netfault.NewInjector()
+		if err := inj.ArmSpec(*netfaultSpec, ""); err != nil {
+			return fail(stderr, err)
+		}
+		transport = inj.Transport(nil)
 	}
 
 	var handler http.Handler
@@ -136,11 +164,13 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 			Commit:        collectorhttp.CommitMode(*commit),
 			Limits:        verifier.DefaultLimits(),
 			MaxInflight:   *maxInflight,
+			Transport:     transport,
+			Tuning:        tuning,
 		})
 		if err != nil {
 			return fail(stderr, err)
 		}
-		handler = top.Gateway.Handler()
+		handler = top.Handler()
 		// Close seals every shard's open epoch — a SIGTERM must not strand
 		// recorded requests in unsealed (unauditable-by-absence) epochs.
 		closer = top.Close
@@ -150,7 +180,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, fmt.Errorf("reading shard map: %w", err))
 		}
-		gw, err := gateway.New(gateway.Config{Map: m, Backends: strings.Split(*backends, ",")})
+		gw, err := gateway.New(gateway.Config{Map: m, Backends: strings.Split(*backends, ","), Transport: transport, Tuning: tuning})
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -305,6 +335,76 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "PIPELINE ACCEPTED: served %d requests (%d refused) across %d of %d shards, %d handlers re-run\n",
 		served, refused, busy, *shards, res.Stats.HandlersRerun)
+	return 0
+}
+
+// chaosCmd runs one of the built-in partition scenarios (or a JSON
+// scripted one) and exits by its invariants: 0 held, 2 violated, 1
+// runner breakage.
+func chaosCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("scenario", "partition", "built-in scenario: partition (blackhole + kill-while-dark), flap, gateway-restart")
+	file := fs.String("scenario-file", "", "JSON PartitionScenario file (overrides -scenario)")
+	shards := fs.Int("shards", 4, "topology width")
+	seed := fs.Int64("seed", 11, "fault-schedule and workload seed")
+	dir := fs.String("dir", "", "scenario scratch directory (default: a fresh temp dir)")
+	verbose := fs.Bool("v", false, "print the full result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	var sc chaos.PartitionScenario
+	switch {
+	case *file != "":
+		blob, err := os.ReadFile(*file)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := json.Unmarshal(blob, &sc); err != nil {
+			return fail(stderr, fmt.Errorf("scenario %s: %w", *file, err))
+		}
+	case *name == "partition":
+		sc = chaos.PartitionAcceptanceScenario(*shards, *seed)
+	case *name == "flap":
+		sc = chaos.FlappingScenario(*shards, *seed)
+	case *name == "gateway-restart":
+		sc = chaos.GatewayRestartScenario(*shards, *seed)
+	default:
+		return fail(stderr, fmt.Errorf("unknown scenario %q (have partition, flap, gateway-restart)", *name))
+	}
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "karousos-partition-")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	res, err := chaos.RunPartition(*dir, sc)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *verbose {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	merge := "accepted"
+	if res.Merge.Code != "" {
+		merge = fmt.Sprintf("[%s] %s", res.Merge.Code, res.Merge.Reason)
+	}
+	fmt.Fprintf(stdout, "PARTITION CHAOS %s shards=%d seed=%d fault=%q: served=%d degraded=%d shed=%d retries=%d fastFails=%d accepted=%d unauditable=%d rejected=%d merge=%s\n",
+		sc.App, sc.Shards, sc.Seed, sc.Fault, res.Served, res.Degraded, res.Shed,
+		res.Victim.Retries, res.Victim.FastFails, res.Accepted, res.Unauditable, res.Rejected, merge)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Fprintln(stderr, "PARTITION CHAOS INVARIANT VIOLATED:", v)
+		}
+		return 2
+	}
+	fmt.Fprintln(stdout, "PARTITION CHAOS OK: all invariants held")
 	return 0
 }
 

@@ -8,6 +8,11 @@
 //	karousos-loadgen -url http://host:8080 -n 2000 -rate 500
 //	    drives an already-running collector instead;
 //
+//	karousos-loadgen -target http://gateway:8081 -n 2000 -json
+//	    drives a sharded topology through its gateway: the ledger is
+//	    split per shard (X-Karousos-Shard), and 503s carrying Retry-After
+//	    count as partial-shard degradation rather than server errors;
+//
 //	karousos-loadgen -n 2000 -audit
 //	    after the run, re-audits every sealed epoch at verifier
 //	    parallelism 1 and 4 and requires both passes to accept with
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("karousos-loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	url := fs.String("url", "", "collector base URL; empty boots a self-contained collector on loopback")
+	target := fs.String("target", "", "gateway base URL: drive a sharded topology and split the ledger per shard (X-Karousos-Shard)")
 	dir := fs.String("dir", "", "epoch log directory for the self-contained collector (default: a fresh temp dir)")
 	app := fs.String("app", "motd", "workload application: motd, stacks, wiki")
 	mix := fs.String("mix", "mixed", "read/write mix: read-heavy, write-heavy, mixed")
@@ -84,7 +90,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("unknown mix %q (read-heavy, write-heavy, mixed)", *mix))
 	}
 
+	if *target != "" && *url != "" {
+		return fail(stderr, fmt.Errorf("-target and -url are exclusive: a run drives either the gateway or one collector"))
+	}
+	if *target != "" && *audit {
+		return fail(stderr, fmt.Errorf("-audit needs the self-contained collector; a gateway's per-shard logs are audited with karousos-auditd -shards"))
+	}
 	base := *url
+	if *target != "" {
+		base = *target
+	}
 	logDir := *dir
 	var col *collectorhttp.Collector
 	if base == "" {
@@ -141,6 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:           *seed,
 		Timeout:        *timeout,
 		SlowEvery:      *slowEvery,
+		TrackShards:    *target != "",
 	})
 	if err != nil {
 		return fail(stderr, err)

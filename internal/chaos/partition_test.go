@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPartitionAcceptance: the fixed-seed blackhole + kill-while-dark
+// scenario holds every invariant — only 200/429/503 at the gateway,
+// survivors unaffected, acked⊆sealed, evidence preserved, lane-identical
+// verdicts — and grades the victim Unauditable, never accused.
+func TestPartitionAcceptance(t *testing.T) {
+	sc := PartitionAcceptanceScenario(4, 11)
+	res, err := RunPartition(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0", res.Rejected)
+	}
+	if res.Unauditable == 0 {
+		t.Fatal("no epoch graded unauditable; the kill-while-dark stranded nothing")
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no epoch accepted; the scenario audited nothing")
+	}
+	if res.Served == 0 || res.Degraded == 0 {
+		t.Fatalf("scenario did not exercise both sides: served=%d degraded=%d", res.Served, res.Degraded)
+	}
+	if res.Victim.FastFails == 0 {
+		t.Fatalf("victim breaker never fast-failed: %+v — the blackhole was paid for on every request", res.Victim)
+	}
+}
+
+// TestPartitionFlapping: a flapping link costs at most availability on
+// the victim's keyspace; retries absorb part of it, nothing strands, and
+// the audit is fully clean (no kill → no Unauditable anywhere).
+func TestPartitionFlapping(t *testing.T) {
+	sc := FlappingScenario(4, 11)
+	res, err := RunPartition(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Unauditable != 0 || res.Rejected != 0 {
+		t.Fatalf("flap without a kill graded unauditable=%d rejected=%d, want 0/0", res.Unauditable, res.Rejected)
+	}
+	if res.Merge.Code != "" {
+		t.Fatalf("combined verdict %q, want accept", res.Merge.Code)
+	}
+	if res.Victim.Retries == 0 {
+		t.Fatalf("no retry absorbed the flapping: %+v", res.Victim)
+	}
+}
+
+// TestPartitionGatewayRestart: restarting the stateless front door
+// mid-run changes nothing observable — every request serves and the
+// audit is clean.
+func TestPartitionGatewayRestart(t *testing.T) {
+	sc := GatewayRestartScenario(3, 23)
+	res, err := RunPartition(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Served != sc.Requests {
+		t.Fatalf("served %d of %d: a gateway restart dropped traffic", res.Served, sc.Requests)
+	}
+	if res.Unauditable != 0 || res.Rejected != 0 || res.Merge.Code != "" {
+		t.Fatalf("clean restart graded unauditable=%d rejected=%d merge=%q", res.Unauditable, res.Rejected, res.Merge.Code)
+	}
+}
+
+// TestPartitionDeterministic: same seed, same tallies — the scenario is
+// replayable evidence, not noise.
+func TestPartitionDeterministic(t *testing.T) {
+	sc := PartitionAcceptanceScenario(2, 23)
+	a, err := RunPartition(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPartition(t.TempDir(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations)+len(b.Violations) > 0 {
+		t.Fatalf("violations: %v / %v", a.Violations, b.Violations)
+	}
+	if a.Accepted != b.Accepted || a.Unauditable != b.Unauditable || a.Merge.Code != b.Merge.Code {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestPartitionScenarioValidation: malformed scripts are runner errors,
+// not violations.
+func TestPartitionScenarioValidation(t *testing.T) {
+	if _, err := RunPartition(t.TempDir(), PartitionScenario{App: "motd", Shards: 2, Requests: 10, EpochRequests: 5}); err == nil {
+		t.Fatal("unshardable app accepted")
+	}
+	if _, err := RunPartition(t.TempDir(), PartitionScenario{App: "wiki", Shards: 2, Requests: 10, EpochRequests: 5, Victim: 5}); err == nil {
+		t.Fatal("out-of-range victim accepted")
+	}
+	if _, err := RunPartition(t.TempDir(), PartitionScenario{App: "wiki", Shards: 2, Requests: 10, EpochRequests: 5, Fault: "emp"}); err == nil {
+		t.Fatal("unknown fault accepted")
+	}
+}

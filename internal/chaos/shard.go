@@ -144,7 +144,7 @@ func RunShardChaos(dir string, sc ShardScenario) (*ShardResult, error) {
 		if resp.StatusCode == http.StatusOK {
 			res.Served++
 		} else {
-			// The killed shard's requests bounce off the gateway as 502
+			// The killed shard's requests bounce off the gateway as 503
 			// until the restart; that is load shedding, not a violation.
 			res.Refused++
 		}

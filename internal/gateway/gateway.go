@@ -16,12 +16,24 @@
 // full, audit lag) passes through with its Retry-After hint intact, so
 // one hot shard sheds its own arrivals while the others keep serving —
 // backpressure is per shard because admission, epochs, and audit lag are.
-// A backend that is down yields 502; /readyz aggregates, reporting ready
-// only when every shard backend is.
+//
+// Partition behavior composes the same way (Tuning). Each proxied attempt
+// is bounded by a per-try timeout and classified on failure by
+// netfault.Classify: only a provably-unsent request (refused dial) is
+// retried, under bounded exponential backoff and a gateway-wide retry
+// budget — /invoke is not idempotent, so an ambiguous failure (timeout,
+// reset after send) is never re-issued. Consecutive transport failures
+// open that shard's circuit breaker (closed→open→half-open, /status
+// exposure); while it is open, only requests routing to that shard
+// fast-fail with 503 + Retry-After and every other shard keeps serving.
+// A dark shard therefore degrades exactly its own keyspace, and its
+// unsealed epochs grade Unauditable at merge — degradation, never a false
+// accusation. /readyz aggregates, reporting ready only when every shard
+// backend is; idempotent health probes may be hedged (Tuning.HedgeAfter).
 package gateway
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,7 +41,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"karousos.dev/karousos/internal/shard"
 	"karousos.dev/karousos/internal/value"
@@ -46,9 +58,18 @@ type Config struct {
 	Map shard.Map
 	// Backends are the shard collectors' base URLs, indexed by shard.
 	Backends []string
-	// Client performs the proxied requests. nil means a client with a 30s
-	// timeout.
+	// Client performs the proxied requests. nil means a client built on
+	// Transport; attempts are bounded per try (Tuning.PerTryTimeout), so
+	// the client itself carries no overall timeout.
 	Client *http.Client
+	// Transport, when Client is nil, is the proxy round-tripper — the
+	// netfault plug point: Injector.Transport(nil) here puts every
+	// gateway→shard hop on the fault schedule. nil means the default
+	// transport.
+	Transport http.RoundTripper
+	// Tuning bounds retries, breakers, hedging and degradation hints;
+	// the zero value means defaults.
+	Tuning Tuning
 	// MaxRequestBytes bounds one /invoke body read at the gateway (413
 	// past it). <=0 means 1 MiB, matching the collector's default.
 	MaxRequestBytes int64
@@ -62,12 +83,23 @@ type ShardCounters struct {
 	Shed uint64 `json:"shed,omitempty"`
 	// Errors counts proxy failures (backend unreachable, bad response).
 	Errors uint64 `json:"errors,omitempty"`
+	// Retries counts re-issued attempts (classified safe, budget paid).
+	Retries uint64 `json:"retries,omitempty"`
+	// BudgetDenied counts retries the global budget refused.
+	BudgetDenied uint64 `json:"budgetDenied,omitempty"`
+	// FastFails counts invokes the open breaker answered without touching
+	// the backend.
+	FastFails uint64 `json:"fastFails,omitempty"`
 }
 
 // Gateway routes requests to shard backends.
 type Gateway struct {
-	cfg    Config
-	client *http.Client
+	cfg      Config
+	client   *http.Client
+	tuning   Tuning
+	breakers []*breaker
+	budget   *retryBudget
+	hedges   atomic.Uint64
 
 	mu       sync.Mutex
 	backends []string
@@ -85,13 +117,21 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = 1 << 20
 	}
+	tuning := cfg.Tuning.withDefaults()
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{Transport: cfg.Transport}
+	}
+	breakers := make([]*breaker, cfg.Map.Shards)
+	for i := range breakers {
+		breakers[i] = newBreaker(tuning.BreakerFailures, tuning.BreakerOpenFor)
 	}
 	return &Gateway{
 		cfg:      cfg,
 		client:   client,
+		tuning:   tuning,
+		breakers: breakers,
+		budget:   newRetryBudget(tuning.RetryBudget, tuning.RetryBudgetRatio),
 		backends: append([]string(nil), cfg.Backends...),
 		counters: make([]ShardCounters, cfg.Map.Shards),
 	}, nil
@@ -174,28 +214,35 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	s := g.cfg.Map.ShardOf(value.Normalize(input))
 	g.count(s, func(c *ShardCounters) { c.Routed++ })
 
-	resp, err := g.client.Post(g.backend(s)+"/invoke", "application/json", bytes.NewReader(raw))
-	if err != nil {
-		g.count(s, func(c *ShardCounters) { c.Errors++ })
-		w.Header().Set(ShardHeader, strconv.Itoa(s))
-		http.Error(w, fmt.Sprintf("shard %d backend unreachable: %v", s, err), http.StatusBadGateway)
+	if !g.breakers[s].allow() {
+		// Open circuit: fast-fail without touching the backend. Only this
+		// shard's keyspace degrades; every other shard keeps serving.
+		g.count(s, func(c *ShardCounters) { c.FastFails++ })
+		g.degrade(w, s, "circuit open")
 		return
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusTooManyRequests {
+	resp, err := g.forward(r.Context(), s, raw)
+	if err != nil {
+		g.count(s, func(c *ShardCounters) { c.Errors++ })
+		g.degrade(w, s, err.Error())
+		return
+	}
+	if resp.status == http.StatusTooManyRequests {
 		g.count(s, func(c *ShardCounters) { c.Shed++ })
 	}
 	// Pass the backend's verdict through untouched — status, Retry-After,
-	// body. The gateway adds only the routing evidence header.
+	// body (buffered in full by forward, so a mid-body cut can never tear
+	// an already-committed 200). The gateway adds only the routing
+	// evidence header.
 	w.Header().Set(ShardHeader, strconv.Itoa(s))
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
+	if ra := resp.header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
+	if ct := resp.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body) //karousos:errladder-ok best-effort proxy body; the status header is already sent
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body) //karousos:errladder-ok best-effort proxy body; the status header is already sent
 }
 
 // sealResult is one backend's answer to a fanned-out /seal.
@@ -217,15 +264,20 @@ func (g *Gateway) handleSeal(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
-	status := http.StatusOK
+	// Sealing is best-effort by design: one dark shard must not block the
+	// others' evidence from sealing. The caller always gets 200 with the
+	// full per-shard picture and decides what a failed lane means — the
+	// audit will grade that shard's missing epochs Unauditable, never the
+	// survivors'.
+	sealed, failed := 0, 0
 	for _, res := range results {
 		if res.Error != "" || res.Status >= 500 {
-			// Partial failure: some shards sealed, some did not. The caller
-			// gets the full per-shard picture either way.
-			status = http.StatusBadGateway
+			failed++
+		} else {
+			sealed++
 		}
 	}
-	writeJSON(w, status, map[string]any{"shards": results})
+	writeJSON(w, http.StatusOK, map[string]any{"shards": results, "sealed": sealed, "failed": failed})
 }
 
 func (g *Gateway) sealShard(i int) sealResult {
@@ -252,7 +304,11 @@ type shardProbe struct {
 	Error   string          `json:"error,omitempty"`
 }
 
-// probe GETs path on every backend concurrently.
+// probe GETs path on every backend concurrently — hedged when
+// Tuning.HedgeAfter is set (safe: probes are idempotent). Probe outcomes
+// feed the breakers without consulting them: a health sweep can both
+// detect a dark shard before any invoke pays for the discovery and close
+// an open circuit the moment the backend answers again.
 func (g *Gateway) probe(path string) []shardProbe {
 	results := make([]shardProbe, g.cfg.Map.Shards)
 	var wg sync.WaitGroup
@@ -262,12 +318,14 @@ func (g *Gateway) probe(path string) []shardProbe {
 			defer wg.Done()
 			backend := g.backend(i)
 			results[i] = shardProbe{Shard: i, Backend: backend}
-			resp, err := g.client.Get(backend + path)
+			resp, err := g.hedgedGet(context.Background(), backend+path)
 			if err != nil {
+				g.breakers[i].onFailure()
 				results[i].Error = err.Error()
 				return
 			}
 			defer resp.Body.Close()
+			g.breakers[i].onSuccess()
 			blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20)) //karousos:errladder-ok best-effort probe body
 			results[i].Status = resp.StatusCode
 			if json.Valid(blob) {
@@ -279,10 +337,21 @@ func (g *Gateway) probe(path string) []shardProbe {
 	return results
 }
 
+// Breakers returns every shard breaker's state.
+func (g *Gateway) Breakers() []BreakerStatus {
+	out := make([]BreakerStatus, len(g.breakers))
+	for i, b := range g.breakers {
+		out[i] = b.snapshot(i)
+	}
+	return out
+}
+
 func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shards":   g.cfg.Map.Shards,
 		"counters": g.Counters(),
+		"breakers": g.Breakers(),
+		"hedges":   g.hedges.Load(),
 		"backends": g.probe("/status"),
 	})
 }

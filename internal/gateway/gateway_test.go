@@ -70,7 +70,7 @@ func TestRoutingMatchesMap(t *testing.T) {
 
 // TestBackpressurePassthrough: a backend's 429 reaches the client with its
 // Retry-After hint intact, counted as shed for that shard; a down backend
-// yields 502, counted as an error.
+// yields 503 with the gateway's own Retry-After hint, counted as an error.
 func TestBackpressurePassthrough(t *testing.T) {
 	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "7")
@@ -106,12 +106,18 @@ func TestBackpressurePassthrough(t *testing.T) {
 		t.Fatalf("Retry-After = %q, want the backend's hint", ra)
 	}
 	resp = postInvoke(t, ts.URL, k1)
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("dead backend: status %d, want 502", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("dead backend: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 has no Retry-After hint")
 	}
 	counters := gw.Counters()
 	if counters[0].Shed != 1 || counters[1].Errors != 1 {
 		t.Fatalf("counters = %+v, want shard0 shed=1, shard1 errors=1", counters)
+	}
+	if counters[1].Retries == 0 {
+		t.Fatalf("counters = %+v, want refused dials retried before degrading", counters)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"karousos.dev/karousos/internal/gateway"
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/workload"
 )
@@ -55,6 +56,21 @@ type Config struct {
 	SlowChunkDelay time.Duration
 	// Client overrides the HTTP client (tests inject httptest clients).
 	Client *http.Client
+	// TrackShards is gateway-target mode: split the ledger per shard using
+	// the X-Karousos-Shard response header, and count a 503 that carries
+	// Retry-After as Degraded503 (partial-shard degradation, a promised
+	// overload/partition outcome) rather than a server error.
+	TrackShards bool
+}
+
+// ShardLedger is one shard's slice of the accounting in gateway-target
+// mode, keyed by the X-Karousos-Shard header the gateway echoes.
+type ShardLedger struct {
+	OK          int `json:"ok"`
+	Shed429     int `json:"shed429"`
+	Degraded503 int `json:"degraded503"`
+	ServerErr   int `json:"serverErr"`
+	Other       int `json:"other"`
 }
 
 // Result is one load run's outcome, split the way the overload invariants
@@ -70,6 +86,12 @@ type Result struct {
 	// OtherStatus counts responses outside {200, 429, 5xx-as-ServerErr}.
 	// The overload invariant is that this stays zero.
 	OtherStatus int `json:"otherStatus"`
+	// Degraded503 counts 503s carrying Retry-After in gateway-target mode:
+	// a shard's breaker shedding its own keyspace, not a server error.
+	Degraded503 int `json:"degraded503,omitempty"`
+	// Shards is the per-shard ledger in gateway-target mode, keyed by the
+	// X-Karousos-Shard header ("" collects responses without one).
+	Shards map[string]*ShardLedger `json:"shards,omitempty"`
 	// RetryAfterSeen reports whether at least one 429 carried the hint.
 	RetryAfterSeen bool `json:"retryAfterSeen"`
 	// AckedRIDs are the RIDs of every 200 — the requests the collector is
@@ -217,6 +239,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			res.Hist.Observe(lat)
+			var ledger *ShardLedger
+			if cfg.TrackShards {
+				if res.Shards == nil {
+					res.Shards = make(map[string]*ShardLedger)
+				}
+				key := resp.Header.Get(gateway.ShardHeader)
+				if ledger = res.Shards[key]; ledger == nil {
+					ledger = &ShardLedger{}
+					res.Shards[key] = ledger
+				}
+			}
 			switch {
 			case readErr != nil:
 				res.NetErr++
@@ -226,19 +259,41 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				if err := json.Unmarshal(out, &decoded); err != nil || decoded.RID == "" {
 					res.OtherStatus++
+					if ledger != nil {
+						ledger.Other++
+					}
 					return
 				}
 				res.OK++
 				res.AckedRIDs = append(res.AckedRIDs, decoded.RID)
+				if ledger != nil {
+					ledger.OK++
+				}
 			case resp.StatusCode == http.StatusTooManyRequests:
 				res.Shed429++
 				if resp.Header.Get("Retry-After") != "" {
 					res.RetryAfterSeen = true
 				}
+				if ledger != nil {
+					ledger.Shed429++
+				}
+			case cfg.TrackShards && resp.StatusCode == http.StatusServiceUnavailable &&
+				resp.Header.Get("Retry-After") != "":
+				// The gateway's partial-shard degradation: the breaker is
+				// shedding exactly this shard's keyspace, with a hint — a
+				// promised outcome, not an overload-invariant breach.
+				res.Degraded503++
+				ledger.Degraded503++
 			case resp.StatusCode >= 500:
 				res.ServerErr++
+				if ledger != nil {
+					ledger.ServerErr++
+				}
 			default:
 				res.OtherStatus++
+				if ledger != nil {
+					ledger.Other++
+				}
 			}
 		}(body, slow)
 	}
@@ -255,8 +310,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 func (r *Result) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "offered %d in %v (%.1f req/s completed)\n", r.Offered, r.Elapsed.Round(time.Millisecond), float64(r.OK)/r.Elapsed.Seconds())
-	fmt.Fprintf(&b, "  ok %d  shed429 %d  shedLocal %d  serverErr %d  netErr %d  other %d\n",
+	fmt.Fprintf(&b, "  ok %d  shed429 %d  shedLocal %d  serverErr %d  netErr %d  other %d",
 		r.OK, r.Shed429, r.ShedLocal, r.ServerErr, r.NetErr, r.OtherStatus)
+	if r.Degraded503 > 0 {
+		fmt.Fprintf(&b, "  degraded503 %d", r.Degraded503)
+	}
+	b.WriteString("\n")
+	if len(r.Shards) > 0 {
+		keys := make([]string, 0, len(r.Shards))
+		for k := range r.Shards {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			l := r.Shards[k]
+			fmt.Fprintf(&b, "  shard %-4s ok %d  shed429 %d  degraded503 %d  serverErr %d  other %d\n",
+				k, l.OK, l.Shed429, l.Degraded503, l.ServerErr, l.Other)
+		}
+	}
 	fmt.Fprintf(&b, "  latency p50 %v  p99 %v  p99.9 %v  mean %v\n",
 		r.Hist.Quantile(0.50).Round(time.Microsecond), r.Hist.Quantile(0.99).Round(time.Microsecond),
 		r.Hist.Quantile(0.999).Round(time.Microsecond), r.Hist.Mean().Round(time.Microsecond))

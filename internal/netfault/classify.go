@@ -1,0 +1,133 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"net/url"
+	"syscall"
+	"time"
+)
+
+// Class buckets a network error by what the caller may soundly do next —
+// the wire analogue of iofault.Classify. The question the ladder answers
+// is not "will a retry work?" but "could the peer have executed the
+// request?": a non-idempotent request may only be re-issued when the
+// answer is provably no.
+type Class int
+
+const (
+	// ClassNone: no error.
+	ClassNone Class = iota
+	// ClassRetryable: the request provably never reached the peer —
+	// connection refused, dial failure, or an injected fault that did not
+	// forward. Safe to retry anything.
+	ClassRetryable
+	// ClassAmbiguous: request bytes may have reached the peer — timeout,
+	// reset after send, truncated response, or any error we cannot prove
+	// otherwise. Retrying a non-idempotent request here risks duplicate
+	// execution; only idempotent requests may be re-issued.
+	ClassAmbiguous
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassRetryable:
+		return "retryable"
+	case ClassAmbiguous:
+		return "ambiguous"
+	}
+	return "unknown"
+}
+
+// Classify places a round-trip error on the ladder. Unknown errors are
+// ambiguous by default: when in doubt, assume the peer saw the request.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		if fe.Forwarded {
+			return ClassAmbiguous
+		}
+		return ClassRetryable
+	}
+	// url.Error wraps every transport failure; unwrap before probing.
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		err = ue.Err
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return ClassRetryable
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) && oe.Op == "dial" {
+		// Dial never sends application bytes: a failed dial — refused,
+		// unreachable, or timed out before connect — is always safe.
+		return ClassRetryable
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return ClassAmbiguous
+	}
+	return ClassAmbiguous
+}
+
+// Backoff is a bounded exponential backoff with full jitter, mirroring
+// iofault.Backoff for the wire: Base doubles per attempt up to Max, and
+// each delay is drawn uniformly from [delay/2, delay] so synchronized
+// retries de-correlate.
+type Backoff struct {
+	Base     time.Duration
+	Max      time.Duration
+	Attempts int
+	// Sleep stubs time.Sleep in tests; nil means real sleep.
+	Sleep func(time.Duration)
+	// Rand supplies jitter; nil means a shared unseeded source. Scenarios
+	// inject a seeded source for reproducible schedules.
+	Rand *rand.Rand
+}
+
+// Delay returns the jittered delay for attempt i (0-based).
+func (b Backoff) Delay(i int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = time.Second
+	}
+	delay := base << uint(i)
+	if delay > max || delay <= 0 {
+		delay = max
+	}
+	half := int64(delay / 2)
+	var j int64
+	if b.Rand != nil {
+		j = b.Rand.Int63n(half + 1)
+	} else {
+		j = rand.Int63n(half + 1)
+	}
+	return time.Duration(half + j)
+}
+
+func (b Backoff) sleep(ctx context.Context, d time.Duration) error {
+	if b.Sleep != nil {
+		b.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
