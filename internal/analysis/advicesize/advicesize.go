@@ -40,16 +40,23 @@ var Packages = []string{
 	"internal/verifier",
 }
 
-// maxConstBound is the largest constant a comparison may clamp to and still
-// count as a sanitizer.
-const maxConstBound = 1 << 20
+// MaxConstBound is the largest constant a comparison may clamp to and
+// still count as a sanitizer. Exported: advicetaint, the interprocedural
+// generalization of this pass, applies the identical clamp policy.
+const MaxConstBound = 1 << 20
 
-// sanitizerNames are functions/methods whose call clamps a length argument
-// (or whose result is already clamped).
-var sanitizerNames = map[string]bool{
+// SanitizerNames are functions/methods whose call clamps a length argument
+// (or whose result is already clamped). Shared with advicetaint.
+var SanitizerNames = map[string]bool{
 	"length":           true,
 	"lengthElems":      true,
 	"CheckAdviceBytes": true,
+}
+
+// IsSanitizerName reports whether a called function's bare name counts as
+// a clamp (SanitizerNames plus the clamp* convention).
+func IsSanitizerName(name string) bool {
+	return SanitizerNames[name] || strings.HasPrefix(name, "clamp")
 }
 
 // sourceNames are decoder helper methods whose results are attacker-chosen
@@ -66,6 +73,8 @@ var Analyzer = &analysis.Analyzer{
 		"before reaching make/io.ReadFull; suppress with //karousos:advicesize-ok <reason>",
 	Run: run,
 }
+
+func init() { analysis.Register(Analyzer) }
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
@@ -180,6 +189,14 @@ func (st *taintState) exprTainted(e ast.Expr) bool {
 // isSourceCall matches binary.Uvarint / binary.ReadUvarint / ByteOrder
 // UintNN reads and decoder methods named uvarint/intv.
 func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
+	return IsSourceCall(st.pass.TypesInfo, call)
+}
+
+// IsSourceCall reports whether call produces an attacker-chosen number: a
+// raw wire read (binary.Uvarint / ReadUvarint / ByteOrder UintNN) or a
+// decoder helper named uvarint/intv. Shared with advicetaint, which chases
+// these values across function boundaries.
+func IsSourceCall(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
@@ -187,7 +204,7 @@ func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
 	name := sel.Sel.Name
 	// Package-level binary.Uvarint / binary.ReadUvarint / binary.Varint...
 	if id, ok := sel.X.(*ast.Ident); ok {
-		if pn, ok := st.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
 			p := pn.Imported().Path()
 			if p == "encoding/binary" && (name == "Uvarint" || name == "Varint" || name == "ReadUvarint" || name == "ReadVarint") {
 				return true
@@ -197,7 +214,7 @@ func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
 	}
 	// ByteOrder reads: binary.LittleEndian.Uint32(...), order.Uint64(...).
 	if name == "Uint16" || name == "Uint32" || name == "Uint64" {
-		if t := st.pass.TypesInfo.TypeOf(sel.X); t != nil && strings.Contains(t.String(), "encoding/binary.") {
+		if t := info.TypeOf(sel.X); t != nil && strings.Contains(t.String(), "encoding/binary.") {
 			return true
 		}
 	}
@@ -208,7 +225,7 @@ func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
 // call handles sinks and sanitizer calls.
 func (st *taintState) call(call *ast.CallExpr) {
 	// Sanitizer call: clamp functions clear the taint of identifier args.
-	if name := fnName(call); sanitizerNames[name] || strings.HasPrefix(name, "clamp") {
+	if name := fnName(call); IsSanitizerName(name) {
 		for _, arg := range call.Args {
 			if id, ok := arg.(*ast.Ident); ok {
 				st.setTaint(id, false)
@@ -284,7 +301,7 @@ func (st *taintState) sanitizeCond(cond ast.Expr) {
 func (st *taintState) sanitizeSide(candidate, bound ast.Expr) {
 	if tv, ok := st.pass.TypesInfo.Types[bound]; ok && tv.Value != nil {
 		// A zero/negative constant is a sign check, not a clamp.
-		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); !exact || v <= 0 || v > maxConstBound {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); !exact || v <= 0 || v > MaxConstBound {
 			return
 		}
 	}

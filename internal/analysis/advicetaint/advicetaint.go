@@ -1,0 +1,210 @@
+// Package advicetaint is the interprocedural generalization of advicesize:
+// the same advice-decode sources and clamp sanitizers (the policy tables
+// are imported from advicesize, which stays on as the fast local pre-pass),
+// chased across function boundaries over the program call graph, and
+// checked against a wider sink set.
+//
+// A value minted by a raw wire read (advicesize.IsSourceCall) must pass a
+// clamp (advicesize.IsSanitizerName, or a relational comparison against an
+// acceptable bound) before it reaches:
+//
+//   - an allocation size: make, io.ReadFull / ReadAtLeast / CopyN — the
+//     advicesize sinks, now caught even when the decode and the make live
+//     in different functions;
+//   - a loop bound: a for-loop condition compared against an unclamped
+//     advice-derived count spins the auditor on attacker-chosen work;
+//   - a file path: os.Open / OpenFile / Create / ReadFile / WriteFile /
+//     Remove / RemoveAll / MkdirAll with an advice-derived path escapes the
+//     evidence directory;
+//   - a verdict-affecting branch: an equality or boolean test of an
+//     unclamped advice value that guards a `return Verdict{...}` lets the
+//     server steer the audit outcome. Branches returning a RejectCode are
+//     deliberately NOT sinks — rejecting on raw advice is validation;
+//     accepting on it is the hazard.
+//
+// Flows into a callee whose parameter reaches one of these sinks unclamped
+// (dataflow.Summary.ParamToSink) are reported at the call site. The
+// analysis shares advicesize's approximations — source-order replay, calls
+// the graph cannot resolve launder — documented in DESIGN.md §17. The
+// escape hatch is //karousos:advicetaint-ok <reason>.
+package advicetaint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/advicesize"
+	"karousos.dev/karousos/internal/analysis/dataflow"
+)
+
+// Packages are the packages whose functions are checked (findings are only
+// reported here; taint summaries cover the whole program, so a flow that
+// crosses into these packages from outside is still seen).
+var Packages = append([]string{"internal/auditd"}, advicesize.Packages...)
+
+// Analyzer is the advicetaint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "advicetaint",
+	Doc: "interprocedural advice-taint: decode-derived values must pass a clamp before any allocation size, " +
+		"loop bound, file path, or verdict-affecting branch, across function boundaries; " +
+		"suppress with //karousos:advicetaint-ok <reason>",
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	prog := pass.SingletonProgram()
+	eng := engineOf(prog)
+	pp := prog.PackageOf(pass.Pkg)
+	if pp == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, fnd := range eng.Check(pp, fd) {
+				if fnd.Callee != "" {
+					pass.Reportf(fnd.Pos, "passes an unclamped advice-derived value to %s, where it reaches an allocation, loop, path, or verdict sink; clamp before the call", fnd.Callee)
+					continue
+				}
+				pass.Reportf(fnd.Pos, "%s driven by an unclamped advice-derived value; clamp it against remaining input or verifier.Limits first", fnd.What)
+			}
+		}
+	}
+	return nil
+}
+
+// engineOf builds (once per program, shared across packages via the
+// program fact cache) the dataflow engine with the advice-taint policy.
+func engineOf(prog *analysis.Program) *dataflow.Engine {
+	return prog.Fact("advicetaint.engine", func() any {
+		return dataflow.New(prog, dataflow.Policy{
+			IsSource:        advicesize.IsSourceCall,
+			IsSanitizer:     isSanitizerCall,
+			CallSinks:       callSinks,
+			SanitizeCompare: true,
+			MaxConstBound:   advicesize.MaxConstBound,
+			LoopBound:       "loop bound",
+			Branch:          verdictBranch,
+		})
+	}).(*dataflow.Engine)
+}
+
+// isSanitizerCall applies advicesize's clamp-name policy to a call.
+func isSanitizerCall(info *types.Info, call *ast.CallExpr) bool {
+	return advicesize.IsSanitizerName(bareName(call))
+}
+
+// bareName is the called function's unqualified name ("" when the callee
+// is not a plain identifier or selector).
+func bareName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// pathSinkFuncs are the os functions whose first argument is a file path.
+var pathSinkFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true,
+	"ReadFile": true, "WriteFile": true,
+	"Remove": true, "RemoveAll": true, "MkdirAll": true, "Mkdir": true,
+}
+
+// callSinks returns the sensitive argument positions of call: allocation
+// sizes (advicesize's sink set) and file paths.
+func callSinks(info *types.Info, call *ast.CallExpr) []dataflow.Sink {
+	// make(T, n[, c]): every size argument.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+			var sinks []dataflow.Sink
+			for _, sizeArg := range call.Args[1:] {
+				sinks = append(sinks, dataflow.Sink{Expr: sizeArg, What: "make size"})
+			}
+			return sinks
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	switch pn.Imported().Path() {
+	case "io":
+		switch sel.Sel.Name {
+		case "ReadFull":
+			if len(call.Args) == 2 {
+				return []dataflow.Sink{{Expr: call.Args[1], What: "io.ReadFull buffer"}}
+			}
+		case "ReadAtLeast", "CopyN":
+			if len(call.Args) == 3 {
+				return []dataflow.Sink{{Expr: call.Args[2], What: "io." + sel.Sel.Name + " size"}}
+			}
+		}
+	case "os":
+		if pathSinkFuncs[sel.Sel.Name] && len(call.Args) > 0 {
+			return []dataflow.Sink{{Expr: call.Args[0], What: "os." + sel.Sel.Name + " path"}}
+		}
+	}
+	return nil
+}
+
+// verdictBranch nominates if-statements that accept on advice: the
+// condition is an equality or boolean test, and the guarded body returns a
+// value of a type named Verdict. RejectCode returns are not sinks —
+// rejecting raw advice is validation, accepting it is the hazard.
+func verdictBranch(info *types.Info, ifStmt *ast.IfStmt) string {
+	switch c := ast.Unparen(ifStmt.Cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op.String() != "==" && c.Op.String() != "!=" {
+			return ""
+		}
+		// Nil tests (`if err != nil`) check presence, not an advice-chosen
+		// value; decode errors carry spread taint but are not steering.
+		for _, e := range []ast.Expr{c.X, c.Y} {
+			if tv, ok := info.Types[e]; ok && tv.IsNil() {
+				return ""
+			}
+		}
+	case *ast.Ident, *ast.SelectorExpr, *ast.CallExpr, *ast.UnaryExpr:
+		// boolean test
+	default:
+		return ""
+	}
+	found := ""
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if named, ok := info.TypeOf(r).(*types.Named); ok && named.Obj().Name() == "Verdict" {
+				found = "verdict-affecting branch"
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,72 @@
+// Fixture for advicetaint: seeded interprocedural source-to-sink flows.
+// Every flow starts at a raw wire read (binary.Uvarint and friends) and
+// reaches a sink without passing a clamp.
+package advicetaintfix
+
+import (
+	"encoding/binary"
+	"os"
+)
+
+// Verdict mirrors auditd.Verdict by name: accept/reject outcome.
+type Verdict struct{ Code string }
+
+// alloc's parameter reaches a make size unclamped: ParamToSink.
+func alloc(n uint64) []byte { return make([]byte, n) }
+
+// forward hands its argument through untouched: Return carries the param.
+func forward(n uint64) uint64 { return n }
+
+// pathFor turns a decoded id into a path, preserving taint through
+// conversions and its own return.
+func pathFor(n uint64) string { return string(rune(n)) }
+
+// interCall: the decode and the allocation live in different functions;
+// the flow is reported at the call that hands the value over.
+func interCall(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return alloc(n) // want `passes an unclamped advice-derived value to alloc`
+}
+
+// interReturn: taint survives a forwarding callee's summary and reaches a
+// local make.
+func interReturn(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	m := forward(n)
+	return make([]byte, m) // want `make size driven by an unclamped advice-derived value`
+}
+
+// spin: an advice-derived loop bound spins the auditor on attacker-chosen
+// work.
+func spin(buf []byte) int {
+	n, _ := binary.Uvarint(buf)
+	total := 0
+	for i := uint64(0); i < n; i++ { // want `loop bound driven by an unclamped advice-derived value`
+		total++
+	}
+	return total
+}
+
+// open: an advice-derived file path escapes the evidence directory, with
+// the taint carried through pathFor's return.
+func open(buf []byte) ([]byte, error) {
+	n, _ := binary.Uvarint(buf)
+	return os.ReadFile(pathFor(n)) // want `os.ReadFile path driven by an unclamped advice-derived value`
+}
+
+// grade: accepting on a raw advice equality lets the server steer the
+// verdict.
+func grade(buf []byte, want uint64) Verdict {
+	n, _ := binary.Uvarint(buf)
+	if n == want { // want `verdict-affecting branch driven by an unclamped advice-derived value`
+		return Verdict{}
+	}
+	return Verdict{Code: "mismatch"}
+}
+
+// wideRead: ByteOrder reads are sources too, and io.CopyN-style sized
+// sinks are caught across the hop.
+func wideRead(buf []byte) []byte {
+	n := binary.LittleEndian.Uint32(buf)
+	return alloc(uint64(n)) // want `passes an unclamped advice-derived value to alloc`
+}

@@ -1,0 +1,87 @@
+// Fixture for advicetaint: true negatives — clamped flows, validation
+// branches, and presence tests that the analyzer must not flag.
+package advicetaintok
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Verdict mirrors auditd.Verdict by name.
+type Verdict struct{ Code string }
+
+// RejectCode mirrors core.RejectCode by name.
+type RejectCode string
+
+// clampLen is a sanitizer by the clamp* naming convention.
+func clampLen(n uint64, limit int) uint64 {
+	if n > uint64(limit) {
+		return uint64(limit)
+	}
+	return n
+}
+
+// alloc sinks its parameter, but a parameter alone is not a finding — the
+// hazard is reported in callers that pass unclamped source values.
+func alloc(n uint64) []byte { return make([]byte, n) }
+
+// allocClamped: the sanitizer call clears the taint before the sink.
+func allocClamped(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	n = clampLen(n, len(buf))
+	return make([]byte, n)
+}
+
+// allocCompared: the comparison clamp clears the taint before the value
+// crosses into the sinking callee.
+func allocCompared(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	if n > uint64(len(buf)) {
+		return nil
+	}
+	return alloc(n)
+}
+
+// decodeHeader mints taint for its callers through its return value.
+func decodeHeader(buf []byte) (uint64, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return 0, errors.New("short header")
+	}
+	return n, nil
+}
+
+// gradeErr: `err != nil` is a presence test, not advice steering the
+// verdict, even though the error came out of a decode.
+func gradeErr(buf []byte) (Verdict, error) {
+	n, err := decodeHeader(buf)
+	if err != nil {
+		return Verdict{Code: "unauditable"}, err
+	}
+	_ = n
+	return Verdict{}, nil
+}
+
+// validate: REJECTING on raw advice is validation — only accept paths
+// (Verdict returns) are verdict sinks.
+func validate(buf []byte, want uint64) RejectCode {
+	n, _ := binary.Uvarint(buf)
+	if n != want {
+		return RejectCode("mismatch")
+	}
+	return ""
+}
+
+// spinClamped: a constant clamp within policy bounds clears the loop
+// bound.
+func spinClamped(buf []byte) int {
+	n, _ := binary.Uvarint(buf)
+	if n > 64 {
+		n = 64
+	}
+	total := 0
+	for i := uint64(0); i < n; i++ {
+		total++
+	}
+	return total
+}

@@ -29,11 +29,12 @@
 //
 //	//karousos:<check>-ok <reason>
 //
-// where <check> is one of "nondeterminism" (detlint), "advicesize",
-// "errladder", or "rejectcode", and <reason> is non-empty free text read by
-// the reviewer, not the tool. A directive with an unknown check name or an
-// empty reason is itself a diagnostic (CheckDirectives), so the escape hatch
-// cannot rot into bare unexplained pragmas.
+// where <check> is a check name some registered analyzer owns (Register),
+// e.g. "nondeterminism" (detlint) or "leaklint" (conclint), and <reason> is
+// non-empty free text read by the reviewer, not the tool. A directive with
+// an unknown check name or an empty reason is itself a diagnostic
+// (CheckDirectives), so the escape hatch cannot rot into bare unexplained
+// pragmas.
 package analysis
 
 import (
@@ -44,6 +45,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -52,6 +54,11 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by karousos-vet -list.
 	Doc string
+	// Checks are the suppression-directive check names this analyzer owns.
+	// Empty means one check named after the analyzer. The first entry is
+	// the default check Reportf uses; multi-check analyzers (conclint's
+	// leaklint/locklint) report the rest through ReportfAs.
+	Checks []string
 	// Run executes the pass over one package, reporting findings through
 	// pass.Report.
 	Run func(*Pass) error
@@ -64,9 +71,19 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program, when the driver sets it, is the whole loaded package set —
+	// the interprocedural analyzers (advicetaint, retrysound, conclint)
+	// build their call graph and dataflow summaries from it. nil restricts
+	// those analyzers to the pass's own package.
+	Program *Program
 	// Report delivers one diagnostic. The driver sets it; analyzers call
 	// Reportf.
 	Report func(Diagnostic)
+	// ReportSuppressed, when set by the driver (karousos-vet -json),
+	// delivers findings covered by a //karousos: directive with
+	// Diagnostic.Suppressed=true instead of dropping them, so the machine-
+	// readable output carries the full suppression state.
+	ReportSuppressed bool
 
 	directives []Directive // lazily built
 }
@@ -75,30 +92,92 @@ type Pass struct {
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
-	Message  string
+	// Check is the directive check name that suppresses this finding.
+	Check   string
+	Message string
+	// Suppressed marks a finding covered by a reviewed directive; only
+	// delivered when Pass.ReportSuppressed is set.
+	Suppressed bool
 }
 
-// Reportf reports a finding at pos unless a matching //karousos: directive
-// suppresses the analyzer's check there.
+// Reportf reports a finding at pos under the analyzer's default check name
+// unless a matching //karousos: directive suppresses it there.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Suppressed(p.Analyzer.check(), pos) {
-		return
-	}
-	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.ReportfAs(p.Analyzer.check(), pos, format, args...)
 }
 
-// check maps an analyzer to its directive check name: detlint's findings are
-// suppressed by nondeterminism-ok (the ISSUE-specified spelling); every
-// other analyzer uses its own name.
+// ReportfAs reports a finding under an explicit check name — the path for
+// analyzers that own more than one check (conclint).
+func (p *Pass) ReportfAs(check string, pos token.Pos, format string, args ...any) {
+	d := Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Check: check, Message: fmt.Sprintf(format, args...)}
+	if p.Suppressed(check, pos) {
+		if !p.ReportSuppressed {
+			return
+		}
+		d.Suppressed = true
+	}
+	p.Report(d)
+}
+
+// check is the analyzer's default directive check name.
 func (a *Analyzer) check() string {
-	if a.Name == "detlint" {
-		return "nondeterminism"
+	if len(a.Checks) > 0 {
+		return a.Checks[0]
 	}
 	return a.Name
 }
 
-// KnownChecks are the valid <check> names of the directive grammar.
-var KnownChecks = []string{"nondeterminism", "advicesize", "errladder", "rejectcode"}
+// checkNames is every check name the analyzer owns.
+func (a *Analyzer) checkNames() []string {
+	if len(a.Checks) > 0 {
+		return a.Checks
+	}
+	return []string{a.Name}
+}
+
+// registry maps directive check names to the analyzer that owns them.
+// Analyzers register themselves in init, so importing an analyzer package
+// is what makes its suppressions well-formed — a directive for a check
+// nobody registered is flagged by CheckDirectives.
+var registry = struct {
+	sync.Mutex
+	checks map[string]string // check name -> analyzer name
+}{checks: map[string]string{}}
+
+// Register records an analyzer's check names in the directive registry.
+// Analyzer packages call it from init. Registering the same (check,
+// analyzer) pair twice is a no-op; claiming another analyzer's check name
+// panics — two analyzers must not share an escape hatch.
+func Register(a *Analyzer) {
+	registry.Lock()
+	defer registry.Unlock()
+	for _, c := range a.checkNames() {
+		if owner, ok := registry.checks[c]; ok && owner != a.Name {
+			panic(fmt.Sprintf("analysis: check %q registered by both %s and %s", c, owner, a.Name))
+		}
+		registry.checks[c] = a.Name
+	}
+}
+
+// KnownChecks returns the registered directive check names, sorted.
+func KnownChecks() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]string, 0, len(registry.checks))
+	for c := range registry.checks {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzerForCheck resolves a check name to its owning analyzer's name.
+func AnalyzerForCheck(check string) (string, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	a, ok := registry.checks[check]
+	return a, ok
+}
 
 // Directive is one parsed //karousos: comment.
 type Directive struct {
@@ -167,24 +246,27 @@ func (p *Pass) Suppressed(check string, pos token.Pos) bool {
 // or bare directive can never silently suppress nothing.
 func CheckDirectives(p *Pass) []Diagnostic {
 	var out []Diagnostic
+	known := KnownChecks()
 	for _, d := range p.parseDirectives() {
-		known := false
-		for _, k := range KnownChecks {
-			if d.Check == k {
-				known = true
-				break
-			}
-		}
 		switch {
-		case !known:
-			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive",
-				Message: fmt.Sprintf("unknown karousos directive check %q (known: %s)", d.Check, strings.Join(KnownChecks, ", "))})
+		case !slicesContains(known, d.Check):
+			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive", Check: "directive",
+				Message: fmt.Sprintf("unknown karousos directive check %q (known: %s)", d.Check, strings.Join(known, ", "))})
 		case d.Reason == "":
-			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive",
+			out = append(out, Diagnostic{Pos: d.Pos, Analyzer: "directive", Check: "directive",
 				Message: fmt.Sprintf("karousos:%s-ok directive needs a reason", d.Check)})
 		}
 	}
 	return out
+}
+
+func slicesContains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // PkgInScope reports whether pkgPath is one of the packages an analyzer

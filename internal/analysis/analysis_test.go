@@ -51,7 +51,32 @@ func f() {
 	}
 }
 
+func TestRegisterOwnsChecks(t *testing.T) {
+	Register(&Analyzer{Name: "detlint", Checks: []string{"nondeterminism"}})
+	Register(&Analyzer{Name: "errladder"})
+	// Re-registering the same pair is a no-op.
+	Register(&Analyzer{Name: "errladder"})
+	known := KnownChecks()
+	for _, want := range []string{"nondeterminism", "errladder"} {
+		if !slicesContains(known, want) {
+			t.Errorf("KnownChecks() = %v, missing %q", known, want)
+		}
+	}
+	if owner, ok := AnalyzerForCheck("nondeterminism"); !ok || owner != "detlint" {
+		t.Errorf("AnalyzerForCheck(nondeterminism) = %q, %v", owner, ok)
+	}
+	// A check name may not change hands between analyzers.
+	defer func() {
+		if recover() == nil {
+			t.Error("registering another analyzer's check name must panic")
+		}
+	}()
+	Register(&Analyzer{Name: "impostor", Checks: []string{"nondeterminism"}})
+}
+
 func TestCheckDirectivesFlagsMalformed(t *testing.T) {
+	Register(&Analyzer{Name: "detlint", Checks: []string{"nondeterminism"}})
+	Register(&Analyzer{Name: "errladder"})
 	src := `package p
 
 func f() {

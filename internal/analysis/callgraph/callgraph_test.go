@@ -1,0 +1,121 @@
+package callgraph
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/load"
+)
+
+func progFromSource(t *testing.T, src string) *analysis.Program {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := load.Files("cgfixture", []string{path})
+	if err != nil {
+		t.Fatalf("load.Files: %v", err)
+	}
+	return analysis.NewProgram([]*analysis.ProgramPackage{{
+		PkgPath: p.PkgPath, Fset: p.Fset, Files: p.Syntax,
+		Pkg: p.Types, TypesInfo: p.TypesInfo,
+	}})
+}
+
+const src = `package cgfixture
+
+import "os"
+
+type T struct{ f *os.File }
+
+func (t *T) sync() error { return t.f.Sync() }
+
+func top(t *T) error { return t.sync() }
+
+func viaValue(fn func() error) error { return fn() } // dynamic
+
+func leaf() {}
+
+func caller() { leaf() }
+`
+
+func TestBuildResolvesStaticCalls(t *testing.T) {
+	prog := progFromSource(t, src)
+	g := Of(prog)
+	if again := Of(prog); again != g {
+		t.Error("Of must cache the graph as a program fact")
+	}
+
+	find := func(suffix string) *Node {
+		t.Helper()
+		for k, n := range g.Nodes {
+			if k == "cgfixture."+suffix || k == "(*cgfixture.T)."+suffix {
+				return n
+			}
+		}
+		t.Fatalf("no node for %q in %v", suffix, keys(g))
+		return nil
+	}
+
+	top := find("top")
+	if len(top.Calls) != 1 {
+		t.Fatalf("top has %d resolved calls, want 1 (t.sync)", len(top.Calls))
+	}
+	if g.Nodes[top.Calls[0].Callee] == nil {
+		t.Errorf("top's callee %q has no node", top.Calls[0].Callee)
+	}
+
+	sync := find("sync")
+	// t.f.Sync() resolves to (*os.File).Sync — a real static callee whose
+	// body is outside the program (no node, but an edge).
+	if len(sync.Calls) != 1 {
+		t.Fatalf("sync has %d resolved calls, want 1", len(sync.Calls))
+	}
+	if g.Nodes[sync.Calls[0].Callee] != nil {
+		t.Errorf("(*os.File).Sync should have no in-program node")
+	}
+
+	dyn := find("viaValue")
+	if dyn.Dynamic != 1 || len(dyn.Calls) != 0 {
+		t.Errorf("viaValue: dynamic=%d calls=%d, want 1/0", dyn.Dynamic, len(dyn.Calls))
+	}
+
+	leaf := find("leaf")
+	callers := g.Callers(leaf.Key)
+	if len(callers) != 1 || callers[0].Decl.Name.Name != "caller" {
+		t.Errorf("Callers(leaf) = %v, want [caller]", callers)
+	}
+}
+
+func TestTransitiveMatchers(t *testing.T) {
+	prog := progFromSource(t, src)
+	g := Of(prog)
+	matched := g.TransitiveMatchers(func(pp *analysis.ProgramPackage, call *ast.CallExpr) bool {
+		fn := StaticCallee(pp.TypesInfo, call)
+		return fn != nil && fn.Name() == "Sync"
+	})
+	wantMatched := []string{"(*cgfixture.T).sync", "cgfixture.top"}
+	for _, k := range wantMatched {
+		if !matched[k] {
+			t.Errorf("%s should transitively reach Sync; matched=%v", k, matched)
+		}
+	}
+	for _, k := range []string{"cgfixture.leaf", "cgfixture.caller", "cgfixture.viaValue"} {
+		if matched[k] {
+			t.Errorf("%s must not match", k)
+		}
+	}
+}
+
+func keys(g *Graph) []string {
+	var out []string
+	for k := range g.Nodes {
+		out = append(out, k)
+	}
+	return out
+}

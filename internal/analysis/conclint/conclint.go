@@ -1,0 +1,645 @@
+// Package conclint is the concurrency-discipline analyzer for the serving
+// and audit planes: two checks over internal/fleet, internal/gateway,
+// internal/epochlog, and internal/auditd, each with its own suppression
+// name.
+//
+// # leaklint
+//
+// Every goroutine needs a join or cancel path — an unjoined goroutine
+// outlives its epoch and leaks, or worse, writes evidence after seal. A
+// launch is fine when:
+//
+//   - the launched body (literal, or the named callee's body through the
+//     call graph) calls a .Done() — WaitGroup accounting;
+//   - the body references a context.Context (including a context
+//     parameter) — cancellable;
+//   - the body communicates on a channel shared with the launching
+//     function (captured, or passed as the argument bound to a channel
+//     parameter) — the collector loop is the join;
+//   - the launching function calls Close/Shutdown/Stop/Wait/Kill on an
+//     object the body also references — teardown reaches it.
+//
+// `go f()` through a function value is invisible to the call graph and is
+// skipped here (detlint already flags unresolvable launches in the
+// verdict-affecting packages).
+//
+// # locklint
+//
+// No mutex may be held across blocking I/O: an fsync or a network
+// round-trip under l.mu stalls every reader behind a disk or a peer.
+// Lock regions are replayed in source order per function — X.Lock() /
+// X.RLock() opens a region keyed by the receiver expression, X.Unlock() /
+// X.RUnlock() closes it, and a deferred Unlock holds to function end.
+// The replay is branch-sensitive: lock effects inside an if/switch branch
+// that always returns do not leak past the branch, and after a branch a
+// lock counts as held only when every surviving path holds it.
+// Inside a region, a call that blocks — .Sync() (fsync, concrete or
+// through an FS interface), an http send, net.Dial/Listen, or any
+// statically resolved callee that transitively blocks — is flagged.
+// Group-commit's hold-across-fsync is a reviewed design decision and
+// carries //karousos:locklint-ok where it happens.
+//
+// Suppress with //karousos:leaklint-ok <reason> or
+// //karousos:locklint-ok <reason>.
+package conclint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/callgraph"
+)
+
+// Packages are the concurrency-heavy planes this analyzer self-scopes to.
+var Packages = []string{
+	"internal/fleet",
+	"internal/gateway",
+	"internal/epochlog",
+	"internal/auditd",
+}
+
+// Analyzer is the conclint pass; it owns two check names.
+var Analyzer = &analysis.Analyzer{
+	Name:   "conclint",
+	Checks: []string{"leaklint", "locklint"},
+	Doc: "goroutines need a join or cancel path (leaklint) and mutexes must not be held across blocking I/O " +
+		"(locklint); suppress with //karousos:leaklint-ok or //karousos:locklint-ok <reason>",
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	prog := pass.SingletonProgram()
+	g := callgraph.Of(prog)
+	blocking := prog.Fact("conclint.blocking", func() any {
+		return g.TransitiveMatchers(isBlockingSite)
+	}).(map[string]bool)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLeaks(pass, g, fd)
+			checkLocks(pass, blocking, fd)
+		}
+	}
+	return nil
+}
+
+// ---- leaklint ----
+
+func checkLeaks(pass *analysis.Pass, g *callgraph.Graph, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if !literalJoinable(pass, gs, fun, fd) {
+				pass.ReportfAs("leaklint", gs.Pos(), "goroutine has no join or cancel path; add WaitGroup accounting, "+
+					"a context, or a collector the launcher waits on")
+			}
+		default:
+			fn := callgraph.StaticCallee(pass.TypesInfo, gs.Call)
+			if fn == nil {
+				return true // function value: detlint's unresolvable-launch check owns this
+			}
+			node := g.Node(fn)
+			if node == nil {
+				return true // body outside the program: nothing to inspect
+			}
+			if !calleeJoinable(node) {
+				pass.ReportfAs("leaklint", gs.Pos(), "go launches %s, which has no join or cancel path; give it "+
+					"WaitGroup accounting, a context parameter, or a channel the launcher drains", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// literalJoinable applies the leaklint OK-rules to a goroutine literal.
+func literalJoinable(pass *analysis.Pass, gs *ast.GoStmt, lit *ast.FuncLit, encl *ast.FuncDecl) bool {
+	info := pass.TypesInfo
+	if bodyHasDoneOrContext(info, lit.Body) {
+		return true
+	}
+	// Channel shared with the launcher: a captured channel object, or a
+	// channel parameter whose argument is rooted in the launcher.
+	shared := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || shared {
+			return !shared
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || !isChan(obj.Type()) {
+			return true
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			shared = true // captured from outside the literal
+			return false
+		}
+		// A parameter of the literal: substitute the call argument.
+		if i := paramIndex(lit, obj); i >= 0 && i < len(gs.Call.Args) {
+			if root := rootObj(info, gs.Call.Args[i]); root != nil && root.Pos() < lit.Pos() {
+				shared = true
+				return false
+			}
+		}
+		return true
+	})
+	if shared {
+		return true
+	}
+	// Teardown reaches it: the launcher closes/stops an object the body
+	// uses.
+	return enclosingTeardown(info, encl, lit)
+}
+
+// calleeJoinable applies the leaklint OK-rules to a named launch's callee.
+func calleeJoinable(node *callgraph.Node) bool {
+	sig := node.Func.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	info := node.Pkg.TypesInfo
+	if bodyHasDoneOrContext(info, node.Decl.Body) {
+		return true
+	}
+	// A worker draining a channel joins when the channel closes.
+	drains := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isChan(info.TypeOf(r.X)) {
+			drains = true
+			return false
+		}
+		return !drains
+	})
+	return drains
+}
+
+// bodyHasDoneOrContext reports whether body calls a .Done() (WaitGroup or
+// context) or references any context.Context value.
+func bodyHasDoneOrContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil && isContext(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// teardownNames are launcher-side calls that reach a goroutine's plumbing.
+var teardownNames = map[string]bool{
+	"Close": true, "Shutdown": true, "Stop": true, "Wait": true, "Kill": true,
+}
+
+// enclosingTeardown reports whether encl calls Close/Shutdown/Stop/Wait/
+// Kill on an object the literal body also references.
+func enclosingTeardown(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	bodyObjs := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				bodyObjs[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == lit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !teardownNames[sel.Sel.Name] {
+			return true
+		}
+		if root := rootObj(info, sel.X); root != nil && bodyObjs[root] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func paramIndex(lit *ast.FuncLit, obj types.Object) int {
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Pos() == obj.Pos() {
+				return i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return -1
+}
+
+// ---- locklint ----
+
+// checkLocks replays fd in source order tracking mutex-held regions keyed
+// by the receiver expression, and flags blocking calls inside a region.
+// The replay is branch-sensitive at if/switch/select boundaries: a branch
+// that always returns (or panics) cannot leak its lock effects past the
+// statement, and after a branch a lock counts as held only when every
+// surviving path holds it (must-held — the false-positive-averse
+// direction). Function literals run on their own schedule and are
+// skipped; deferred calls run at return and are skipped (a deferred
+// Unlock means the region holds to function end), though their arguments
+// evaluate in place.
+func checkLocks(pass *analysis.Pass, blocking map[string]bool, fd *ast.FuncDecl) {
+	w := &lockWalker{pass: pass, blocking: blocking}
+	w.stmts(fd.Body.List, map[string]bool{})
+}
+
+type lockWalker struct {
+	pass     *analysis.Pass
+	blocking map[string]bool
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		w.stmt(st, held)
+	}
+}
+
+func (w *lockWalker) stmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(st.X, held)
+	case *ast.DeferStmt:
+		for _, a := range st.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The launched call runs on its own schedule; only the arguments
+		// evaluate under the caller's locks.
+		for _, a := range st.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.IfStmt:
+		w.stmt(st.Init, held)
+		w.expr(st.Cond, held)
+		then := copyHeld(held)
+		w.stmts(st.Body.List, then)
+		alt := copyHeld(held)
+		w.stmt(st.Else, alt) // no-op copy of the pre-state when Else is nil
+		var survivors []map[string]bool
+		if !blockTerminates(st.Body) {
+			survivors = append(survivors, then)
+		}
+		if st.Else == nil || !stmtTerminates(st.Else) {
+			survivors = append(survivors, alt)
+		}
+		mergeBranches(held, survivors)
+	case *ast.BlockStmt:
+		w.stmts(st.List, held)
+	case *ast.ForStmt:
+		w.stmt(st.Init, held)
+		if st.Cond != nil {
+			w.expr(st.Cond, held)
+		}
+		w.stmts(st.Body.List, held)
+		w.stmt(st.Post, held)
+	case *ast.RangeStmt:
+		w.expr(st.X, held)
+		w.stmts(st.Body.List, held)
+	case *ast.SwitchStmt:
+		w.stmt(st.Init, held)
+		if st.Tag != nil {
+			w.expr(st.Tag, held)
+		}
+		w.clauses(st.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(st.Init, held)
+		w.stmt(st.Assign, held)
+		w.clauses(st.Body.List, held)
+	case *ast.SelectStmt:
+		w.clauses(st.Body.List, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held)
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan, held)
+		w.expr(st.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(st.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	}
+}
+
+// clauses replays switch/select clause bodies, each against a copy of the
+// entry state, then merges: a clause that terminates contributes nothing,
+// and without a default clause the entry state itself survives.
+func (w *lockWalker) clauses(list []ast.Stmt, held map[string]bool) {
+	var survivors []map[string]bool
+	hasDefault := false
+	for _, c := range list {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, held)
+			}
+			hasDefault = hasDefault || c.List == nil
+			body = c.Body
+		case *ast.CommClause:
+			branch := copyHeld(held)
+			w.stmt(c.Comm, branch)
+			hasDefault = hasDefault || c.Comm == nil
+			w.stmts(c.Body, branch)
+			if !listTerminates(c.Body) {
+				survivors = append(survivors, branch)
+			}
+			continue
+		default:
+			continue
+		}
+		branch := copyHeld(held)
+		w.stmts(body, branch)
+		if !listTerminates(body) {
+			survivors = append(survivors, branch)
+		}
+	}
+	if !hasDefault {
+		survivors = append(survivors, copyHeld(held))
+	}
+	mergeBranches(held, survivors)
+}
+
+// expr scans one expression in source order for lock transitions and
+// blocking calls. Function literals are opaque.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				key := types.ExprString(sel.X)
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if isMutex(w.pass.TypesInfo.TypeOf(sel.X)) {
+						held[key] = true
+						return true
+					}
+				case "Unlock", "RUnlock":
+					delete(held, key)
+					return true
+				}
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if what := blockingKind(w.pass.TypesInfo, w.blocking, n); what != "" {
+				w.pass.ReportfAs("locklint", n.Pos(), "%s while holding %s; release the mutex before blocking I/O "+
+					"or queue the work for a committer", what, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// copyHeld clones a held-lock set for branch replay.
+func copyHeld(h map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// mergeBranches replaces held with the intersection of the surviving
+// branch states. With no survivors every path terminated and the state
+// after the statement is unreachable; held is left as the entry state.
+func mergeBranches(held map[string]bool, survivors []map[string]bool) {
+	if len(survivors) == 0 {
+		return
+	}
+	for k := range held {
+		delete(held, k)
+	}
+next:
+	for k := range survivors[0] {
+		for _, s := range survivors[1:] {
+			if !s[k] {
+				continue next
+			}
+		}
+		held[k] = true
+	}
+}
+
+// blockTerminates reports whether a block's last statement always leaves
+// the function: a return, a panic, or an if whose arms both terminate.
+func blockTerminates(b *ast.BlockStmt) bool {
+	return listTerminates(b.List)
+}
+
+func listTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(st)
+	case *ast.IfStmt:
+		return blockTerminates(st.Body) && st.Else != nil && stmtTerminates(st.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(st.Stmt)
+	}
+	return false
+}
+
+// blockingKind classifies a call as blocking I/O: "" when it is not.
+func blockingKind(info *types.Info, blocking map[string]bool, call *ast.CallExpr) string {
+	// fsync by name covers both *os.File and FS-interface files.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+		if _, isPkg := info.Uses[selRootIdent(sel)].(*types.PkgName); !isPkg {
+			return "fsync"
+		}
+	}
+	fn := callgraph.StaticCallee(info, call)
+	if fn == nil {
+		return ""
+	}
+	if isDirectBlocking(fn) {
+		return "network call"
+	}
+	if blocking[fn.FullName()] {
+		return "call to " + fn.Name() + " (which blocks on I/O)"
+	}
+	return ""
+}
+
+// isBlockingSite is the direct matcher under the transitive reachability
+// fact: fsyncs and network round-trips.
+func isBlockingSite(pp *analysis.ProgramPackage, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+		if _, isPkg := pp.TypesInfo.Uses[selRootIdent(sel)].(*types.PkgName); !isPkg {
+			return true
+		}
+	}
+	fn := callgraph.StaticCallee(pp.TypesInfo, call)
+	return fn != nil && isDirectBlocking(fn)
+}
+
+var httpSendNames = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func isDirectBlocking(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "net/http":
+		return httpSendNames[fn.Name()]
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout", "Listen":
+			return true
+		}
+	}
+	return false
+}
+
+// heldNames joins the held mutexes' receiver expressions for diagnostics.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// ---- shared helpers ----
+
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func selRootIdent(sel *ast.SelectorExpr) *ast.Ident {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return id
+	}
+	return nil
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

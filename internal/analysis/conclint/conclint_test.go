@@ -1,0 +1,12 @@
+package conclint_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/analysistest"
+	"karousos.dev/karousos/internal/analysis/conclint"
+)
+
+func TestConclint(t *testing.T) {
+	analysistest.Run(t, "testdata", conclint.Analyzer, "conclintfix", "conclintok")
+}

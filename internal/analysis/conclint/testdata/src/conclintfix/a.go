@@ -1,0 +1,76 @@
+// Fixture for conclint: seeded leaks and lock-across-I/O violations.
+package conclintfix
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+var counter int
+
+// fireAndForget leaks: no WaitGroup, no context, no channel, no teardown.
+func fireAndForget() {
+	go func() { // want `goroutine has no join or cancel path`
+		counter++
+	}()
+}
+
+// worker has no join evidence of its own.
+func worker() {
+	counter++
+}
+
+func launchWorker() {
+	go worker() // want `go launches worker, which has no join or cancel path`
+}
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+// syncUnderLock holds mu across the fsync.
+func (s *store) syncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.f.Sync() // want `fsync while holding s.mu`
+}
+
+// fetchUnderLock holds mu across a network round-trip.
+func (s *store) fetchUnderLock(url string) error {
+	s.mu.Lock()
+	resp, err := http.Get(url) // want `network call while holding s.mu`
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// flush fsyncs; holding a lock across a call to it blocks just the same.
+func (s *store) flush() error {
+	return s.f.Sync()
+}
+
+func (s *store) flushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want `call to flush \(which blocks on I/O\) while holding s.mu`
+}
+
+// stillHeld: the early-unlock branch always returns, so the fall-through
+// path still holds the lock at the fsync — the branch's Unlock must not
+// erase the outer region.
+func (s *store) stillHeld(bad bool) error {
+	s.mu.Lock()
+	if bad {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.f.Sync() // want `fsync while holding s.mu`
+	s.mu.Unlock()
+	return err
+}

@@ -1,0 +1,172 @@
+// Fixture for conclint: true negatives — every join/cancel idiom the
+// serving and audit planes actually use, and lock regions that release
+// before blocking.
+package conclintok
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"sync"
+)
+
+// waited: WaitGroup accounting in the literal.
+func waited(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// cancellable: the body watches a context.
+func cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// collected: the launcher drains the channel the body sends on.
+func collected(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- 1
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ch
+	}
+}
+
+// passedChan: the channel arrives as an argument bound to a parameter.
+func passedChan() {
+	results := make(chan int, 1)
+	go func(out chan int) {
+		out <- 1
+	}(results)
+	<-results
+}
+
+type server struct{}
+
+func (s *server) Serve() error { return nil }
+func (s *server) Close() error { return nil }
+
+// tornDown: the launcher's deferred Close reaches the body's server.
+func tornDown() {
+	s := &server{}
+	go func() {
+		s.Serve() //karousos:errladder-ok fixture
+	}()
+	defer s.Close()
+}
+
+// monitor mirrors fleet's named launch: the callee does the accounting.
+type sup struct {
+	wg sync.WaitGroup
+}
+
+func (s *sup) monitor() {
+	defer s.wg.Done()
+}
+
+func (s *sup) spawn() {
+	s.wg.Add(1)
+	go s.monitor()
+}
+
+// waitReady mirrors the context-parameter idiom.
+func (s *sup) waitReady(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func (s *sup) restart() {
+	go s.waitReady(context.Background()) //karousos:errladder-ok fixture
+}
+
+// committer mirrors epochlog: the worker drains a channel and joins when
+// the launcher closes it.
+type log struct {
+	commitCh chan int
+}
+
+func (l *log) committer() {
+	for range l.commitCh {
+	}
+}
+
+func (l *log) start() {
+	go l.committer()
+}
+
+// lock discipline: release before blocking.
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+func (s *store) syncAfterUnlock() error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// literalElsewhere: the Sync lives in a literal that runs on its own
+// schedule, not under this lock region.
+func (s *store) literalElsewhere() func() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return func() error { return s.f.Sync() }
+}
+
+// plainHold: holding a lock over pure computation is fine.
+func (s *store) plainHold(url string) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+type gate struct {
+	mu sync.RWMutex
+	f  *os.File
+	n  int
+}
+
+// branchLocal mirrors group-commit's Append: the read-locked branch always
+// returns, so its region must not leak onto the fsync after the if.
+func (g *gate) branchLocal(queued bool) error {
+	if queued {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		g.n++
+		return nil
+	}
+	return g.f.Sync()
+}
+
+// maybeLocked: only one non-returning arm locks; must-held merging says
+// the lock is not definitely held at the fsync.
+func (g *gate) maybeLocked(b bool) error {
+	if b {
+		g.mu.Lock()
+	} else {
+		g.n++
+	}
+	err := g.f.Sync()
+	if b {
+		g.mu.Unlock()
+	}
+	return err
+}

@@ -1,0 +1,182 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/load"
+)
+
+// The fixture's policy: decode() is the source, clamp() the sanitizer,
+// make sizes and loop bounds the sinks.
+const src = `package dffixture
+
+func decode() int { return 42 }
+
+func clamp(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+// forward hands its parameter back: Return must carry ParamBit(0).
+func forward(n int) int { return n }
+
+// mint launders nothing: it returns a fresh source value.
+func mint() int { return decode() }
+
+// alloc sinks its parameter into a make size: ParamToSink[0].
+func alloc(n int) []byte { return make([]byte, n) }
+
+// allocVia sinks its parameter through alloc: ParamToSink[0] by fixpoint.
+func allocVia(n int) []byte { return alloc(n) }
+
+// bad: source -> forward -> alloc, no clamp anywhere.
+func bad() []byte {
+	n := decode()
+	return alloc(forward(n))
+}
+
+// good: the clamp call clears the taint before the sink.
+func good() []byte {
+	n := decode()
+	n = clamp(n)
+	return alloc(n)
+}
+
+// compared: the comparison clamp idiom clears the taint.
+func compared(limit int) []byte {
+	n := decode()
+	if n > limit {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// spin: a source-derived loop bound.
+func spin() int {
+	n := mint()
+	total := 0
+	for i := 0; i < n; i++ {
+		total++
+	}
+	return total
+}
+
+// laundered: a dynamic call launders by design (documented approximation).
+func laundered(f func(int) int) []byte {
+	n := f(decode())
+	return make([]byte, n)
+}
+`
+
+func engineFromSource(t *testing.T, src string) (*Engine, *analysis.ProgramPackage) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := load.Files("dffixture", []string{path})
+	if err != nil {
+		t.Fatalf("load.Files: %v", err)
+	}
+	pp := &analysis.ProgramPackage{
+		PkgPath: p.PkgPath, Fset: p.Fset, Files: p.Syntax,
+		Pkg: p.Types, TypesInfo: p.TypesInfo,
+	}
+	prog := analysis.NewProgram([]*analysis.ProgramPackage{pp})
+	pol := Policy{
+		IsSource: func(info *types.Info, call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "decode"
+		},
+		IsSanitizer: func(info *types.Info, call *ast.CallExpr) bool {
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "clamp"
+		},
+		CallSinks: func(info *types.Info, call *ast.CallExpr) []Sink {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+				return []Sink{{Expr: call.Args[1], What: "make size"}}
+			}
+			return nil
+		},
+		SanitizeCompare: true,
+		MaxConstBound:   1 << 20,
+		LoopBound:       "loop bound",
+	}
+	return New(prog, pol), pp
+}
+
+func (e *Engine) summaryByName(t *testing.T, name string) *Summary {
+	t.Helper()
+	for key, sum := range e.sums {
+		if strings.HasSuffix(key, "."+name) {
+			return sum
+		}
+	}
+	t.Fatalf("no summary for %q", name)
+	return nil
+}
+
+func TestSummaries(t *testing.T) {
+	e, _ := engineFromSource(t, src)
+
+	// decode's own body returns a constant — the SOURCE is the call site,
+	// where the policy's IsSource fires in the caller.
+	if sum := e.summaryByName(t, "decode"); sum.Return != 0 {
+		t.Errorf("decode: Return=%b, want 0 (source taint is minted at call sites)", sum.Return)
+	}
+	if sum := e.summaryByName(t, "forward"); sum.Return&ParamBit(0) == 0 {
+		t.Errorf("forward: Return=%b, want ParamBit(0) set", sum.Return)
+	}
+	if sum := e.summaryByName(t, "mint"); sum.Return&SourceBit == 0 {
+		t.Errorf("mint: Return=%b, want SourceBit via decode's summary", sum.Return)
+	}
+	// clamp is the sanitizer by name, but its own body also forwards its
+	// param; the sanitizer effect applies at call sites, which is what the
+	// findings test checks. Here: alloc/allocVia param-to-sink.
+	if sum := e.summaryByName(t, "alloc"); !sum.ParamToSink[0] {
+		t.Error("alloc: param 0 must reach the make-size sink")
+	}
+	if sum := e.summaryByName(t, "allocVia"); !sum.ParamToSink[0] {
+		t.Error("allocVia: param 0 must reach the sink transitively through alloc")
+	}
+	if sum := e.summaryByName(t, "laundered"); sum.ParamToSink[0] {
+		t.Error("laundered: a func-value parameter is not itself sunk")
+	}
+}
+
+func TestFindings(t *testing.T) {
+	e, pp := engineFromSource(t, src)
+	byFunc := map[string][]Finding{}
+	for _, f := range pp.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			byFunc[fd.Name.Name] = e.Check(pp, fd)
+		}
+	}
+
+	bad := byFunc["bad"]
+	if len(bad) != 1 || bad[0].Callee != "alloc" {
+		t.Errorf("bad: findings=%+v, want one via-alloc finding", bad)
+	}
+	spin := byFunc["spin"]
+	if len(spin) != 1 || spin[0].What != "loop bound" {
+		t.Errorf("spin: findings=%+v, want one loop-bound finding", spin)
+	}
+	for _, name := range []string{"good", "compared", "laundered", "alloc", "allocVia", "forward"} {
+		if got := byFunc[name]; len(got) != 0 {
+			t.Errorf("%s: unexpected findings %+v", name, got)
+		}
+	}
+}

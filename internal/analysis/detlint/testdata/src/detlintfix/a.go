@@ -77,13 +77,31 @@ func one(a chan int) int {
 
 func use() { fmt.Println(rand.Int()) }
 
-// named goroutine launch: the callee's writes are invisible to the checker.
+// named goroutine launch resolved through the call graph: helper writes no
+// shared state, so this is the fan-out idiom one hop removed — clean.
 func launchNamed(done chan struct{}) {
-	go helper(done) // want `launches a named function`
+	go helper(done)
 	<-done
 }
 
 func helper(done chan struct{}) { close(done) }
+
+var sharedCounter int
+
+// helperDirty accumulates into package state; launching it races the merge
+// order into the verdict exactly like an outer-variable write in a literal.
+func helperDirty(n int) { sharedCounter += n }
+
+func launchDirty(done chan struct{}) {
+	go helperDirty(1) // want `assigns shared state "sharedCounter"`
+	<-done
+}
+
+// a function value is opaque to the call graph: uncheckable, flagged.
+func launchValue(f func(), done chan struct{}) {
+	go f() // want `cannot resolve`
+	<-done
+}
 
 // outerWrite races the goroutines' merge order into shared state.
 func outerWrite(items []int) int {

@@ -43,6 +43,8 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+func init() { analysis.Register(Analyzer) }
+
 var legacyPredicates = map[string]string{
 	"IsNotExist":   "errors.Is(err, os.ErrNotExist)",
 	"IsExist":      "errors.Is(err, os.ErrExist)",

@@ -50,12 +50,28 @@ type listEntry struct {
 	Error      *struct{ Err string }
 }
 
+// Problem is one package that failed to load — a build error, a type
+// error, or missing export data. Loading continues past it so one broken
+// package degrades to one diagnostic instead of aborting the whole vet
+// run.
+type Problem struct {
+	PkgPath string
+	Err     error
+}
+
+func (p Problem) Error() string { return fmt.Sprintf("%s: %v", p.PkgPath, p.Err) }
+
+// snapshot is one module's resolved export-data universe.
+type snapshot struct {
+	root    string                // module root directory
+	exports map[string]string     // import path -> export data file
+	entries map[string]*listEntry // import path -> entry
+}
+
 var (
 	depOnce sync.Once
 	depErr  error
-	depRoot string                // module root directory
-	exports map[string]string     // import path -> export data file
-	entries map[string]*listEntry // import path -> entry
+	depSnap *snapshot // this module's snapshot, shared process-wide
 )
 
 // moduleRoot locates the directory of the enclosing go.mod, so the loader
@@ -72,29 +88,40 @@ func moduleRoot() (string, error) {
 	return filepath.Dir(gomod), nil
 }
 
-// depExports builds (once per process) the export-data map for the whole
-// module and its transitive dependencies, compiling what is stale.
-func depExports() (map[string]string, map[string]*listEntry, string, error) {
-	depOnce.Do(func() {
-		depRoot, depErr = moduleRoot()
-		if depErr != nil {
-			return
+// newSnapshot builds the export-data map for the module rooted at dir and
+// its transitive dependencies, compiling what is stale. With -e, a broken
+// package yields an entry carrying its Error and no export data — the
+// breakage surfaces later as that package's Problem, not a load abort.
+func newSnapshot(dir string) (*snapshot, error) {
+	es, err := goList(dir, "-export", "-deps", "./...")
+	if err != nil {
+		return nil, err
+	}
+	s := &snapshot{
+		root:    dir,
+		exports: make(map[string]string),
+		entries: make(map[string]*listEntry),
+	}
+	for _, e := range es {
+		s.entries[e.ImportPath] = e
+		if e.Export != "" {
+			s.exports[e.ImportPath] = e.Export
 		}
-		es, err := goList(depRoot, "-export", "-deps", "./...")
+	}
+	return s, nil
+}
+
+// depExports returns (building once per process) this module's snapshot.
+func depExports() (*snapshot, error) {
+	depOnce.Do(func() {
+		root, err := moduleRoot()
 		if err != nil {
 			depErr = err
 			return
 		}
-		exports = make(map[string]string)
-		entries = make(map[string]*listEntry)
-		for _, e := range es {
-			entries[e.ImportPath] = e
-			if e.Export != "" {
-				exports[e.ImportPath] = e.Export
-			}
-		}
+		depSnap, depErr = newSnapshot(root)
 	})
-	return exports, entries, depRoot, depErr
+	return depSnap, depErr
 }
 
 // goList runs `go list -e -json <args>` in dir and decodes the JSON stream.
@@ -148,49 +175,98 @@ func newInfo() *types.Info {
 }
 
 // Packages loads, parses, and type-checks the packages matched by patterns
-// (e.g. "./..."), excluding standard-library and test files.
+// (e.g. "./..."), excluding standard-library and test files. Any package
+// that fails to load aborts the call — the strict mode; drivers that want
+// to keep going use PackagesDiag.
 func Packages(patterns ...string) ([]*Package, error) {
-	exp, _, root, err := depExports()
+	pkgs, problems, err := PackagesDiag(patterns...)
 	if err != nil {
 		return nil, err
 	}
-	targets, err := goList(root, patterns...)
+	if len(problems) > 0 {
+		return nil, fmt.Errorf("load: %w", problems[0])
+	}
+	return pkgs, nil
+}
+
+// PackagesDiag loads the packages matched by patterns, collecting broken
+// packages as Problems instead of aborting: a syntax error, a type error,
+// or missing export data costs that one package. The returned error is
+// reserved for run-level failures (no module, go list itself failing).
+func PackagesDiag(patterns ...string) ([]*Package, []Problem, error) {
+	snap, err := depExports()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	return snap.load(patterns)
+}
+
+// Module loads packages from a different module rooted at dir — its own
+// `go list -export -deps` run, nothing shared with this module's snapshot.
+// This is how the loader is proven against foreign layouts (e.g. a
+// stdlib-only module with no export data beyond the standard library).
+func Module(dir string, patterns ...string) ([]*Package, []Problem, error) {
+	snap, err := newSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.load(patterns)
+}
+
+// load lists the targets and loads each one, one Problem per broken
+// package.
+func (s *snapshot) load(patterns []string) ([]*Package, []Problem, error) {
+	targets, err := goList(s.root, patterns...)
+	if err != nil {
+		return nil, nil, err
 	}
 	var out []*Package
+	var problems []Problem
 	for _, t := range targets {
 		if t.Standard || t.ImportPath == "" {
 			continue
 		}
-		if t.Error != nil {
-			return nil, fmt.Errorf("load: %s: %s", t.ImportPath, t.Error.Err)
-		}
 		if len(t.GoFiles) == 0 {
+			// A listing error with no files at all (unresolvable pattern
+			// element, package with no buildable sources) is still worth a
+			// diagnostic when go list says so.
+			if t.Error != nil {
+				problems = append(problems, Problem{PkgPath: t.ImportPath, Err: fmt.Errorf("%s", t.Error.Err)})
+			}
 			continue
 		}
-		fset := token.NewFileSet()
-		var files []*ast.File
-		var paths []string
-		for _, name := range t.GoFiles {
-			full := filepath.Join(t.Dir, name)
-			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("load: %w", err)
-			}
-			files = append(files, f)
-			paths = append(paths, full)
-		}
-		pkg, info, err := check(fset, t.ImportPath, files, exp)
+		pkg, err := s.loadOne(t)
 		if err != nil {
-			return nil, fmt.Errorf("load: type-checking %s: %w", t.ImportPath, err)
+			problems = append(problems, Problem{PkgPath: t.ImportPath, Err: err})
+			continue
 		}
-		out = append(out, &Package{
-			PkgPath: t.ImportPath, Dir: t.Dir, GoFiles: paths,
-			Fset: fset, Syntax: files, Types: pkg, TypesInfo: info,
-		})
+		out = append(out, pkg)
 	}
-	return out, nil
+	return out, problems, nil
+}
+
+// loadOne parses and type-checks a single listed package.
+func (s *snapshot) loadOne(t *listEntry) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var paths []string
+	for _, name := range t.GoFiles {
+		full := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		paths = append(paths, full)
+	}
+	pkg, info, err := check(fset, t.ImportPath, files, s.exports)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	return &Package{
+		PkgPath: t.ImportPath, Dir: t.Dir, GoFiles: paths,
+		Fset: fset, Syntax: files, Types: pkg, TypesInfo: info,
+	}, nil
 }
 
 // Files parses and type-checks an ad-hoc package from explicit .go files —
@@ -198,10 +274,11 @@ func Packages(patterns ...string) ([]*Package, error) {
 // and any package of this module; pkgPath becomes its import path (fixture
 // convention: a bare name with no slash).
 func Files(pkgPath string, filenames []string) (*Package, error) {
-	exp, _, _, err := depExports()
+	snap, err := depExports()
 	if err != nil {
 		return nil, err
 	}
+	exp := snap.exports
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, full := range filenames {

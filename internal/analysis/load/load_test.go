@@ -3,6 +3,7 @@ package load
 import (
 	"go/ast"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -66,4 +67,100 @@ func Codes() []core.RejectCode {
 	if p.Types.Name() != "fixture" {
 		t.Fatalf("package name %q", p.Types.Name())
 	}
+}
+
+// TestPackagesDiagDegradesBrokenPackages proves one broken package costs
+// one Problem while healthy packages in the same run still load: the
+// failure modes are a syntax error, a type error, and an import with no
+// export data.
+func TestPackagesDiagDegradesBrokenPackages(t *testing.T) {
+	pkgs, problems, err := PackagesDiag(
+		"./internal/analysis/load/testdata/src/badpkg",
+		"./internal/analysis/load/testdata/src/typeerr",
+		"./internal/analysis/load/testdata/src/missingdep",
+		"karousos.dev/karousos/internal/core",
+	)
+	if err != nil {
+		t.Fatalf("PackagesDiag run-level error: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "karousos.dev/karousos/internal/core" {
+		t.Fatalf("healthy packages = %v, want just internal/core", pkgPaths(pkgs))
+	}
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(problems), problems)
+	}
+	bySuffix := map[string]string{}
+	for _, p := range problems {
+		parts := strings.Split(p.PkgPath, "/")
+		bySuffix[parts[len(parts)-1]] = p.Err.Error()
+	}
+	if msg, ok := bySuffix["badpkg"]; !ok || !strings.Contains(msg, "expected") {
+		t.Errorf("badpkg problem should carry the parse error, got %q", msg)
+	}
+	if msg, ok := bySuffix["typeerr"]; !ok || !strings.Contains(msg, "type-checking") {
+		t.Errorf("typeerr problem should carry the type error, got %q", msg)
+	}
+	if msg, ok := bySuffix["missingdep"]; !ok {
+		t.Errorf("missingdep problem missing entirely: %v", problems)
+	} else if !strings.Contains(msg, "export data") && !strings.Contains(msg, "could not import") && !strings.Contains(msg, "doesnotexist") {
+		t.Errorf("missingdep problem should name the unresolvable import, got %q", msg)
+	}
+}
+
+// TestPackagesStillAbortsOnProblems pins the strict mode's compatibility:
+// Packages turns the first Problem into an error.
+func TestPackagesStillAbortsOnProblems(t *testing.T) {
+	_, err := Packages("./internal/analysis/load/testdata/src/typeerr")
+	if err == nil {
+		t.Fatal("Packages should fail on a type-error package")
+	}
+}
+
+// TestModuleLoadsForeignStdlibOnlyModule proves the loader against a
+// module that is not this one: a temp module importing only the standard
+// library, with its own export-data universe.
+func TestModuleLoadsForeignStdlibOnlyModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/go.mod", "module example.test/stdonly\n\ngo 1.22\n")
+	writeFile(t, dir+"/main.go", `package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+func main() {
+	xs := []int{3, 1, 2}
+	sort.Ints(xs)
+	fmt.Println(xs)
+}
+`)
+	pkgs, problems, err := Module(dir, "./...")
+	if err != nil {
+		t.Fatalf("Module: %v", err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "example.test/stdonly" {
+		t.Fatalf("packages = %v, want example.test/stdonly", pkgPaths(pkgs))
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Syntax) != 1 {
+		t.Fatal("stdonly package loaded incompletely")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pkgPaths(pkgs []*Package) []string {
+	var out []string
+	for _, p := range pkgs {
+		out = append(out, p.PkgPath)
+	}
+	return out
 }

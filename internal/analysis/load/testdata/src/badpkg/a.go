@@ -1,0 +1,6 @@
+// badpkg is a committed syntax-error fixture for the loader's
+// failure-mode tests. It sits under testdata so ./... never matches it;
+// only the explicit-path tests load it.
+package badpkg
+
+func broken( {

@@ -1,0 +1,7 @@
+// missingdep is a committed fixture whose import cannot be resolved to
+// export data: the loader must degrade it to one Problem, not abort.
+package missingdep
+
+import "karousos.dev/karousos/internal/doesnotexist"
+
+var _ = doesnotexist.Anything

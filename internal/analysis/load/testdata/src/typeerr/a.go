@@ -1,0 +1,8 @@
+// typeerr is a committed type-error fixture for the loader's failure-mode
+// tests: it parses but does not type-check.
+package typeerr
+
+func Mismatched() int {
+	var s string = 42
+	return s
+}

@@ -1,0 +1,194 @@
+// Package retrysound is the static twin of the gateway's retry rule
+// (DESIGN.md §14): /invoke is not idempotent, so a request may be re-sent
+// only when the netfault ladder proves it never reached the peer. Two
+// checks over internal/gateway and internal/netfault:
+//
+//   - Retry loops: a for-loop (non-range — range loops are fan-out over
+//     distinct shards, not resends) that performs an HTTP send, directly or
+//     through any statically resolved callee, must consult the ladder: the
+//     loop body must compare a Classify(...) result against ClassRetryable.
+//     Sends inside nested function literals do not count as loop sends
+//     (they execute on their own schedule, e.g. hedge goroutines), and a
+//     guard inside a literal does not guard the loop.
+//
+//   - Ladder closure: a function named Classify returning a type named
+//     Class must end with `return ClassAmbiguous`. The ladder is
+//     ambiguous-by-default — an unknown error means the peer may have
+//     executed the request, and a new error kind must never fall through
+//     to "safe to retry".
+//
+// Reachability comes from the shared program call graph; calls through
+// function values or interfaces are invisible to it, which is the sound
+// direction here (an unseen send cannot un-guard a loop, and the hedge
+// path sends through a literal by design). The escape hatch is
+// //karousos:retrysound-ok <reason>.
+package retrysound
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"karousos.dev/karousos/internal/analysis"
+	"karousos.dev/karousos/internal/analysis/callgraph"
+)
+
+// Packages are the packages this analyzer self-scopes to: the resend site
+// and the ladder.
+var Packages = []string{
+	"internal/gateway",
+	"internal/netfault",
+}
+
+// Analyzer is the retrysound pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrysound",
+	Doc: "require HTTP resend loops to be gated on netfault.Classify == ClassRetryable and the Classify ladder " +
+		"to stay ambiguous-by-default; suppress with //karousos:retrysound-ok <reason>",
+	Run: run,
+}
+
+func init() { analysis.Register(Analyzer) }
+
+// httpSendNames are the net/http calls that put request bytes on the wire.
+var httpSendNames = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgInScope(pass.Pkg.Path(), Packages) {
+		return nil
+	}
+	prog := pass.SingletonProgram()
+	g := callgraph.Of(prog)
+	sends := prog.Fact("retrysound.sends", func() any {
+		return g.TransitiveMatchers(isHTTPSendSite)
+	}).(map[string]bool)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLadder(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok {
+					return true
+				}
+				if loopSends(pass.TypesInfo, sends, loop) && !loopGuarded(pass.TypesInfo, loop) {
+					pass.Reportf(loop.Pos(), "loop re-sends an HTTP request without consulting netfault.Classify; "+
+						"gate the retry on Classify(err) == ClassRetryable — /invoke is not idempotent")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isHTTPSendSite reports whether call resolves to a net/http send.
+func isHTTPSendSite(pp *analysis.ProgramPackage, call *ast.CallExpr) bool {
+	return isHTTPSend(pp.TypesInfo, call)
+}
+
+func isHTTPSend(info *types.Info, call *ast.CallExpr) bool {
+	fn := callgraph.StaticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && httpSendNames[fn.Name()]
+}
+
+// loopSends reports whether the loop body sends an HTTP request on the
+// loop's own schedule: a direct send call, or a call into a function the
+// call graph proves sends. Function literals are skipped — their bodies
+// run when invoked, not per iteration of this loop.
+func loopSends(info *types.Info, sends map[string]bool, loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isHTTPSend(info, call) {
+			found = true
+			return false
+		}
+		if fn := callgraph.StaticCallee(info, call); fn != nil && sends[fn.FullName()] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopGuarded reports whether the loop body compares a Classify(...)
+// result against ClassRetryable (either == or != — both shapes gate the
+// resend). Guards inside function literals do not count.
+func loopGuarded(info *types.Info, loop *ast.ForStmt) bool {
+	guarded := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if (isClassifyCall(b.X) && exprName(b.Y) == "ClassRetryable") ||
+			(isClassifyCall(b.Y) && exprName(b.X) == "ClassRetryable") {
+			guarded = true
+			return false
+		}
+		return true
+	})
+	return guarded
+}
+
+func isClassifyCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && exprName(call.Fun) == "Classify"
+}
+
+// exprName is the bare name of an identifier or selector, "" otherwise.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// checkLadder enforces ambiguous-by-default on Classify ladders: the final
+// statement of func Classify(...) Class must be `return ClassAmbiguous`.
+func checkLadder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name != "Classify" || fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return
+	}
+	named, ok := pass.TypesInfo.TypeOf(fd.Type.Results.List[0].Type).(*types.Named)
+	if !ok || named.Obj().Name() != "Class" {
+		return
+	}
+	if len(fd.Body.List) == 0 {
+		return
+	}
+	last := fd.Body.List[len(fd.Body.List)-1]
+	if ret, ok := last.(*ast.ReturnStmt); ok {
+		if len(ret.Results) == 1 && exprName(ret.Results[0]) == "ClassAmbiguous" {
+			return
+		}
+	}
+	pass.Reportf(last.Pos(), "Classify must end by returning ClassAmbiguous: the ladder is closed and an "+
+		"unclassified error must never fall through to retryable")
+}

@@ -1,0 +1,12 @@
+package retrysound_test
+
+import (
+	"testing"
+
+	"karousos.dev/karousos/internal/analysis/analysistest"
+	"karousos.dev/karousos/internal/analysis/retrysound"
+)
+
+func TestRetrysound(t *testing.T) {
+	analysistest.Run(t, "testdata", retrysound.Analyzer, "retrysoundfix", "retrysoundok")
+}

@@ -1,0 +1,52 @@
+// Fixture for retrysound: unguarded resend loops and a leaky ladder.
+package retrysoundfix
+
+import "net/http"
+
+type Class int
+
+const (
+	ClassNone Class = iota
+	ClassRetryable
+	ClassAmbiguous
+)
+
+// Classify's default leaks to retryable: a new error kind silently becomes
+// "safe to resend".
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	return ClassRetryable // want `Classify must end by returning ClassAmbiguous`
+}
+
+// hammer resends without consulting the ladder at all.
+func hammer(url string) error {
+	var last error
+	for i := 0; i < 3; i++ { // want `re-sends an HTTP request without consulting netfault.Classify`
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// sendOnce hides the send one call away; the call graph still sees it.
+func sendOnce(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func hammerVia(url string) error {
+	for { // want `re-sends an HTTP request without consulting netfault.Classify`
+		if err := sendOnce(url); err == nil {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for retrysound: true negatives — the guarded retry loop, range
+// fan-outs, hedge-shaped literals, and a closed ladder.
+package retrysoundok
+
+import (
+	"net/http"
+
+	"karousos.dev/karousos/internal/netfault"
+)
+
+// forward mirrors the gateway's retry loop: only provably-unsent requests
+// go again.
+func forward(url string) error {
+	var last error
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if netfault.Classify(err) != netfault.ClassRetryable {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// fanOut sends once per shard — a range loop is distribution, not resend.
+func fanOut(urls []string) {
+	for _, u := range urls {
+		if resp, err := http.Get(u); err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// hedged collects results; the sends live in a literal launched on the
+// hedge schedule, not per loop iteration.
+func hedged(url string, n int) {
+	ch := make(chan error, n)
+	launch := func() {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+		}
+		ch <- err
+	}
+	for i := 0; i < n; i++ {
+		go launch()
+	}
+	for got := 0; got < n; got++ {
+		<-ch
+	}
+}
+
+// Class mirrors the netfault ladder with the closed default.
+type Class int
+
+const (
+	ClassNone Class = iota
+	ClassRetryable
+	ClassAmbiguous
+)
+
+func Classify(err error) Class {
+	if err == nil {
+		return ClassNone
+	}
+	return ClassAmbiguous
+}

@@ -563,7 +563,7 @@ func (l *Log) Seal() (*Manifest, error) {
 	defer l.sealMu.Unlock()
 	// Earlier rotated-out epochs must seal first: manifests land strictly
 	// in epoch order so the sealed prefix never has a gap.
-	if _, err := l.finishPending(); err != nil {
+	if _, err := l.finishPending(); err != nil { //karousos:locklint-ok sealMu exists to serialize seal durability work; finishPending fsyncs old epochs without l.mu so appends proceed
 		return nil, err
 	}
 	l.mu.Lock()
@@ -573,17 +573,17 @@ func (l *Log) Seal() (*Manifest, error) {
 	}
 	// A seal linearizes after every append already accepted into the
 	// group-commit queue: commit the stragglers into this epoch now.
-	l.drainCommitQueueLocked()
+	l.drainCommitQueueLocked() //karousos:locklint-ok seal linearization: stragglers must commit into this epoch before the boundary; arrivals queue on commitCh, not l.mu
 	if l.events == 0 {
 		return nil, nil
 	}
 	for _, f := range []iofault.File{l.traceF, l.adviceF} {
-		if err := f.Sync(); err != nil {
+		if err := f.Sync(); err != nil { //karousos:locklint-ok seal linearization point: no append may land between the drained queue and the manifest, so the data fsync holds l.mu by design
 			return nil, fmt.Errorf("epochlog: sealing epoch %d: data fsync: %w", l.active, err)
 		}
 	}
 	m := l.manifestLocked()
-	if err := writeManifestDurable(l.fs, l.dir, m); err != nil {
+	if err := writeManifestDurable(l.fs, l.dir, m); err != nil { //karousos:locklint-ok the manifest IS the seal; it must be durable before any post-seal append is accepted
 		return nil, err
 	}
 	// The epoch is sealed. Release the data handles (close errors after a

@@ -150,7 +150,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // caller can retry after the hint, and every other shard keeps serving.
 func (g *Gateway) degrade(w http.ResponseWriter, s int, why string) {
 	w.Header().Set(ShardHeader, strconv.Itoa(s))
-	w.Header().Set("Retry-After", strconv.Itoa(int((g.tuning.RetryAfter + time.Second - 1) / time.Second)))
+	w.Header().Set("Retry-After", strconv.Itoa(int((g.tuning.RetryAfter+time.Second-1)/time.Second)))
 	http.Error(w, fmt.Sprintf("shard %d unavailable: %s", s, why), http.StatusServiceUnavailable)
 }
 
