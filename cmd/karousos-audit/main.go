@@ -222,11 +222,23 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 	faultSpec := fs.String("faultinject", "", "corrupt the advice with a catalogue operator (\"op\" or \"op:seed\") before auditing")
 	epochs := fs.String("epochs", "", "audit a karousos-auditd epoch log directory instead of a run directory")
 	workers := fs.Int("workers", 0, "audit parallelism: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
+	memoOn := fs.Bool("memo", false, "memoize re-execution across epochs (content-addressed tag-group cache; verdict identical on or off)")
+	memoMax := fs.Int("memo-max-bytes", 256<<20, "memo cache byte budget when -memo is set (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	memoBytes := 0
+	if *memoOn {
+		memoBytes = *memoMax
+		if memoBytes <= 0 {
+			// auditd treats 0 as "disabled"; an explicit -memo with no budget
+			// means unbounded, which the cache spells as a negative budget
+			// being impossible — use a budget far beyond any epoch log.
+			memoBytes = 1 << 40
+		}
+	}
 	if *epochs != "" {
-		return verifyEpochs(*epochs, *deadline, *workers, *reasonCode, stdout, stderr)
+		return verifyEpochs(*epochs, *deadline, *workers, memoBytes, *reasonCode, stdout, stderr)
 	}
 
 	spec, tr, advBytes, err := loadRun(*dir)
@@ -242,6 +254,13 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	lim := karousos.DefaultLimits()
 	lim.Deadline = *deadline
+	var cache *karousos.MemoCache
+	if memoBytes > 0 {
+		// A single run directory is one epoch, so the cache cannot hit — but
+		// it exercises the publish path and keeps the flag uniform with
+		// -epochs mode.
+		cache = karousos.NewMemoCache(memoBytes)
+	}
 
 	start := time.Now()
 	var verdict *karousos.VerifyResult
@@ -256,10 +275,10 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		defer f.Close()
-		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Workers: *workers, DumpGraph: f})
+		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Workers: *workers, DumpGraph: f, Memo: cache})
 		fmt.Fprintf(stdout, "wrote execution graph to %s\n", *graph)
 	} else {
-		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Limits: lim, Workers: *workers})
+		verdict = karousos.VerifyWith(spec, tr, adv, karousos.VerifyOptions{Limits: lim, Workers: *workers, Memo: cache})
 	}
 	if verdict.Err != nil {
 		code := karousos.RejectCodeOf(verdict.Err)
@@ -284,11 +303,11 @@ func verifyCmd(args []string, stdout, stderr io.Writer) int {
 // verifyEpochs audits every sealed epoch of an epoch log directory in
 // order, carrying the verifier's dictionary state across epochs — the
 // offline equivalent of karousos-auditd audit.
-func verifyEpochs(dir string, deadline time.Duration, workers int, reasonCode bool, stdout, stderr io.Writer) int {
+func verifyEpochs(dir string, deadline time.Duration, workers, memoMaxBytes int, reasonCode bool, stdout, stderr io.Writer) int {
 	lim := karousos.DefaultLimits()
 	lim.Deadline = deadline
 	start := time.Now()
-	st, err := karousos.AuditEpochDir(context.Background(), dir, lim, workers)
+	st, err := karousos.AuditEpochDir(context.Background(), dir, lim, workers, memoMaxBytes)
 	if err != nil {
 		var rej *karousos.EpochReject
 		if errors.As(err, &rej) {
@@ -302,8 +321,12 @@ func verifyEpochs(dir string, deadline time.Duration, workers int, reasonCode bo
 		fmt.Fprintln(stderr, "karousos-audit:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "AUDIT ACCEPTED in %v: %d epochs through epoch %d\n",
-		time.Since(start), st.Accepted, st.LastAccepted)
+	fmt.Fprintf(stdout, "AUDIT ACCEPTED in %v: %d epochs through epoch %d", time.Since(start), st.Accepted, st.LastAccepted)
+	if memoMaxBytes > 0 {
+		fmt.Fprintf(stdout, " (memo: %d hits, %d misses, %d evictions)",
+			st.Stats.MemoHits, st.Stats.MemoMisses, st.Stats.MemoEvictions)
+	}
+	fmt.Fprintln(stdout)
 	return 0
 }
 

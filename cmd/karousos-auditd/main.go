@@ -112,6 +112,8 @@ func workloadFor(name string, n int, seed int64) []server.Request {
 		return workload.MOTD(n, workload.Mixed, seed)
 	case "stacks":
 		return workload.Stacks(n, workload.Mixed, seed, workload.DefaultStacksOptions())
+	case "feeds":
+		return workload.Feeds(n, workload.Mixed, seed)
 	default:
 		return workload.Wiki(n, seed)
 	}
@@ -120,7 +122,7 @@ func workloadFor(name string, n int, seed int64) []server.Request {
 func serveCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
+	app := fs.String("app", "wiki", "application: motd, stacks, wiki, feeds")
 	dir := fs.String("dir", "karousos-epochs", "epoch log directory")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	epochReqs := fs.Int("epoch-requests", 50, "seal after this many requests (0 = manual/seal endpoint only)")
@@ -142,11 +144,16 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	var progress func() (uint64, bool)
+	var memoStats func() (collectorhttp.AuditMemoState, bool)
 	if *auditCkpt != "" {
 		// The auditor is a separate process; its durable checkpoint is the
 		// one signal both sides already agree on, so lag-based backpressure
-		// reads it instead of inventing an RPC.
+		// and memo telemetry read it instead of inventing an RPC.
 		progress = func() (uint64, bool) { return auditd.ReadCheckpointProgress(nil, *auditCkpt) }
+		memoStats = func() (collectorhttp.AuditMemoState, bool) {
+			mc, ok := auditd.ReadCheckpointMemo(nil, *auditCkpt)
+			return collectorhttp.AuditMemoState{Hits: mc.Hits, Misses: mc.Misses, Evictions: mc.Evictions}, ok
+		}
 	}
 	col, err := collectorhttp.New(collectorhttp.Config{
 		Spec:           spec,
@@ -162,6 +169,7 @@ func serveCmd(args []string, stdout, stderr io.Writer) int {
 		RequestTimeout: *reqTimeout,
 		MaxAuditLag:    *maxAuditLag,
 		AuditProgress:  progress,
+		AuditMemo:      memoStats,
 	})
 	if err != nil {
 		return fail(stderr, err)
@@ -216,15 +224,18 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 	shards := fs.Int("shards", 0, "audit a sharded topology: -dir is its root and this must match its shard map (0 = single log)")
 	shardDirs := fs.String("shard-dirs", "", "comma-separated per-shard epoch-log directories, indexed by shard (default: shard-NN under -dir)")
 	lanes := fs.Int("lanes", 0, "concurrent audit lanes in sharded mode (0 = one per shard; the verdict is identical at every setting)")
+	memoOn := fs.Bool("memo", false, "memoize re-execution across epochs (content-addressed tag-group cache; verdict identical on or off)")
+	memoMax := fs.Int("memo-max-bytes", 256<<20, "memo cache byte budget when -memo is set (sharded mode: per lane)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
 	lim := verifier.DefaultLimits()
 	lim.Deadline = *deadline
+	memoBytes := memoBudget(*memoOn, *memoMax)
 	if *shards > 0 || *shardDirs != "" {
-		return shardedAuditCmd(*dir, *shardDirs, *cp, *shards, *lanes, *workers, *follow, *reasonCode, lim, stdout, stderr)
+		return shardedAuditCmd(*dir, *shardDirs, *cp, *shards, *lanes, *workers, memoBytes, *follow, *reasonCode, lim, stdout, stderr)
 	}
-	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim, AuditWorkers: *workers})
+	aud, err := auditd.New(auditd.Config{Dir: *dir, Checkpoint: *cp, Limits: lim, AuditWorkers: *workers, MemoMaxBytes: memoBytes})
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -248,21 +259,38 @@ func auditCmd(args []string, stdout, stderr io.Writer) int {
 		}
 		return fail(stderr, err)
 	}
-	fmt.Fprintf(stdout, "AUDIT ACCEPTED through epoch %d: %d epochs this run, %v total audit time\n",
-		st.LastAccepted, st.Accepted, st.TotalAudit)
+	fmt.Fprintf(stdout, "AUDIT ACCEPTED through epoch %d: %d epochs this run, %v total audit time", st.LastAccepted, st.Accepted, st.TotalAudit)
+	if memoBytes > 0 {
+		fmt.Fprintf(stdout, " (memo: %d hits, %d misses, %d evictions)",
+			st.Stats.MemoHits, st.Stats.MemoMisses, st.Stats.MemoEvictions)
+	}
+	fmt.Fprintln(stdout)
 	return 0
+}
+
+// memoBudget maps the -memo/-memo-max-bytes flag pair onto the Config
+// convention, where 0 disables memoization entirely.
+func memoBudget(on bool, maxBytes int) int {
+	if !on {
+		return 0
+	}
+	if maxBytes <= 0 {
+		return 1 << 40 // effectively unbounded
+	}
+	return maxBytes
 }
 
 // shardedAuditCmd is the audit subcommand's shard-parallel path: one
 // audit lane per shard log, run concurrently up to the lane budget, then
 // the cross-shard merge check. The combined verdict is the exit code.
-func shardedAuditCmd(root, shardDirs, cp string, shards, lanes, workers int, follow, reasonCode bool, lim verifier.Limits, stdout, stderr io.Writer) int {
+func shardedAuditCmd(root, shardDirs, cp string, shards, lanes, workers, memoBytes int, follow, reasonCode bool, lim verifier.Limits, stdout, stderr io.Writer) int {
 	cfg := auditd.ShardedConfig{
 		Root:          root,
 		Lanes:         lanes,
 		CheckpointDir: cp,
 		Limits:        lim,
 		AuditWorkers:  workers,
+		MemoMaxBytes:  memoBytes,
 	}
 	if shardDirs != "" {
 		cfg.Dirs = strings.Split(shardDirs, ",")
@@ -352,13 +380,15 @@ func statusCmd(args []string, stdout, stderr io.Writer) int {
 func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	app := fs.String("app", "wiki", "application: motd, stacks, wiki")
+	app := fs.String("app", "wiki", "application: motd, stacks, wiki, feeds")
 	n := fs.Int("n", 200, "number of requests to drive")
 	epochReqs := fs.Int("epoch-requests", 50, "seal after this many requests")
 	dir := fs.String("dir", "", "epoch log directory (default: a fresh temp dir)")
 	seed := fs.Int64("seed", 42, "workload and scheduler seed")
 	timeout := fs.Duration("timeout", 10*time.Minute, "overall pipeline budget")
 	workers := fs.Int("workers", 0, "audit parallelism per epoch: 0 = GOMAXPROCS, 1 = sequential (verdict identical at every setting)")
+	memoOn := fs.Bool("memo", false, "memoize re-execution across epochs (verdict identical on or off)")
+	memoMax := fs.Int("memo-max-bytes", 256<<20, "memo cache byte budget when -memo is set")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -382,6 +412,7 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 		Seed:          *seed,
 		Limits:        verifier.DefaultLimits(),
 		AuditWorkers:  *workers,
+		MemoMaxBytes:  memoBudget(*memoOn, *memoMax),
 	})
 	if err != nil {
 		var rej *auditd.Reject
@@ -399,7 +430,7 @@ func pipelineCmd(args []string, stdout, stderr io.Writer) int {
 func chaosCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	app := fs.String("app", "motd", "application: motd, stacks, wiki")
+	app := fs.String("app", "motd", "application: motd, stacks, wiki, feeds")
 	seed := fs.Int64("seed", 11, "fault-schedule and workload seed")
 	dir := fs.String("dir", "", "scenario scratch directory (default: a fresh temp dir)")
 	file := fs.String("scenario", "", "JSON scenario file (default: the built-in acceptance scenario)")

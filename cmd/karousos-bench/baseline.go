@@ -141,6 +141,43 @@ func baselineBenches() []baselineBench {
 		{"shard-audit/shards-1", baselineShardAudit(1)},
 		{"shard-audit/shards-4", baselineShardAudit(4)},
 		{"shard-audit/shards-8", baselineShardAudit(8)},
+		{"memo-audit/cold", baselineMemoAudit(0)},
+		{"memo-audit/warm", baselineMemoAudit(256 << 20)},
+	}
+}
+
+// baselineMemoAudit mirrors the Figure-15 panel: full audit turnaround over
+// a pure-recurring feeds steady-state log, cold (memoBytes 0, the cache
+// disabled) or warm (the cache carried across epochs within each op's
+// single auditor pass). The log is built once outside the timer; every op
+// grades it from scratch with a fresh auditor, so cold vs warm isolates
+// exactly what cross-epoch deduplicated re-execution saves.
+func baselineMemoAudit(memoBytes int) func(*testing.B) {
+	return func(b *testing.B) {
+		const epochs = 8
+		dir, err := os.MkdirTemp("", "karousos-memo-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if err := experiments.BuildMemoLog(dir, epochs, baselineRequests/epochs, 1.0, 1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a, err := auditd.New(auditd.Config{Dir: dir, AuditWorkers: 1, MemoMaxBytes: memoBytes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := a.RunOnce(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := a.Status(); n != epochs || st.Accepted != epochs {
+				b.Fatalf("graded %d/%d epochs, accepted %d", n, epochs, st.Accepted)
+			}
+		}
 	}
 }
 

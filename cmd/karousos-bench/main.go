@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 6..12 or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 6..15 or all")
 		requests = flag.Int("requests", 600, "requests per workload")
 		warmup   = flag.Int("warmup", 120, "warm-up requests for server-overhead panels")
 		trials   = flag.Int("trials", 3, "trials per data point (median reported)")

@@ -16,7 +16,12 @@
 //	karousos-loadgen -n 2000 -audit
 //	    after the run, re-audits every sealed epoch at verifier
 //	    parallelism 1 and 4 and requires both passes to accept with
-//	    identical work counters.
+//	    identical work counters;
+//
+//	karousos-loadgen -n 2000 -repeat-mix 0.8
+//	    rewrites 80% of arrivals to the app's fixed recurring read-only
+//	    shapes — the steady-state workload whose epochs repeat, so a
+//	    warm `karousos-auditd -memo` pass serves them from its cache.
 //
 // Exit codes: 0 every arrival resolved to 200/429/local-shed (and, with
 // -audit, everything audited clean and identically); 2 an overload or
@@ -60,12 +65,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	url := fs.String("url", "", "collector base URL; empty boots a self-contained collector on loopback")
 	target := fs.String("target", "", "gateway base URL: drive a sharded topology and split the ledger per shard (X-Karousos-Shard)")
 	dir := fs.String("dir", "", "epoch log directory for the self-contained collector (default: a fresh temp dir)")
-	app := fs.String("app", "motd", "workload application: motd, stacks, wiki")
+	app := fs.String("app", "motd", "workload application: motd, stacks, wiki, feeds")
 	mix := fs.String("mix", "mixed", "read/write mix: read-heavy, write-heavy, mixed")
 	n := fs.Int("n", 1000, "number of arrivals to offer")
 	rate := fs.Float64("rate", 0, "open-loop arrival rate in req/s (0 = pure burst)")
 	outstanding := fs.Int("outstanding", 64, "max concurrently outstanding requests; due arrivals past it shed locally")
 	seed := fs.Int64("seed", 42, "workload and scheduler seed")
+	repeatMix := fs.Float64("repeat-mix", 0, "fraction [0,1] of arrivals rewritten to the app's fixed recurring read-only shapes — the steady-state workload behind the warm memo-cache claim")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	slowEvery := fs.Int("slow-every", 0, "trickle every Nth request body through a slow chunked reader (0 = never)")
 	epochReqs := fs.Int("epoch-requests", 50, "self-contained collector: seal after this many requests")
@@ -154,6 +160,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rate:           *rate,
 		MaxOutstanding: *outstanding,
 		Seed:           *seed,
+		RepeatMix:      *repeatMix,
 		Timeout:        *timeout,
 		SlowEvery:      *slowEvery,
 		TrackShards:    *target != "",

@@ -106,3 +106,22 @@ func TestBadFlagsFail(t *testing.T) {
 		t.Fatalf("-target with -audit: exit %d", code)
 	}
 }
+
+// TestRepeatMixFlag: the steady-state recurring workload serves, seals, and
+// re-audits clean; an out-of-range fraction is refused up front.
+func TestRepeatMixFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-app", "motd", "-n", "32", "-seed", "3", "-repeat-mix", "0.8",
+		"-epoch-requests", "8", "-dir", t.TempDir(), "-audit",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "AUDIT ACCEPTED") {
+		t.Fatalf("stdout missing audit acceptance:\n%s", stdout.String())
+	}
+	if code := run([]string{"-repeat-mix", "1.5", "-n", "4", "-dir", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Fatalf("repeat-mix 1.5: exit %d, want 1", code)
+	}
+}

@@ -20,7 +20,14 @@
 //     unclamped advice value that guards a `return Verdict{...}` lets the
 //     server steer the audit outcome. Branches returning a RejectCode are
 //     deliberately NOT sinks — rejecting on raw advice is validation;
-//     accepting on it is the hazard.
+//     accepting on it is the hazard;
+//   - a memo-cache index: the key argument of Probe / Insert on a Cache
+//     receiver (internal/verifier/memo). The replay cache's soundness
+//     reduces to "equal key implies equal input closure", which only holds
+//     when keys are content addresses — raw advice bytes used as key
+//     material let the server steer which cached effect set a group
+//     replays. The clamp for key material is a cryptographic digest:
+//     sha256.Sum256 or a digest*-named helper.
 //
 // Flows into a callee whose parameter reaches one of these sinks unclamped
 // (dataflow.Summary.ParamToSink) are reported at the call site. The
@@ -32,6 +39,7 @@ package advicetaint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"karousos.dev/karousos/internal/analysis"
 	"karousos.dev/karousos/internal/analysis/advicesize"
@@ -47,7 +55,7 @@ var Packages = append([]string{"internal/auditd"}, advicesize.Packages...)
 var Analyzer = &analysis.Analyzer{
 	Name: "advicetaint",
 	Doc: "interprocedural advice-taint: decode-derived values must pass a clamp before any allocation size, " +
-		"loop bound, file path, or verdict-affecting branch, across function boundaries; " +
+		"loop bound, file path, verdict-affecting branch, or memo-cache key, across function boundaries; " +
 		"suppress with //karousos:advicetaint-ok <reason>",
 	Run: run,
 }
@@ -71,11 +79,14 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			for _, fnd := range eng.Check(pp, fd) {
-				if fnd.Callee != "" {
-					pass.Reportf(fnd.Pos, "passes an unclamped advice-derived value to %s, where it reaches an allocation, loop, path, or verdict sink; clamp before the call", fnd.Callee)
-					continue
+				switch {
+				case fnd.Callee != "":
+					pass.Reportf(fnd.Pos, "passes an unclamped advice-derived value to %s, where it reaches an allocation, loop, path, verdict, or cache-key sink; clamp before the call", fnd.Callee)
+				case fnd.What == "memo cache key":
+					pass.Reportf(fnd.Pos, "memo cache key driven by a raw advice-derived value; content-address it through a digest (sha256.Sum256 or a digest* helper) first")
+				default:
+					pass.Reportf(fnd.Pos, "%s driven by an unclamped advice-derived value; clamp it against remaining input or verifier.Limits first", fnd.What)
 				}
-				pass.Reportf(fnd.Pos, "%s driven by an unclamped advice-derived value; clamp it against remaining input or verifier.Limits first", fnd.What)
 			}
 		}
 	}
@@ -98,9 +109,13 @@ func engineOf(prog *analysis.Program) *dataflow.Engine {
 	}).(*dataflow.Engine)
 }
 
-// isSanitizerCall applies advicesize's clamp-name policy to a call.
+// isSanitizerCall applies advicesize's clamp-name policy to a call, plus
+// the digest convention for memo-key material: a value that has passed
+// through sha256.Sum256 (or a digest*-named helper) is a content address,
+// not an attacker-steerable index.
 func isSanitizerCall(info *types.Info, call *ast.CallExpr) bool {
-	return advicesize.IsSanitizerName(bareName(call))
+	name := bareName(call)
+	return advicesize.IsSanitizerName(name) || name == "Sum256" || strings.HasPrefix(name, "digest")
 }
 
 // bareName is the called function's unqualified name ("" when the callee
@@ -138,6 +153,19 @@ func callSinks(info *types.Info, call *ast.CallExpr) []dataflow.Sink {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return nil
+	}
+	// Memo-cache indexing: the key argument of Probe/Insert on a Cache
+	// receiver must be digest-derived, never raw advice bytes — a
+	// server-chosen key could address a cached effect set directly.
+	if (sel.Sel.Name == "Probe" || sel.Sel.Name == "Insert") && len(call.Args) > 0 {
+		if t := info.TypeOf(sel.X); t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Cache" {
+				return []dataflow.Sink{{Expr: call.Args[0], What: "memo cache key"}}
+			}
+		}
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {

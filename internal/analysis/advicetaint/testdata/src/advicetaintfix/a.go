@@ -70,3 +70,36 @@ func wideRead(buf []byte) []byte {
 	n := binary.LittleEndian.Uint32(buf)
 	return alloc(uint64(n)) // want `passes an unclamped advice-derived value to alloc`
 }
+
+// Key and Cache mirror memo.Key / memo.Cache by name: the content-addressed
+// replay cache, indexed by the first argument of Probe / Insert.
+type Key [32]byte
+
+type Cache struct{ m map[Key][]byte }
+
+func (c *Cache) Probe(k Key) ([]byte, bool) { v, ok := c.m[k]; return v, ok }
+
+func (c *Cache) Insert(k Key, v []byte) { c.m[k] = v }
+
+// lookup forwards its key argument to the cache index: ParamToSink.
+func lookup(c *Cache, k Key) ([]byte, bool) { return c.Probe(k) }
+
+// probeRaw: a decoded value used directly as key material lets the server
+// choose which cached effect set a probe addresses.
+func probeRaw(c *Cache, buf []byte) ([]byte, bool) {
+	n, _ := binary.Uvarint(buf)
+	return c.Probe(Key{byte(n)}) // want `memo cache key driven by a raw advice-derived value`
+}
+
+// insertRaw: Insert's key position is the same sink.
+func insertRaw(c *Cache, buf []byte) {
+	n, _ := binary.Uvarint(buf)
+	c.Insert(Key{byte(n)}, buf) // want `memo cache key driven by a raw advice-derived value`
+}
+
+// probeVia: the raw key crosses a function boundary before it indexes the
+// cache; the flow is reported at the hand-over call.
+func probeVia(c *Cache, buf []byte) ([]byte, bool) {
+	n, _ := binary.Uvarint(buf)
+	return lookup(c, Key{byte(n)}) // want `passes an unclamped advice-derived value to lookup`
+}

@@ -3,6 +3,7 @@
 package advicetaintok
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 )
@@ -84,4 +85,40 @@ func spinClamped(buf []byte) int {
 		total++
 	}
 	return total
+}
+
+// Key and Cache mirror memo.Key / memo.Cache by name.
+type Key [32]byte
+
+type Cache struct{ m map[Key][]byte }
+
+func (c *Cache) Probe(k Key) ([]byte, bool) { v, ok := c.m[k]; return v, ok }
+
+func (c *Cache) Insert(k Key, v []byte) { c.m[k] = v }
+
+// digestKey is a sanitizer by the digest* naming convention: its result is
+// a content address, whatever fed it.
+func digestKey(parts ...uint64) Key {
+	var k Key
+	for i, p := range parts {
+		k[i%len(k)] ^= byte(p)
+	}
+	return k
+}
+
+// probeDigested: the decoded value passes through a digest before it
+// indexes the cache, so the key is content-addressed, not server-chosen.
+func probeDigested(c *Cache, buf []byte) ([]byte, bool) {
+	n, _ := binary.Uvarint(buf)
+	return c.Probe(digestKey(n))
+}
+
+// insertHashed: sha256.Sum256 is the canonical clamp for key material — a
+// cryptographic digest of the closure bytes is exactly what a memo key is
+// supposed to be.
+func insertHashed(c *Cache, buf []byte) {
+	n, _ := binary.Uvarint(buf)
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], n)
+	c.Insert(Key(sha256.Sum256(raw[:])), raw[:])
 }

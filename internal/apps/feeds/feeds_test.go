@@ -1,0 +1,90 @@
+package feeds_test
+
+import (
+	"strings"
+	"testing"
+
+	"karousos.dev/karousos/internal/apps/appkit"
+	"karousos.dev/karousos/internal/apps/feeds"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/server"
+	"karousos.dev/karousos/internal/value"
+)
+
+func serve(t *testing.T, inputs []value.V) map[string]value.V {
+	t.Helper()
+	srv := server.New(server.Config{App: feeds.New(), Seed: 1})
+	var reqs []server.Request
+	for i, in := range inputs {
+		reqs = append(reqs, server.Request{RID: core.RID(rid(i)), Input: in})
+	}
+	res, err := srv.Run(reqs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace.Outputs()
+}
+
+func rid(i int) string { return string(rune('a' + i)) }
+
+func view(board string) value.V { return value.Map("op", "view", "board", board) }
+
+func pin(board, note string) value.V {
+	return value.Map("op", "pin", "board", board, "note", note)
+}
+
+func TestViewUnpinnedBoard(t *testing.T) {
+	outs := serve(t, []value.V{view("board-00")})
+	out := outs["a"]
+	if appkit.Str(appkit.Field(out, "status")) != "ok" {
+		t.Fatalf("got %v", value.String(out))
+	}
+	if appkit.Field(out, "notice") != nil {
+		t.Errorf("unpinned board carries notice: %v", value.String(out))
+	}
+	if !strings.HasPrefix(appkit.Str(appkit.Field(out, "html")), "<feed:board-00:") {
+		t.Errorf("html = %v", value.String(out))
+	}
+}
+
+func TestPinShowsOnView(t *testing.T) {
+	outs := serve(t, []value.V{pin("board-03", "maintenance at noon"), view("board-03"), view("board-04")})
+	if !value.Equal(outs["a"], value.Map("status", "pinned", "board", "board-03")) {
+		t.Errorf("pin response = %v", value.String(outs["a"]))
+	}
+	if got := appkit.Str(appkit.Field(outs["b"], "notice")); got != "maintenance at noon" {
+		t.Errorf("pinned board notice = %q", got)
+	}
+	if appkit.Field(outs["c"], "notice") != nil {
+		t.Errorf("other board picked up the notice: %v", value.String(outs["c"]))
+	}
+}
+
+func TestLaterPinWins(t *testing.T) {
+	outs := serve(t, []value.V{pin("b", "first"), pin("b", "second"), view("b")})
+	if got := appkit.Str(appkit.Field(outs["c"], "notice")); got != "second" {
+		t.Errorf("notice = %q", got)
+	}
+}
+
+func TestViewDeterministicHTML(t *testing.T) {
+	// The assembled body must be a pure function of the board and shared
+	// state: two servers producing different bytes for the same view would
+	// make every audit reject.
+	a := serve(t, []value.V{view("board-07")})
+	b := serve(t, []value.V{view("board-07")})
+	if !value.Equal(a["a"], b["a"]) {
+		t.Errorf("same view diverged: %v vs %v", value.String(a["a"]), value.String(b["a"]))
+	}
+}
+
+func TestViewWritesNothing(t *testing.T) {
+	// The read path must not move shared state — that stationarity is the
+	// whole point of the application (see the package comment): a second
+	// identical view stream must observe byte-identical responses even with
+	// views interleaved before it.
+	outs := serve(t, []value.V{view("x"), view("y"), view("x")})
+	if !value.Equal(outs["a"], outs["c"]) {
+		t.Errorf("repeated view diverged: %v vs %v", value.String(outs["a"]), value.String(outs["c"]))
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"karousos.dev/karousos/internal/iofault"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/verifier/memo"
 )
 
 // Config describes one auditor instance.
@@ -64,6 +65,13 @@ type Config struct {
 	// Workers): 0 means GOMAXPROCS, 1 forces the sequential engine. The
 	// verdict is identical at every setting.
 	AuditWorkers int
+	// MemoMaxBytes enables the cross-epoch re-execution memo cache
+	// (DESIGN.md §18) with the given byte budget; 0 disables memoization.
+	// The cache lives as long as the auditor and, like the carry, is
+	// dropped at Fresh manifest boundaries. It is purely a performance
+	// lever: verdicts, reject codes, and non-memo Stats are identical with
+	// it on or off.
+	MemoMaxBytes int
 	// Poll is the follow-mode polling interval. Defaults to 200ms.
 	Poll time.Duration
 	// FS is the filesystem the auditor reads epochs and writes checkpoints
@@ -133,21 +141,37 @@ type Status struct {
 	Stats verifier.Stats `json:"stats"`
 }
 
+// MemoCounters is the memo cache's observable traffic: cumulative hit,
+// miss, and eviction counts across this auditor's accepted epochs. It rides
+// the checkpoint so the serving side (collector /healthz) can report
+// warm-cache behavior without an RPC to the auditor process.
+type MemoCounters struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Evictions int `json:"evictions,omitempty"`
+}
+
 // checkpoint is the resume file's schema. The carry is the dictionary state
 // the next epoch's audit starts from; it came out of this auditor's own
 // accepting audit, so it shares the trace's trust level. Files written
 // before LastProcessed/Unauditable existed decode with both zero; loading
-// normalizes LastProcessed up to LastAccepted.
+// normalizes LastProcessed up to LastAccepted. Memo is advisory telemetry,
+// never read back into audit state.
 type checkpoint struct {
 	LastAccepted  uint64               `json:"lastAccepted"`
 	LastProcessed uint64               `json:"lastProcessed,omitempty"`
 	Unauditable   bool                 `json:"unauditable,omitempty"`
 	Carry         *verifier.CarryState `json:"carry,omitempty"`
+	Memo          *MemoCounters        `json:"memo,omitempty"`
 }
 
 // Auditor tails one epoch log.
 type Auditor struct {
 	cfg Config
+	// memo is the cross-epoch re-execution cache, nil unless
+	// Config.MemoMaxBytes is set. Only the in-order audit loop touches it,
+	// so it needs no coordination beyond the cache's own lock.
+	memo *memo.Cache
 
 	mu    sync.Mutex
 	carry *verifier.CarryState
@@ -189,6 +213,9 @@ func New(cfg Config) (*Auditor, error) {
 		cfg.Poll = 200 * time.Millisecond
 	}
 	a := &Auditor{cfg: cfg}
+	if cfg.MemoMaxBytes > 0 {
+		a.memo = memo.NewCache(cfg.MemoMaxBytes)
+	}
 	if cfg.Checkpoint != "" {
 		var blob []byte
 		err := iofault.Retry(context.Background(), cfg.Backoff, func() error {
@@ -397,11 +424,16 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		// carried prior-epoch state no longer describes the server and must
 		// not be threaded into this or any later epoch's audit. A Fresh
 		// manifest also re-anchors an unauditable run: nil carry is exactly
-		// right for rebuilt state, so grading can resume.
+		// right for rebuilt state, so grading can resume. The memo cache is
+		// dropped alongside the carry: its entries were published under the
+		// pre-restart state lineage and keeping them would at best miss.
 		a.mu.Lock()
 		a.carry = nil
 		a.unauditable = false
 		a.mu.Unlock()
+		if a.memo != nil {
+			a.memo.Reset()
+		}
 	}
 
 	a.mu.Lock()
@@ -451,6 +483,7 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 		Limits:    a.cfg.Limits,
 		Carry:     a.carry,
 		Workers:   a.cfg.AuditWorkers,
+		Memo:      a.memo,
 	}
 	st, next, err := verifier.AuditCarry(ctx, cfg, f.tr, adv)
 	if err != nil {
@@ -466,6 +499,13 @@ func (a *Auditor) auditEpoch(ctx context.Context, m epochlog.Manifest, f fetched
 	a.status.LastAudit = time.Since(start) //karousos:nondeterminism-ok audit-latency metric for Status; never part of the verdict
 	a.status.TotalAudit += a.status.LastAudit
 	cp := checkpoint{LastAccepted: m.Seq, LastProcessed: m.Seq, Carry: next}
+	if a.memo != nil {
+		cp.Memo = &MemoCounters{
+			Hits:      a.status.Stats.MemoHits,
+			Misses:    a.status.Stats.MemoMisses,
+			Evictions: a.status.Stats.MemoEvictions,
+		}
+	}
 	a.mu.Unlock()
 	a.recordVerdict(Verdict{Epoch: m.Seq})
 
@@ -591,6 +631,25 @@ func ProbeCheckpointProgress(fsys iofault.FS, path string) (lastProcessed uint64
 		cp.LastProcessed = cp.LastAccepted
 	}
 	return cp.LastProcessed, CheckpointOK
+}
+
+// ReadCheckpointMemo reports the memo-cache counters an auditor process
+// last checkpointed, for the collector's /healthz payload. Advisory like
+// the progress probe: ok is false when there is no checkpoint or the
+// auditor runs without memoization.
+func ReadCheckpointMemo(fsys iofault.FS, path string) (MemoCounters, bool) {
+	if fsys == nil {
+		fsys = iofault.OS
+	}
+	blob, err := fsys.ReadFile(path)
+	if err != nil {
+		return MemoCounters{}, false //karousos:errladder-ok advisory telemetry probe; an unreadable checkpoint reads as no-signal
+	}
+	var cp checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil || cp.Memo == nil {
+		return MemoCounters{}, false //karousos:errladder-ok advisory telemetry probe; a torn or memo-less checkpoint reads as no-signal
+	}
+	return *cp.Memo, true
 }
 
 // ReadCheckpointProgress is the admission-control view of the probe: ok is

@@ -42,6 +42,9 @@ type PipelineOptions struct {
 	MaxRestarts int
 	// AuditWorkers is each epoch audit's parallelism; see Config.AuditWorkers.
 	AuditWorkers int
+	// MemoMaxBytes enables the cross-epoch re-execution memo cache; see
+	// Config.MemoMaxBytes.
+	MemoMaxBytes int
 }
 
 // PipelineResult is RunPipeline's summary.
@@ -113,6 +116,7 @@ func RunPipeline(ctx context.Context, spec harness.AppSpec, reqs []server.Reques
 		Poll:         20 * time.Millisecond,
 		FS:           opts.FS,
 		AuditWorkers: opts.AuditWorkers,
+		MemoMaxBytes: opts.MemoMaxBytes,
 	}, SupervisorOptions{MaxRestarts: opts.MaxRestarts})
 	supPtr.Store(sup)
 	followCtx, stopFollow := context.WithCancel(ctx)

@@ -51,6 +51,13 @@ type ShardedConfig struct {
 	Limits verifier.Limits
 	// AuditWorkers is each epoch audit's parallelism, as in Config.
 	AuditWorkers int
+	// MemoMaxBytes enables the re-execution memo cache per lane, as in
+	// Config — one independent cache per shard, since tag-group closures
+	// never repeat across shards (rids are routed disjointly). A lane
+	// rebuild after a restartable fault starts with a cold cache: the memo
+	// is an in-memory cache, so losing it costs re-execution, never
+	// correctness.
+	MemoMaxBytes int
 	// MaxRestarts bounds per-lane incarnation rebuilds after restartable
 	// failures, as in SupervisorOptions. Defaults to 3.
 	MaxRestarts int
@@ -182,6 +189,7 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 			Dir:          dir,
 			Limits:       cfg.Limits,
 			AuditWorkers: cfg.AuditWorkers,
+			MemoMaxBytes: cfg.MemoMaxBytes,
 			FS:           cfg.FS,
 			Backoff:      cfg.Backoff,
 		}

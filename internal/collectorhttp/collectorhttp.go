@@ -125,6 +125,19 @@ type Config struct {
 	// tolerates before tightening admission and failing /readyz. <=0
 	// means 64 when AuditProgress is set, disabled otherwise.
 	MaxAuditLag int
+	// AuditMemo, when set, reports the audit pipeline's memo-cache
+	// counters (ok=false while unknown or memoization is off); /healthz
+	// includes them so warm-cache behavior is observable from the serving
+	// side. Advisory only — never feeds admission.
+	AuditMemo func() (AuditMemoState, bool)
+}
+
+// AuditMemoState is the auditor's cumulative memo-cache traffic as
+// surfaced on /healthz.
+type AuditMemoState struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Evictions int `json:"evictions,omitempty"`
 }
 
 func (cfg Config) fs() iofault.FS {
@@ -703,6 +716,9 @@ type Health struct {
 	// Admission is the bounded intake's state, including the audit-lag
 	// signal it tightens on.
 	Admission AdmissionState `json:"admission"`
+	// AuditMemo is the audit pipeline's memo-cache traffic, present only
+	// when Config.AuditMemo reports it.
+	AuditMemo *AuditMemoState `json:"auditMemo,omitempty"`
 }
 
 // HealthSnapshot reports the collector's epoch-log and admission health.
@@ -727,6 +743,11 @@ func (c *Collector) HealthSnapshot() Health {
 	}
 	if lastSealErr != nil {
 		h.LastSealError = lastSealErr.Error()
+	}
+	if c.cfg.AuditMemo != nil {
+		if ms, ok := c.cfg.AuditMemo(); ok {
+			h.AuditMemo = &ms
+		}
 	}
 	return h
 }

@@ -68,6 +68,8 @@ func workloadFor(app string, mix workload.Mix, n int, seed int64) (harness.AppSp
 		return harness.StacksApp(), workload.Stacks(n, mix, seed, workload.DefaultStacksOptions())
 	case "wiki":
 		return harness.WikiApp(), workload.Wiki(n, seed)
+	case "feeds":
+		return harness.FeedsApp(), workload.Feeds(n, mix, seed)
 	}
 	panic("experiments: unknown app " + app)
 }
@@ -220,6 +222,9 @@ func AdviceSizePanel(app string, mix workload.Mix, cfg Config) Panel {
 //	Fig 14: shard scaling — audit throughput of the shard-parallel auditd
 //	        over 1/2/4/8-shard topologies (not from the paper; the sharded
 //	        audit plane of DESIGN.md §15)
+//	Fig 15: memo cold vs warm — the steady-state recurring workload audited
+//	        with the cross-epoch re-execution memo cache off and on (not
+//	        from the paper; DESIGN.md §18)
 func Figure(n int, cfg Config) []Panel {
 	switch n {
 	case 6:
@@ -252,6 +257,8 @@ func Figure(n int, cfg Config) []Panel {
 		return []Panel{RecordThroughputPanel(cfg)}
 	case 14:
 		return []Panel{ShardScalingPanel(cfg)}
+	case 15:
+		return []Panel{MemoAuditPanel(cfg)}
 	}
 	panic(fmt.Sprintf("experiments: no figure %d", n))
 }
@@ -267,7 +274,7 @@ func appFigure(app string, mix workload.Mix, cfg Config) []Panel {
 }
 
 // Figures lists the figure numbers this package can regenerate.
-func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12, 13, 14} }
+func Figures() []int { return []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15} }
 
 func must(err error) {
 	if err != nil {

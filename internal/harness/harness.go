@@ -14,6 +14,7 @@ import (
 
 	"karousos.dev/karousos/internal/advice"
 	"karousos.dev/karousos/internal/adya"
+	"karousos.dev/karousos/internal/apps/feeds"
 	"karousos.dev/karousos/internal/apps/motd"
 	"karousos.dev/karousos/internal/apps/stacks"
 	"karousos.dev/karousos/internal/apps/wiki"
@@ -23,6 +24,7 @@ import (
 	"karousos.dev/karousos/internal/server"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/verifier/memo"
 )
 
 // AppSpec describes one auditable application: how to build a fresh instance
@@ -69,6 +71,15 @@ func WikiApp() AppSpec {
 	}
 }
 
+// FeedsApp returns the dashboard-feeds application spec — the steady-state
+// recurring workload of the memo-cache experiments (DESIGN.md §18).
+func FeedsApp() AppSpec {
+	return AppSpec{
+		Name: "feeds",
+		New:  func() (*core.App, *kvstore.Store) { return feeds.New(), nil },
+	}
+}
+
 // SpecByName resolves an application by its recorded name — the inverse of
 // AppSpec.Name, used by tools that rediscover the app from a run directory
 // or epoch log sidecar.
@@ -80,8 +91,10 @@ func SpecByName(name string) (AppSpec, error) {
 		return StacksApp(), nil
 	case "wiki":
 		return WikiApp(), nil
+	case "feeds":
+		return FeedsApp(), nil
 	}
-	return AppSpec{}, fmt.Errorf("harness: unknown app %q (motd, stacks, wiki)", name)
+	return AppSpec{}, fmt.Errorf("harness: unknown app %q (motd, stacks, wiki, feeds)", name)
 }
 
 // Collect selects which advice the serving run produces.
@@ -177,6 +190,9 @@ type VerifyOptions struct {
 	// DumpGraph, when non-nil, receives the execution graph G in Graphviz
 	// DOT format (cycles highlighted on rejection).
 	DumpGraph io.Writer
+	// Memo, when non-nil, is the cross-epoch replay cache threaded into
+	// the audit (verifier.Config.Memo); the caller owns its lifetime.
+	Memo *memo.Cache
 }
 
 // VerifyWith audits with explicit options; the other Verify helpers are
@@ -194,6 +210,7 @@ func verifyLimits(spec AppSpec, tr *trace.Trace, adv *advice.Advice, opt VerifyO
 	cfg := verifier.Config{
 		App: app, Mode: opt.Mode, Isolation: spec.Isolation,
 		Limits: lim, Workers: opt.Workers, DumpGraph: opt.DumpGraph,
+		Memo: opt.Memo,
 	}
 	// The advice crosses the network in a deployment (§2.1), so the timed
 	// region starts from its serialized form: decoding bigger advice is part

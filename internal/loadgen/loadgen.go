@@ -30,10 +30,11 @@ import (
 type Config struct {
 	// BaseURL is the collector to drive (e.g. "http://127.0.0.1:8080").
 	BaseURL string
-	// App selects the workload generator: "motd", "stacks", or "wiki".
+	// App selects the workload generator: "motd", "stacks", "wiki", or
+	// "feeds".
 	App string
-	// Mix is the read/write mix for motd and stacks; ignored by wiki.
-	// Empty means workload.Mixed.
+	// Mix is the read/write mix for motd, stacks, and feeds; ignored by
+	// wiki. Empty means workload.Mixed.
 	Mix workload.Mix
 	// Requests is how many arrivals to offer.
 	Requests int
@@ -45,6 +46,11 @@ type Config struct {
 	MaxOutstanding int
 	// Seed seeds the workload generator — same seed, same request stream.
 	Seed int64
+	// RepeatMix rewrites this fraction of arrivals to the app's fixed pool
+	// of recurring read-only request shapes (workload.Repeats) — the
+	// steady-state traffic that exercises the auditor's cross-epoch memo
+	// cache. 0 disables; must stay within [0,1].
+	RepeatMix float64
 	// Timeout bounds one request end to end. <=0 means 30s.
 	Timeout time.Duration
 	// SlowEvery, when >0, sends every Nth request's body through a
@@ -112,16 +118,21 @@ func requests(cfg Config) ([]server.Request, error) {
 	if mix == "" {
 		mix = workload.Mixed
 	}
-	switch strings.ToLower(cfg.App) {
+	app := strings.ToLower(cfg.App)
+	var reqs []server.Request
+	switch app {
 	case "", "motd":
-		return workload.MOTD(cfg.Requests, mix, cfg.Seed), nil
+		reqs = workload.MOTD(cfg.Requests, mix, cfg.Seed)
 	case "stacks":
-		return workload.Stacks(cfg.Requests, mix, cfg.Seed, workload.DefaultStacksOptions()), nil
+		reqs = workload.Stacks(cfg.Requests, mix, cfg.Seed, workload.DefaultStacksOptions())
 	case "wiki":
-		return workload.Wiki(cfg.Requests, cfg.Seed), nil
+		reqs = workload.Wiki(cfg.Requests, cfg.Seed)
+	case "feeds":
+		reqs = workload.Feeds(cfg.Requests, mix, cfg.Seed)
 	default:
 		return nil, fmt.Errorf("loadgen: unknown app %q", cfg.App)
 	}
+	return workload.WithRepeats(reqs, app, cfg.RepeatMix, cfg.Seed)
 }
 
 // slowBody trickles a payload out in small delayed chunks — a client on a

@@ -48,6 +48,9 @@ func diffApps() []diffApp {
 		{"wiki", harness.WikiApp(), func(n int, seed int64) []server.Request {
 			return workload.Wiki(n, seed)
 		}},
+		{"feeds", harness.FeedsApp(), func(n int, seed int64) []server.Request {
+			return workload.Feeds(n, workload.Mixed, seed)
+		}},
 	}
 }
 

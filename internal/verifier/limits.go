@@ -34,6 +34,11 @@ type Limits struct {
 	// Deadline is the wall-clock budget for the whole audit; exceeded
 	// deadlines reject with ResourceLimit at the next cancellation check.
 	Deadline time.Duration
+	// MaxMemoEntryBytes bounds the accounted size of a single memo-cache
+	// entry (Config.Memo); larger effect sets are simply not cached, so
+	// one giant group cannot churn the whole LRU. 0 means an eighth of
+	// the cache's byte budget.
+	MaxMemoEntryBytes int
 }
 
 // DefaultLimits returns bounds sized for production audits: generous enough

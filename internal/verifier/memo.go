@@ -1,0 +1,639 @@
+package verifier
+
+// Cross-epoch deduplicated re-execution (DESIGN.md §18). The paper's core
+// win is deduplicating identical control flow *within* a batch: requests
+// with equal tags replay once, together. Steady-state traffic repeats the
+// same request shapes epoch after epoch, so the same groups are re-executed
+// from scratch at every audit pass. This file extends the deduplication
+// *across* epochs: a content-addressed cache maps the digest of a group's
+// full input closure to the group's recorded effect intents (parallel.go),
+// and on a hit the coordinator replays the intents instead of re-executing
+// handler code.
+//
+// # Soundness: the key covers everything a group can observe
+//
+// PR 5's effect-buffered engine is what makes group replay memoizable:
+// when a group runs with a non-nil effect buffer it reads ONLY state frozen
+// during reExec — its requests' inputs/outputs, its rids' slices of the
+// advice logs, the init-level dictionary (deterministic init + injected
+// carry), and resolved reads-from targets — and writes only intents. The
+// memo key is the SHA-256 digest of exactly that read set:
+//
+//   - an audit-level prefix: application fingerprint, mode, isolation
+//     level, and the full init-level version dictionary (which is where
+//     both deterministic init writes and the injected carry slice live);
+//   - the group tag and group size;
+//   - per slot, in trace order: the request input and traced output, the
+//     advised opcounts, responseEmittedBy, the full handler log, the
+//     request's variable-log entries (with each logged read's dictating
+//     write resolved to its observable facts — presence, access type,
+//     value), the request's transaction logs with every reads-from
+//     reference resolved to the dictated contents, and the recorded
+//     nondeterminism.
+//
+// Raw request ids, raw predecessor identities, and raw TxPos coordinates
+// are deliberately EXCLUDED: they drift across epochs while carrying no
+// behavioral content (a logged read behaves identically whichever op wrote
+// the value it observes — what matters is the value, which is hashed).
+// Everything else a group touches is derived from the hashed material:
+// activated sets and opMap locations are built from the handler and
+// transaction logs, fnOfActivated inverts ComputeHID over the hashed
+// function table, and parentOf is rebuilt by replaying emits.
+//
+// A single tampered byte in any of these inputs changes the key and forces
+// cold re-execution — a poisoned entry can never be REACHED by an honest
+// key. The converse hazard (an honest key reaching an entry recorded from
+// a rejecting run) is closed by publish-after-accept: candidates captured
+// during reExec enter the cache only after the WHOLE audit accepts
+// (memoPublish at the end of auditFull), so every cached effect set was
+// part of an accepting audit. Dangling advice the groups never observe
+// (e.g. a forged init-level variable-log entry, or opcounts for a rid
+// absent from the trace) cannot hide behind a hit either: the
+// post-re-execution sweeps — checkConsumption, the every-handler-executed
+// and every-request-responded checks — run over the merged shared state
+// identically for replayed and re-executed groups.
+//
+// # Replay: rebinding intents to the new epoch
+//
+// Cached intents cannot store raw rids (epoch-local) so ops are encoded as
+// (slot, hid, num) against the group's rid slice — hids and op numbers are
+// content digests and therefore stable across epochs. Predecessor ops in
+// readObs/writeObs intents come in three stable encodings:
+//
+//   - precFromLog: the access is logged with a predecessor reference; the
+//     sequential engine uses e.Prec verbatim, so replay re-reads it from
+//     the NEW epoch's log entry. This is also why predecessor identities
+//     can stay out of the key: replay behaves exactly as cold re-execution
+//     would for any predecessor whose observable facts match.
+//   - precSlot / precInit: the access is unlogged (or lazily logged) and
+//     its predecessor came from the dictionary climb, which only ever
+//     yields same-request or init-level ops — both epoch-stable.
+//
+// Any intent that fits none of these encodings makes the group
+// uncacheable (memoCapture returns nil); that is a defensive bail, not a
+// reachable path.
+//
+// # Determinism
+//
+// MemoHits/MemoMisses/MemoEvictions must be bit-identical at every worker
+// count, so every cache interaction happens on the coordinator in
+// canonical tag order: keys are computed and probed sequentially BEFORE
+// the fan-out, and accepted candidates are inserted sequentially after the
+// audit accepts. When a memo cache is configured the engine always uses
+// the effect-buffered path (even at Workers=1), which PR 5's differential
+// tests prove bit-identical to the sequential engine.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+
+	"karousos.dev/karousos/internal/advice"
+	"karousos.dev/karousos/internal/core"
+	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier/memo"
+)
+
+// memoHasher streams framed components into SHA-256. Every component is
+// either fixed-width, length-prefixed, or canonically self-delimiting
+// (value.Encode), so distinct input sequences cannot collide by framing.
+type memoHasher struct {
+	h   hash.Hash
+	buf []byte
+	n8  [8]byte
+}
+
+func newMemoHasher() *memoHasher { return &memoHasher{h: sha256.New()} }
+
+func (m *memoHasher) reset() { m.h.Reset() }
+
+func (m *memoHasher) tag(t byte) {
+	m.n8[0] = t
+	m.h.Write(m.n8[:1])
+}
+
+func (m *memoHasher) num(n int) {
+	binary.LittleEndian.PutUint64(m.n8[:], uint64(n))
+	m.h.Write(m.n8[:])
+}
+
+func (m *memoHasher) str(s string) {
+	m.num(len(s))
+	io.WriteString(m.h, s)
+}
+
+// val hashes a value through its canonical encoding — the same
+// deterministic byte form value digests and comparisons are defined over.
+func (m *memoHasher) val(v value.V) {
+	m.buf = value.Encode(m.buf[:0], v)
+	m.num(len(m.buf))
+	m.h.Write(m.buf)
+}
+
+func (m *memoHasher) sum() (k memo.Key) {
+	m.h.Sum(k[:0])
+	return k
+}
+
+// memoVarEntry pairs a variable-log entry with its variable for the
+// per-request listing.
+type memoVarEntry struct {
+	id core.VarID
+	e  *advice.VarLogEntry
+}
+
+// memoPrep is the per-audit key-derivation state: the audit-level prefix
+// digest and per-request views of the advice slices that are keyed per
+// group. Built once per audit, on the coordinator, after preprocess.
+type memoPrep struct {
+	v      *Verifier
+	h      *memoHasher
+	prefix memo.Key
+	txs    map[core.RID][]*advice.TxLog
+	vlogs  map[core.RID][]memoVarEntry
+	nondet map[core.RID][]advice.NondetEntry
+}
+
+func (v *Verifier) memoPrepare() *memoPrep {
+	p := &memoPrep{
+		v:      v,
+		h:      newMemoHasher(),
+		txs:    make(map[core.RID][]*advice.TxLog),
+		vlogs:  make(map[core.RID][]memoVarEntry),
+		nondet: make(map[core.RID][]advice.NondetEntry),
+	}
+	for i := range v.adv.TxLogs {
+		tl := &v.adv.TxLogs[i]
+		p.txs[tl.RID] = append(p.txs[tl.RID], tl)
+	}
+	for _, id := range sortedKeys(v.adv.VarLogs) {
+		entries := v.adv.VarLogs[id]
+		for i := range entries {
+			e := &entries[i]
+			p.vlogs[e.Op.RID] = append(p.vlogs[e.Op.RID], memoVarEntry{id: id, e: e})
+		}
+	}
+	for _, e := range v.adv.Nondet {
+		p.nondet[e.Op.RID] = append(p.nondet[e.Op.RID], e)
+	}
+
+	// Audit-level prefix: everything group-independent a replay observes.
+	// The init-level dictionary is hashed entry by entry in append order
+	// (deterministic init replay followed by sorted-VarID carry injection),
+	// so a changed carry slice or a different init fixpoint changes every
+	// group key of the epoch.
+	h := p.h
+	h.tag('A')
+	h.str(v.cfg.App.Name)
+	h.str(string(v.cfg.App.RequestEvent))
+	fns := sortedKeys(v.cfg.App.Funcs)
+	h.num(len(fns))
+	for _, fn := range fns {
+		h.str(string(fn))
+	}
+	h.str(string(v.cfg.Mode))
+	h.num(int(v.cfg.Isolation))
+	ids := sortedKeys(v.vars)
+	h.num(len(ids))
+	for _, id := range ids {
+		vv := v.vars[id]
+		h.str(string(id))
+		entries := vv.dict[dkey{rid: core.InitRID, hid: core.InitHID}]
+		h.num(len(entries))
+		for _, en := range entries {
+			v.poll()
+			h.num(en.num)
+			h.val(en.val)
+		}
+	}
+	p.prefix = h.sum()
+	return p
+}
+
+// groupKey digests one tag group's full input closure. Runs on the
+// coordinator only (the hasher is shared across groups).
+func (p *memoPrep) groupKey(tag string, rids []core.RID) memo.Key {
+	v := p.v
+	slotOf := make(map[core.RID]int, len(rids))
+	for i, rid := range rids {
+		slotOf[rid] = i
+	}
+	h := p.h
+	h.reset()
+	h.tag('G')
+	h.h.Write(p.prefix[:])
+	h.str(tag)
+	h.num(len(rids))
+	for i, rid := range rids {
+		v.poll()
+		h.tag('R')
+		h.num(i)
+		h.val(v.inputs[rid])
+		h.val(v.outputs[rid])
+
+		counts := v.adv.OpCounts[rid]
+		hids := sortedKeys(counts)
+		h.num(len(hids))
+		for _, hid := range hids {
+			h.str(string(hid))
+			h.num(counts[hid])
+		}
+
+		at, ok := v.adv.ResponseEmittedBy[rid]
+		h.num(boolNum(ok))
+		h.str(string(at.HID))
+		h.num(at.OpNum)
+
+		hl := v.adv.HandlerLogs[rid]
+		h.num(len(hl))
+		for j := range hl {
+			e := &hl[j]
+			h.str(string(e.HID))
+			h.num(e.OpNum)
+			h.num(int(e.Kind))
+			h.str(string(e.Event))
+			h.num(len(e.Events))
+			for _, ev := range e.Events {
+				h.str(string(ev))
+			}
+			h.str(string(e.Fn))
+		}
+
+		vl := p.vlogs[rid]
+		h.num(len(vl))
+		for _, ve := range vl {
+			v.poll()
+			p.hashVarEntry(ve)
+		}
+
+		tls := p.txs[rid]
+		h.num(len(tls))
+		for _, tl := range tls {
+			h.str(string(tl.TID))
+			h.num(len(tl.Ops))
+			for j := range tl.Ops {
+				v.poll()
+				p.hashTxOp(&tl.Ops[j])
+			}
+		}
+
+		nd := p.nondet[rid]
+		h.num(len(nd))
+		for _, e := range nd {
+			h.str(string(e.Op.HID))
+			h.num(e.Op.Num)
+			h.val(e.Value)
+		}
+	}
+	return h.sum()
+}
+
+// hashVarEntry digests one variable-log entry by its observable behavior.
+// A logged read's predecessor is resolved to the facts annotateRead acts
+// on — whether the entry exists, its access type, and its value — instead
+// of its epoch-local identity; replay re-reads the identity from the new
+// log (precFromLog), so any predecessor with equal facts replays
+// identically to cold re-execution. A logged write's predecessor is only
+// ever used as a write_observer link, which replay also re-reads from the
+// new log, so it contributes nothing to the key at all.
+func (p *memoPrep) hashVarEntry(ve memoVarEntry) {
+	h := p.h
+	e := ve.e
+	h.tag('V')
+	h.str(string(ve.id))
+	h.str(string(e.Op.HID))
+	h.num(e.Op.Num)
+	h.num(int(e.Type))
+	h.val(e.Value)
+	h.num(boolNum(e.HasPrec))
+	if e.Type == advice.AccessRead && e.HasPrec {
+		pe, ok := p.v.vars[ve.id].log[e.Prec]
+		h.num(boolNum(ok))
+		if ok {
+			h.num(int(pe.Type))
+			h.val(pe.Value)
+		}
+	}
+}
+
+// hashTxOp digests one transaction-log entry, resolving every reads-from
+// reference to the contents re-execution would feed the handler. The raw
+// TxPos coordinates are excluded — a GET dictated by a carried prior-epoch
+// write or by an in-epoch write behaves identically when the contents
+// match. Resolution is safe here because preprocess has already validated
+// the logs; a dangling reference hashes as absent.
+func (p *memoPrep) hashTxOp(e *advice.TxOp) {
+	h := p.h
+	h.tag('X')
+	h.str(string(e.HID))
+	h.num(e.OpNum)
+	h.num(int(e.Type))
+	h.str(e.Key)
+	h.val(e.Contents)
+	if e.ReadFrom == nil {
+		h.tag('n')
+	} else {
+		h.tag('r')
+		p.hashResolved(*e.ReadFrom)
+	}
+	h.num(len(e.ReadSet))
+	for _, sr := range e.ReadSet {
+		h.str(sr.Key)
+		p.hashResolved(sr.ReadFrom)
+	}
+}
+
+func (p *memoPrep) hashResolved(pos advice.TxPos) {
+	h := p.h
+	op := p.v.txOpAt(pos)
+	h.num(boolNum(op != nil))
+	if op != nil {
+		h.val(op.Contents)
+	}
+}
+
+func boolNum(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- cached effect sets ---
+
+// Predecessor encodings of a cached readObs/writeObs intent (see the file
+// comment): re-read from the new epoch's log entry, or rebound to a group
+// slot / the init activation.
+const (
+	precNone uint8 = iota
+	precFromLog
+	precSlot
+	precInit
+)
+
+// memoOp is an op identity with the epoch-local rid replaced by the
+// group-slot index; hid and op number are content-derived and stable.
+type memoOp struct {
+	slot int
+	hid  core.HID
+	num  int
+}
+
+// memoIntent is one normalized intent of a cached effect set.
+type memoIntent struct {
+	kind     intentKind
+	precMode uint8
+	varID    core.VarID
+	op       memoOp
+	prec     memoOp
+	slot     int      // effExecuted / effResponded: rid slot
+	hid      core.HID // effExecuted
+	val      value.V  // effDict
+}
+
+// memoEntry is one cached effect set: the normalized intent stream of a
+// group whose audit accepted.
+type memoEntry struct {
+	slots   int
+	intents []memoIntent
+	bytes   int
+}
+
+// memoCandidate is a captured entry awaiting publish-after-accept.
+type memoCandidate struct {
+	key memo.Key
+	ent *memoEntry
+}
+
+// memoIntentBytes is the accounted per-intent overhead (struct + map/list
+// bookkeeping the replay will cost); value payloads are accounted at their
+// canonical encoded size on top.
+const memoIntentBytes = 96
+
+// memoCapture normalizes an accepted group's intent stream into a cache
+// candidate, or returns nil when any intent does not fit a stable encoding
+// (defensive; see the file comment).
+func (v *Verifier) memoCapture(rids []core.RID, eff *groupEffects) *memoEntry {
+	slotOf := make(map[core.RID]int, len(rids))
+	for i, rid := range rids {
+		slotOf[rid] = i
+	}
+	toOp := func(op core.Op) (memoOp, bool) {
+		s, ok := slotOf[op.RID]
+		if !ok {
+			return memoOp{}, false
+		}
+		return memoOp{slot: s, hid: op.HID, num: op.Num}, true
+	}
+	ent := &memoEntry{slots: len(rids), intents: make([]memoIntent, 0, len(eff.intents))}
+	size := memoIntentBytes // entry header
+	var scratch []byte
+	for i := range eff.intents {
+		in := &eff.intents[i]
+		mi := memoIntent{kind: in.kind}
+		switch in.kind {
+		case effRerun:
+		case effExecuted:
+			s, ok := slotOf[in.rid]
+			if !ok {
+				return nil
+			}
+			mi.slot, mi.hid = s, in.hid
+		case effResponded:
+			s, ok := slotOf[in.rid]
+			if !ok {
+				return nil
+			}
+			mi.slot = s
+		case effOpConsumed:
+			op, ok := toOp(in.op)
+			if !ok {
+				return nil
+			}
+			mi.op = op
+		case effDict, effVarConsumed, effInitial:
+			op, ok := toOp(in.op)
+			if !ok {
+				return nil
+			}
+			mi.varID, mi.op = in.varID, op
+			if in.kind == effDict {
+				mi.val = in.val
+				scratch = value.Encode(scratch[:0], in.val)
+				size += len(scratch)
+			}
+		case effReadObs, effWriteObs:
+			op, ok := toOp(in.op)
+			if !ok {
+				return nil
+			}
+			mi.varID, mi.op = in.varID, op
+			vv := v.vars[in.varID]
+			if e, logged := vv.log[in.op]; logged && e.HasPrec && e.Prec == in.prec {
+				mi.precMode = precFromLog
+			} else if s, grp := slotOf[in.prec.RID]; grp {
+				mi.precMode, mi.prec = precSlot, memoOp{slot: s, hid: in.prec.HID, num: in.prec.Num}
+			} else if in.prec.RID == core.InitRID {
+				mi.precMode, mi.prec = precInit, memoOp{hid: in.prec.HID, num: in.prec.Num}
+			} else {
+				return nil
+			}
+		default:
+			return nil
+		}
+		size += memoIntentBytes
+		ent.intents = append(ent.intents, mi)
+	}
+	ent.bytes = size
+	return ent
+}
+
+// memoReplay rebinds a cached effect set to this epoch's group and applies
+// it to the shared verifier state directly — the fusion of the rebinding
+// with applyEffects' merge, without materializing an intent buffer. It runs
+// on the coordinator at the group's canonical merge position, so the
+// sequence of shared-state mutations (and the position of any cross-group
+// conflict rejection) is exactly what recording-then-applying would
+// produce. The shape checks reject with InternalFault: under key equality
+// they are unreachable (the group size and every logged access are part of
+// the key), so tripping one means the cache itself misbehaved — an
+// auditor-side fault, not advice forgery.
+func (v *Verifier) memoReplay(ent *memoEntry, rids []core.RID) {
+	if ent.slots != len(rids) {
+		core.RejectCodef(core.RejectInternalFault, "memo entry caches %d slots for a group of %d", ent.slots, len(rids))
+	}
+	for i := range ent.intents {
+		v.poll()
+		m := &ent.intents[i]
+		switch m.kind {
+		case effRerun:
+			v.Stats.HandlersRerun++
+		case effExecuted:
+			rid := rids[m.slot]
+			ex := v.executed[rid]
+			if ex == nil {
+				ex = make(map[core.HID]bool)
+				v.executed[rid] = ex
+			}
+			ex[m.hid] = true
+		case effResponded:
+			v.responded[rids[m.slot]] = true
+		case effOpConsumed:
+			v.opConsumed[core.Op{RID: rids[m.op.slot], HID: m.op.hid, Num: m.op.num}] = true
+		case effDict:
+			v.vars[m.varID].dictAppend(core.Op{RID: rids[m.op.slot], HID: m.op.hid, Num: m.op.num}, m.val)
+		case effVarConsumed:
+			v.vars[m.varID].consumed[core.Op{RID: rids[m.op.slot], HID: m.op.hid, Num: m.op.num}] = true
+		case effInitial:
+			vv := v.vars[m.varID]
+			op := core.Op{RID: rids[m.op.slot], HID: m.op.hid, Num: m.op.num}
+			if vv.initial != nil {
+				core.RejectCodef(core.RejectLogMismatch, "variable %s has two initial writes (%v and %v)", vv.id, *vv.initial, op)
+			}
+			vv.initial = &op
+		case effReadObs, effWriteObs:
+			op := core.Op{RID: rids[m.op.slot], HID: m.op.hid, Num: m.op.num}
+			var prec core.Op
+			switch m.precMode {
+			case precFromLog:
+				vv := v.vars[m.varID]
+				if vv == nil {
+					core.RejectCodef(core.RejectInternalFault, "memo replay references unknown variable %s", m.varID)
+				}
+				e, ok := vv.log[op]
+				if !ok || !e.HasPrec {
+					core.RejectCodef(core.RejectInternalFault, "memo replay: logged access %v lost its predecessor", op)
+				}
+				prec = e.Prec
+			case precSlot:
+				prec = core.Op{RID: rids[m.prec.slot], HID: m.prec.hid, Num: m.prec.num}
+			case precInit:
+				prec = core.Op{RID: core.InitRID, HID: m.prec.hid, Num: m.prec.num}
+			}
+			vv := v.vars[m.varID]
+			if m.kind == effReadObs {
+				vv.readObs[prec] = append(vv.readObs[prec], op)
+			} else {
+				if prev, set := vv.writeObs[prec]; set {
+					core.RejectCodef(core.RejectLogMismatch, "writes %v and %v both overwrite %v of variable %s", prev, op, prec, vv.id)
+				}
+				vv.writeObs[prec] = op
+			}
+		}
+	}
+}
+
+// reExecMemo is reExec's group phase with the memo cache in the loop. All
+// cache interactions are coordinator-side and in canonical tag order:
+// classification (and the MemoHits/MemoMisses counters, and the LRU touch
+// order) before the fan-out, candidate capture during the deterministic
+// merge, publication only after the whole audit accepts (memoPublish).
+func (v *Verifier) reExecMemo(order []string, groups map[string][]core.RID) {
+	prep := v.memoPrepare()
+	keys := make([]memo.Key, len(order))
+	hits := make([]*memoEntry, len(order))
+	for i, tag := range order {
+		keys[i] = prep.groupKey(tag, groups[tag])
+		if got, ok := v.cfg.Memo.Probe(keys[i]); ok {
+			if ent, isEntry := got.(*memoEntry); isEntry && ent.slots == len(groups[tag]) {
+				hits[i] = ent
+				v.Stats.MemoHits++
+				continue
+			}
+		}
+		v.Stats.MemoMisses++
+	}
+	effs := make([]*groupEffects, len(order))
+	fanOut(v.workers(), len(order), func(i int) {
+		if hits[i] != nil {
+			// Hit groups skip the worker pool entirely: replay is applied
+			// directly at the merge position below, freeing the workers for
+			// the cold groups.
+			return
+		}
+		eff := newGroupEffects()
+		defer func() {
+			if r := recover(); r != nil {
+				eff.rej = asReject(r)
+			}
+			effs[i] = eff
+		}()
+		v.runGroup(groups[order[i]], eff)
+	})
+	for i, eff := range effs {
+		if hits[i] != nil {
+			v.memoReplay(hits[i], groups[order[i]])
+			continue
+		}
+		v.applyEffects(eff)
+		if eff.rej == nil {
+			if ent := v.memoCapture(groups[order[i]], eff); ent != nil {
+				v.memoPending = append(v.memoPending, memoCandidate{key: keys[i], ent: ent})
+			}
+		}
+	}
+}
+
+// memoPublish inserts the accepted audit's captured candidates, in
+// canonical order, on the coordinator — the publish-after-accept boundary.
+// Oversized entries (Limits.MaxMemoEntryBytes, defaulting to an eighth of
+// the cache budget) are skipped rather than allowed to churn the LRU.
+func (v *Verifier) memoPublish() {
+	if v.cfg.Memo == nil || len(v.memoPending) == 0 {
+		return
+	}
+	maxEntry := v.cfg.Limits.MaxMemoEntryBytes
+	if maxEntry <= 0 {
+		if mb := v.cfg.Memo.MaxBytes(); mb > 0 {
+			maxEntry = mb / 8
+		}
+	}
+	for _, c := range v.memoPending {
+		if maxEntry > 0 && c.ent.bytes > maxEntry {
+			continue
+		}
+		v.Stats.MemoEvictions += v.cfg.Memo.Insert(c.key, c.ent, c.ent.bytes)
+	}
+	v.memoPending = nil
+}

@@ -1,0 +1,162 @@
+// Package memo is the cross-epoch replay cache behind the verifier's
+// deduplicated re-execution (DESIGN.md §18): a content-addressed,
+// byte-bounded LRU map from the digest of a tag group's full input closure
+// to that group's recorded effect set.
+//
+// The cache itself is deliberately dumb: it knows nothing about advice,
+// groups, or soundness. Soundness lives entirely in the key — the verifier
+// derives it from everything a group's re-execution can observe, so two
+// equal keys imply behaviorally identical replays, and a poisoned value can
+// never be reached by an honest key (see verifier/memo.go). What this
+// package guarantees is the operational envelope: bounded residency
+// (MaxBytes, LRU eviction), deterministic eviction order (strict
+// recency-of-use, ties impossible — use order is a total order), and safe
+// concurrent access, since one cache persists across many audits.
+package memo
+
+import "sync"
+
+// Key is the content address of one cached effect set: a 256-bit digest of
+// the group's full input closure. Collision resistance is load-bearing —
+// the audit's soundness reduces to "equal key implies equal closure" — so
+// keys must come from a cryptographic hash (the verifier uses SHA-256),
+// never from the fast non-cryptographic digests the batching layer uses.
+type Key [32]byte
+
+// entry is one cached value on the intrusive LRU list.
+type entry struct {
+	key        Key
+	val        any
+	size       int
+	prev, next *entry
+}
+
+// Cache is a byte-bounded, content-addressed LRU cache. The zero value is
+// not usable; use NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int
+	bytes    int
+	m        map[Key]*entry
+	// head is most recently used, tail least; both nil when empty.
+	head, tail *entry
+}
+
+// NewCache returns a cache bounded to maxBytes of accounted value bytes.
+// maxBytes <= 0 means an unbounded cache (tests only; production callers
+// always pass a budget).
+func NewCache(maxBytes int) *Cache {
+	return &Cache{maxBytes: maxBytes, m: make(map[Key]*entry)}
+}
+
+// MaxBytes returns the configured byte budget (0 = unbounded).
+func (c *Cache) MaxBytes() int { return c.maxBytes }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Bytes returns the accounted size of all cached entries.
+func (c *Cache) Bytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Probe looks up key, marking it most recently used on a hit.
+func (c *Cache) Probe(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.touch(e)
+	return e.val, true
+}
+
+// Insert stores val under key, accounted at size bytes, and returns how
+// many entries were evicted to make room. A value larger than the whole
+// budget is not stored (callers should pre-filter; this is the backstop).
+// Re-inserting an existing key replaces its value and refreshes recency.
+func (c *Cache) Insert(key Key, val any, size int) (evicted int) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return 0
+	}
+	if e, ok := c.m[key]; ok {
+		c.bytes += size - e.size
+		e.val, e.size = val, size
+		c.touch(e)
+	} else {
+		e := &entry{key: key, val: val, size: size}
+		c.m[key] = e
+		c.bytes += size
+		c.pushFront(e)
+	}
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.tail != nil {
+		c.remove(c.tail)
+		evicted++
+	}
+	return evicted
+}
+
+// Reset drops every entry — the Fresh-boundary invalidation: a trusted
+// restart boundary rebuilds server state, so carried entries, like carried
+// dictionary state, no longer describe anything auditable.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[Key]*entry)
+	c.bytes = 0
+	c.head, c.tail = nil, nil
+}
+
+// touch moves e to the front of the recency list.
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// remove unlinks and deletes e.
+func (c *Cache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.m, e.key)
+	c.bytes -= e.size
+}

@@ -29,7 +29,12 @@ func (v *Verifier) reExec() {
 	}
 	v.Stats.Groups = len(order)
 	w := v.workers()
-	if w <= 1 || len(order) <= 1 {
+	if v.cfg.Memo != nil {
+		// Memoized dispatch always takes the effect-buffered path — even at
+		// Workers=1 — so hits and misses merge through one engine whose
+		// bit-identity to the sequential path is differentially proven.
+		v.reExecMemo(order, groups)
+	} else if w <= 1 || len(order) <= 1 {
 		for _, tag := range order {
 			v.runGroup(groups[tag], nil)
 		}

@@ -37,6 +37,7 @@ import (
 	"karousos.dev/karousos/internal/core"
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/value"
+	"karousos.dev/karousos/internal/verifier/memo"
 )
 
 // Config configures an audit.
@@ -71,6 +72,14 @@ type Config struct {
 	// bit-identical to a sequential run (DESIGN.md §13). 0 means
 	// GOMAXPROCS; 1 forces the sequential engine.
 	Workers int
+	// Memo, when non-nil, enables cross-epoch deduplicated re-execution
+	// (DESIGN.md §18): tag groups whose full input closure digests to a
+	// cached key replay their recorded effect set instead of re-executing.
+	// The cache outlives individual audits — the auditor threads one cache
+	// through an epoch sequence and must Reset it at Fresh boundaries,
+	// exactly like it drops Carry. Verdicts, reject codes, and all
+	// non-memo Stats are bit-identical with and without a cache.
+	Memo *memo.Cache
 }
 
 // node kinds of the execution graph G.
@@ -171,17 +180,33 @@ type Verifier struct {
 	executed  map[core.RID]map[core.HID]bool
 	responded map[core.RID]bool
 
+	// memoPending holds effect sets captured during reExec awaiting the
+	// publish-after-accept boundary (memo.go).
+	memoPending []memoCandidate
+
 	// Stats are filled in as the audit runs, for the evaluation harness.
 	Stats Stats
 }
 
 // Stats reports audit-side quantities the experiments record.
+//
+// The memo counters are the one deliberate asymmetry in the engine's
+// bit-identity story: at a FIXED memo configuration they are deterministic
+// at every worker count (all cache traffic is coordinator-side, memo.go),
+// but they necessarily differ between memo-on and memo-off runs.
+// Cross-memo differential comparisons normalize them with ZeroMemo.
 type Stats struct {
 	Groups        int
 	Requests      int
 	GraphNodes    int
 	GraphEdges    int
 	HandlersRerun int
+	// MemoHits / MemoMisses count tag groups replayed from the memo cache
+	// vs re-executed cold; MemoEvictions counts entries the published
+	// candidates displaced. All zero when no cache is configured.
+	MemoHits      int
+	MemoMisses    int
+	MemoEvictions int
 }
 
 // Add accumulates another audit's work counters into s — how multi-epoch
@@ -192,6 +217,17 @@ func (s *Stats) Add(o Stats) {
 	s.GraphNodes += o.GraphNodes
 	s.GraphEdges += o.GraphEdges
 	s.HandlersRerun += o.HandlersRerun
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.MemoEvictions += o.MemoEvictions
+}
+
+// ZeroMemo returns s with the memo counters cleared — the normalization
+// differential tests apply before comparing a memo-on run against a
+// memo-off run, whose every OTHER field must match bit-for-bit.
+func (s Stats) ZeroMemo() Stats {
+	s.MemoHits, s.MemoMisses, s.MemoEvictions = 0, 0, 0
+	return s
 }
 
 // New builds a verifier for one audit.
@@ -279,6 +315,10 @@ func auditFull(ctx context.Context, cfg Config, tr *trace.Trace, adv *advice.Adv
 	if wantCarry {
 		carry = v.carryOut()
 	}
+	// Only now — after postprocess accepted and carry extracted — do the
+	// captured effect sets become reachable by future epochs' keys: no
+	// entry recorded from a rejecting audit ever enters the cache.
+	v.memoPublish()
 	return v.Stats, carry, nil
 }
 

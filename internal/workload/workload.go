@@ -125,6 +125,101 @@ func Stacks(n int, mix Mix, seed int64, opts StacksOptions) []server.Request {
 	return reqs
 }
 
+// Repeats is app's fixed pool of recurring request shapes: read-only
+// inputs, byte-identical every time they recur, the steady-state traffic
+// that gives cross-epoch deduplicated re-execution its cache hits. The
+// shapes are read-only on purpose — a recurring write would keep moving the
+// carried state, so the group's input closure would never reach the fixed
+// point the memo cache keys on.
+func Repeats(app string) ([]value.V, error) {
+	switch app {
+	case "", "motd":
+		return []value.V{
+			value.Map("op", "get", "day", "mon"),
+			value.Map("op", "get", "day", "tue"),
+			value.Map("op", "get", "day", "wed"),
+			value.Map("op", "get", "day", "thu"),
+		}, nil
+	case "stacks":
+		return []value.V{
+			value.Map("op", "count", "reqid", "repeat", "dump", "panic: goroutine 1 [running]: main.f1()"),
+			value.Map("op", "count", "reqid", "repeat", "dump", "panic: goroutine 2 [running]: main.f2()"),
+		}, nil
+	case "wiki":
+		return []value.V{
+			value.Map("op", "render", "reqid", "repeat", "id", "page-00"),
+			value.Map("op", "render", "reqid", "repeat", "id", "page-01"),
+			value.Map("op", "render", "reqid", "repeat", "id", "page-02"),
+		}, nil
+	case "feeds":
+		// The feeds pool is deliberately wide: each board's view is a
+		// distinct request shape whose assembly cost recurs every epoch, so
+		// the pool width sets how much per-epoch re-execution the memo cache
+		// gets to deduplicate.
+		pool := make([]value.V, feedsRepeatBoards)
+		for i := range pool {
+			pool[i] = value.Map("op", "view", "board", fmt.Sprintf("board-%02d", i))
+		}
+		return pool, nil
+	}
+	return nil, fmt.Errorf("workload: no recurring shapes for app %q", app)
+}
+
+// feedsRepeatBoards is how many distinct boards the feeds recurring pool
+// spans (a subset of the Feeds generator's board pool).
+const feedsRepeatBoards = 24
+
+// WithRepeats rewrites a deterministic fraction of reqs to app's recurring
+// shapes, cycling through the pool so the recurring sub-stream repeats
+// bit-for-bit across epochs. RIDs are left alone — recurrence is about the
+// request's observable input, and the audit's memo keys exclude raw RIDs.
+func WithRepeats(reqs []server.Request, app string, frac float64, seed int64) ([]server.Request, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("workload: repeat fraction %v outside [0,1]", frac)
+	}
+	if frac == 0 {
+		return reqs, nil
+	}
+	pool, err := Repeats(app)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	out := make([]server.Request, len(reqs))
+	copy(out, reqs)
+	next := 0
+	for i := range out {
+		if rng.Float64() < frac {
+			out[i].Input = pool[next%len(pool)]
+			next++
+		}
+	}
+	return out, nil
+}
+
+// Feeds generates n requests against the dashboard-feeds application:
+// reads are {"op":"view","board":b} polls over a finite board pool, writes
+// pin a notice to a board. Views dominate real dashboard traffic, which is
+// what makes this the steady-state workload of the memo experiments.
+func Feeds(n int, mix Mix, seed int64) []server.Request {
+	rng := rand.New(rand.NewSource(seed))
+	wf := mix.writeFraction()
+	nboards := 32
+	board := func() string { return fmt.Sprintf("board-%02d", rng.Intn(nboards)) }
+	reqs := make([]server.Request, n)
+	for i := range reqs {
+		var in value.V
+		if rng.Float64() < wf {
+			in = value.Map("op", "pin", "board", board(),
+				"note", messages[rng.Intn(len(messages))])
+		} else {
+			in = value.Map("op", "view", "board", board())
+		}
+		reqs[i] = server.Request{RID: core.RID(fmt.Sprintf("r%04d", i)), Input: in}
+	}
+	return reqs
+}
+
 // Wiki generates n requests with the paper's mix: 25% page creations, 15%
 // comment creations, 60% render requests, over a finite page-id pool so that
 // renders hit both the cache and the store.

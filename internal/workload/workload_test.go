@@ -147,3 +147,72 @@ func TestUnknownMixPanics(t *testing.T) {
 	}()
 	MOTD(1, Mix("bogus"), 1)
 }
+
+func TestWithRepeatsFractionAndDeterminism(t *testing.T) {
+	base := MOTD(2000, Mixed, 11)
+	a, err := WithRepeats(base, "motd", 0.6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := Repeats("motd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPool := func(in any) bool {
+		for _, p := range pool {
+			if appkit.Str(appkit.Field(in, "day")) == appkit.Str(appkit.Field(p, "day")) &&
+				appkit.Str(appkit.Field(in, "op")) == "get" {
+				return true
+			}
+		}
+		return false
+	}
+	repeats := 0
+	for _, r := range a {
+		if inPool(r.Input) {
+			repeats++
+		}
+	}
+	// The pool days overlap organic gets, so the count can only overshoot.
+	if got := float64(repeats) / float64(len(a)); got < 0.55 {
+		t.Errorf("repeat fraction %.3f, want ≥0.55", got)
+	}
+	b, err := WithRepeats(MOTD(2000, Mixed, 11), "motd", 0.6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if appkit.Str(appkit.Field(a[i].Input, "op")) != appkit.Str(appkit.Field(b[i].Input, "op")) ||
+			appkit.Str(appkit.Field(a[i].Input, "day")) != appkit.Str(appkit.Field(b[i].Input, "day")) {
+			t.Fatal("same seed produced different repeat rewrites")
+		}
+	}
+}
+
+func TestWithRepeatsValidation(t *testing.T) {
+	base := MOTD(10, Mixed, 1)
+	if _, err := WithRepeats(base, "motd", 1.5, 1); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+	if _, err := WithRepeats(base, "nope", 0.5, 1); err == nil {
+		t.Error("unknown app should fail")
+	}
+	out, err := WithRepeats(base, "motd", 0, 1)
+	if err != nil || len(out) != len(base) {
+		t.Errorf("zero fraction should pass through: %v", err)
+	}
+	for _, app := range []string{"motd", "stacks", "wiki", "feeds"} {
+		pool, err := Repeats(app)
+		if err != nil || len(pool) == 0 {
+			t.Errorf("%s: no recurring pool (%v)", app, err)
+		}
+		// Recurring shapes must be read-only or the carry never fixes.
+		for _, p := range pool {
+			switch op := appkit.Str(appkit.Field(p, "op")); op {
+			case "get", "count", "render", "view":
+			default:
+				t.Errorf("%s recurring pool contains non-read op %q", app, op)
+			}
+		}
+	}
+}

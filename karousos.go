@@ -63,6 +63,7 @@ import (
 	"karousos.dev/karousos/internal/trace"
 	"karousos.dev/karousos/internal/value"
 	"karousos.dev/karousos/internal/verifier"
+	"karousos.dev/karousos/internal/verifier/memo"
 	"karousos.dev/karousos/internal/workload"
 )
 
@@ -378,15 +379,28 @@ func AuditCarry(ctx context.Context, cfg verifier.Config, tr *Trace, adv *Advice
 // if any, is an *EpochReject for server misbehavior and an ordinary error
 // for infrastructure failure. workers is each epoch audit's parallelism
 // (0 = GOMAXPROCS, 1 = the sequential engine); the verdict is identical at
-// every setting.
-func AuditEpochDir(ctx context.Context, dir string, lim Limits, workers int) (AuditorStatus, error) {
-	aud, err := auditd.New(auditd.Config{Dir: dir, Limits: lim, AuditWorkers: workers})
+// every setting. memoMaxBytes > 0 enables the cross-epoch re-execution memo
+// cache (DESIGN.md §18) with that byte budget — a pure performance lever,
+// the verdict is identical with it on or off.
+func AuditEpochDir(ctx context.Context, dir string, lim Limits, workers, memoMaxBytes int) (AuditorStatus, error) {
+	aud, err := auditd.New(auditd.Config{Dir: dir, Limits: lim, AuditWorkers: workers, MemoMaxBytes: memoMaxBytes})
 	if err != nil {
 		return AuditorStatus{}, err
 	}
 	_, err = aud.RunOnce(ctx)
 	return aud.Status(), err
 }
+
+// MemoCache is the content-addressed re-execution memo cache the verifier
+// consults when VerifyOptions.Memo (or auditd's MemoMaxBytes) is set; see
+// DESIGN.md §18. One cache is threaded through consecutive epoch audits;
+// entries are keyed by the full input closure of a tag group, so a hit
+// replays the group's recorded effects instead of re-executing it.
+type MemoCache = memo.Cache
+
+// NewMemoCache returns a memo cache with the given byte budget
+// (maxBytes <= 0 means unbounded).
+func NewMemoCache(maxBytes int) *MemoCache { return memo.NewCache(maxBytes) }
 
 // RunPipeline serves the workload through the HTTP collector on a loopback
 // listener while the incremental auditor follows the epoch log, and returns
